@@ -1,0 +1,316 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 5), plus micro-benchmarks of the simulator's core structures.
+//
+// The macro benchmarks run the experiment harness at a reduced workload
+// scale so `go test -bench=.` completes in minutes; the cmd/rnuma-experiments
+// tool runs the same experiments at full scale. Key outcome numbers are
+// attached as benchmark metrics, so regressions in the *results* (not just
+// the speed) are visible in benchmark output.
+package rnuma_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rnuma/internal/addr"
+	"rnuma/internal/blockcache"
+	"rnuma/internal/cache"
+	"rnuma/internal/config"
+	"rnuma/internal/directory"
+	"rnuma/internal/harness"
+	"rnuma/internal/machine"
+	"rnuma/internal/model"
+	"rnuma/internal/pagecache"
+	"rnuma/internal/trace"
+	"rnuma/internal/workloads"
+)
+
+const benchScale = 0.25
+
+// BenchmarkAnalyticalModel regenerates the Section 3.2 analysis (Table 1,
+// Equations 1-3): the competitive ratios and the worst-case bound at the
+// optimal threshold.
+func BenchmarkAnalyticalModel(b *testing.B) {
+	costs := config.BaseCosts()
+	var bound float64
+	for i := 0; i < b.N; i++ {
+		p := model.FromCosts(float64(costs.RemoteFetch),
+			float64(costs.PageOpBase()+costs.PageOpPerBlock*32),
+			float64(costs.PageOpBase()+costs.PageOpPerBlock*16), 64)
+		sweep := p.SweepThreshold(1, 4096, 256)
+		if len(sweep) == 0 {
+			b.Fatal("empty sweep")
+		}
+		bound = p.AtOptimum().BoundAtOptimum()
+	}
+	b.ReportMetric(bound, "worst-case-bound")
+}
+
+// BenchmarkTable3Workloads generates all ten applications (Table 3).
+func BenchmarkTable3Workloads(b *testing.B) {
+	cfg := workloads.DefaultConfig()
+	cfg.Scale = benchScale
+	for i := 0; i < b.N; i++ {
+		for _, app := range workloads.Catalog() {
+			w := app.Build(cfg)
+			if len(w.Streams) != cfg.Nodes*cfg.CPUsPerNode {
+				b.Fatal("bad stream count")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the refetch CDF characterization.
+func BenchmarkFigure5(b *testing.B) {
+	var skew float64
+	for i := 0; i < b.N; i++ {
+		h := harness.New(benchScale)
+		curves, err := h.Figure5(harness.AllApps())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range curves {
+			if c.App == "barnes" {
+				skew = c.At10
+			}
+		}
+	}
+	b.ReportMetric(skew, "barnes-refetch%@10%pages")
+}
+
+// BenchmarkTable4 regenerates the refetch/replacement characterization.
+func BenchmarkTable4(b *testing.B) {
+	var rw float64
+	for i := 0; i < b.N; i++ {
+		h := harness.New(benchScale)
+		rows, err := h.Table4(harness.AllApps())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.App == "em3d" {
+				rw = r.RWPagePct
+			}
+		}
+	}
+	b.ReportMetric(rw, "em3d-rw-page%")
+}
+
+// BenchmarkFigure6 regenerates the base-system comparison and reports
+// R-NUMA's worst-case gap versus the best of CC-NUMA and S-COMA.
+func BenchmarkFigure6(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		h := harness.New(benchScale)
+		rows, err := h.Figure6(harness.AllApps())
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, r := range rows {
+			if r.RNUMAOverBest > worst {
+				worst = r.RNUMAOverBest
+			}
+		}
+	}
+	b.ReportMetric(worst, "rnuma-worst-vs-best")
+}
+
+// BenchmarkFigure7 regenerates the cache-size sensitivity study.
+func BenchmarkFigure7(b *testing.B) {
+	var oceanBigPC float64
+	for i := 0; i < b.N; i++ {
+		h := harness.New(benchScale)
+		rows, err := h.Figure7(harness.AllApps())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.App == "ocean" {
+				oceanBigPC = r.R128p40M
+			}
+		}
+	}
+	b.ReportMetric(oceanBigPC, "ocean-rnuma-40M")
+}
+
+// BenchmarkFigure8 regenerates the threshold sensitivity study.
+func BenchmarkFigure8(b *testing.B) {
+	var lu1024 float64
+	for i := 0; i < b.N; i++ {
+		h := harness.New(benchScale)
+		rows, err := h.Figure8(harness.AllApps())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.App == "lu" {
+				lu1024 = r.ByT[1024]
+			}
+		}
+	}
+	b.ReportMetric(lu1024, "lu-T1024-vs-T64")
+}
+
+// BenchmarkFigure9 regenerates the overhead sensitivity study.
+func BenchmarkFigure9(b *testing.B) {
+	var scHit float64
+	for i := 0; i < b.N; i++ {
+		h := harness.New(benchScale)
+		rows, err := h.Figure9(harness.AllApps())
+		if err != nil {
+			b.Fatal(err)
+		}
+		scHit = 0
+		for _, r := range rows {
+			if v := r.SCOMASoft / r.SCOMA; v > scHit {
+				scHit = v
+			}
+		}
+	}
+	b.ReportMetric(scHit, "scoma-soft-max-slowdown")
+}
+
+// BenchmarkAblationCounting regenerates the counting-policy ablation
+// (DESIGN.md Section 7): refetch-only counters vs naive all-miss counters
+// on a producer-consumer workload.
+func BenchmarkAblationCounting(b *testing.B) {
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		h := harness.New(benchScale)
+		res, err := h.AblationCounting("em3d")
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowdown = res.SlowdownPct
+	}
+	b.ReportMetric(slowdown, "naive-counting-slowdown%")
+}
+
+// BenchmarkAblationPlacement regenerates the placement ablation:
+// first-touch vs round-robin page homes.
+func BenchmarkAblationPlacement(b *testing.B) {
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		h := harness.New(benchScale)
+		res, err := h.AblationPlacement("em3d")
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowdown = res.SlowdownPct
+	}
+	b.ReportMetric(slowdown, "roundrobin-slowdown%")
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks of the simulator's hot paths.
+
+// BenchmarkMachineReference measures the per-reference simulation cost on
+// the full base machine running a mixed workload.
+func BenchmarkMachineReference(b *testing.B) {
+	app, _ := workloads.ByName("moldyn")
+	cfg := workloads.DefaultConfig()
+	cfg.Scale = 0.25
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := int64(0)
+	for i := 0; i < b.N; i++ {
+		w := app.Build(cfg)
+		m, err := machine.New(config.Base(config.RNUMA), machine.WithHomes(w.Homes))
+		if err != nil {
+			b.Fatal(err)
+		}
+		run, err := m.Run(w.Streams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += run.Refs
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "refs/run")
+}
+
+// BenchmarkL1Cache measures lookup+fill on the per-CPU data cache.
+func BenchmarkL1Cache(b *testing.B) {
+	c := cache.New(8<<10, 32)
+	rng := rand.New(rand.NewSource(1))
+	blocks := make([]addr.BlockNum, 4096)
+	for i := range blocks {
+		blocks[i] = addr.BlockNum(rng.Intn(1 << 16))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := blocks[i&4095]
+		idx := c.Index(uint32(blk))
+		if st, _ := c.Lookup(idx, blk); st == cache.Invalid {
+			c.Fill(idx, blk, cache.Shared, 0)
+		}
+	}
+}
+
+// BenchmarkBlockCache measures the RAD block-cache hot path.
+func BenchmarkBlockCache(b *testing.B) {
+	c := blockcache.New(1024)
+	rng := rand.New(rand.NewSource(2))
+	blocks := make([]addr.BlockNum, 4096)
+	for i := range blocks {
+		blocks[i] = addr.BlockNum(rng.Intn(1 << 14))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := blocks[i&4095]
+		if _, ok := c.Lookup(blk); !ok {
+			c.Fill(blk, blockcache.ReadOnly, false, 0)
+		}
+	}
+}
+
+// BenchmarkDirectoryFetch measures the directory transaction path.
+func BenchmarkDirectoryFetch(b *testing.B) {
+	d := directory.New(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := addr.BlockNum(i & 8191)
+		d.Fetch(blk, addr.NodeID(i&7), i&15 == 0)
+	}
+}
+
+// BenchmarkPageCacheLRM measures allocation with LRM victim selection at
+// the base 80-frame size.
+func BenchmarkPageCacheLRM(b *testing.B) {
+	c := pagecache.New(80, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.FreeFrames() == 0 {
+			v, _ := c.PickVictim()
+			c.Evict(v)
+		}
+		c.Allocate(addr.PageNum(i), int64(i))
+	}
+}
+
+// BenchmarkTraceGeneration measures reference stream production.
+func BenchmarkTraceGeneration(b *testing.B) {
+	refs := make([]trace.Ref, 1024)
+	for i := range refs {
+		refs[i] = trace.Ref{Page: addr.PageNum(i), Off: uint16(i % 128)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := trace.Repeat(refs, 4)
+		n := 0
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n != 4096 {
+			b.Fatal("bad repeat")
+		}
+	}
+}

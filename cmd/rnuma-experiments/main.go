@@ -1,0 +1,102 @@
+// Command rnuma-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rnuma-experiments [-exp all|fig5|table4|fig6|fig7|fig8|fig9|model|lu]
+//	                  [-apps barnes,lu,...] [-scale 1.0] [-v]
+//
+// Each experiment prints the corresponding rows/series of the paper's
+// evaluation (Section 5); see EXPERIMENTS.md for paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rnuma/internal/config"
+	"rnuma/internal/harness"
+	"rnuma/internal/model"
+	"rnuma/internal/report"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all, fig5, table4, fig6, fig7, fig8, fig9, model, lu")
+		apps    = flag.String("apps", "", "comma-separated application subset (default: all ten)")
+		scale   = flag.Float64("scale", 1.0, "workload scale (iteration multiplier)")
+		verbose = flag.Bool("v", false, "log run progress")
+	)
+	flag.Parse()
+
+	list := harness.AllApps()
+	if *apps != "" {
+		list = strings.Split(*apps, ",")
+	}
+	h := harness.New(*scale)
+	if *verbose {
+		h.Log = os.Stderr
+	}
+
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rnuma-experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	sep := func() { fmt.Println("\n" + strings.Repeat("=", 80) + "\n") }
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("model") {
+		costs := config.BaseCosts()
+		p := model.FromCosts(float64(costs.RemoteFetch),
+			float64(costs.PageOpBase()+costs.PageOpPerBlock*32),
+			float64(costs.PageOpBase()+costs.PageOpPerBlock*16), 64)
+		report.Model(os.Stdout, p)
+		sep()
+	}
+	if want("fig5") {
+		curves, err := h.Figure5(list)
+		die(err)
+		report.Figure5(os.Stdout, curves)
+		sep()
+	}
+	if want("table4") {
+		rows, err := h.Table4(list)
+		die(err)
+		report.Table4(os.Stdout, rows)
+		sep()
+	}
+	if want("fig6") {
+		rows, err := h.Figure6(list)
+		die(err)
+		report.Figure6(os.Stdout, rows)
+		sep()
+	}
+	if want("fig7") {
+		rows, err := h.Figure7(list)
+		die(err)
+		report.Figure7(os.Stdout, rows)
+		sep()
+	}
+	if want("fig8") {
+		rows, err := h.Figure8(list)
+		die(err)
+		report.Figure8(os.Stdout, rows)
+		sep()
+	}
+	if want("fig9") {
+		rows, err := h.Figure9(list)
+		die(err)
+		report.Figure9(os.Stdout, rows)
+		sep()
+	}
+	if want("lu") {
+		share, err := h.LuImbalance()
+		die(err)
+		fmt.Printf("LU LOAD IMBALANCE (Section 5.5) — top-2 nodes' share of S-COMA page replacements: %.0f%%\n", share*100)
+		fmt.Println("(the paper attributes lu's relocation-overhead sensitivity to two overloaded nodes)")
+	}
+}

@@ -1,0 +1,33 @@
+// Command rnuma-model explores the paper's analytical worst-case model
+// (Section 3.2): the competitive ratios of Equations 1-2, the optimal
+// threshold, and the 2x-3x bound of Equation 3.
+//
+// Usage:
+//
+//	rnuma-model [-crefetch 376] [-callocate 5000] [-crelocate 5000] [-T 64]
+package main
+
+import (
+	"flag"
+	"os"
+
+	"rnuma/internal/model"
+	"rnuma/internal/report"
+)
+
+func main() {
+	var (
+		cref   = flag.Float64("crefetch", 376, "cost of refetching a remote block (cycles)")
+		calloc = flag.Float64("callocate", 5000, "cost of allocating/replacing a page (cycles)")
+		creloc = flag.Float64("crelocate", 5000, "cost of relocating a page (cycles)")
+		thr    = flag.Float64("T", 64, "relocation threshold")
+	)
+	flag.Parse()
+
+	p := model.Params{Crefetch: *cref, Callocate: *calloc, Crelocate: *creloc, T: *thr}
+	if err := p.Validate(); err != nil {
+		flag.Usage()
+		os.Exit(2)
+	}
+	report.Model(os.Stdout, p)
+}

@@ -1,0 +1,91 @@
+// Command rnuma-sim runs one application on one simulated DSM machine and
+// prints the run's statistics.
+//
+// Usage:
+//
+//	rnuma-sim -app moldyn -protocol rnuma [-bc 128] [-pc 327680] [-T 64]
+//	          [-scale 1.0] [-nodes 8] [-cpus 4] [-soft] [-ideal] [-v]
+//
+// Protocols: ccnuma, scoma, rnuma. -ideal runs the normalization baseline
+// (CC-NUMA with an infinite block cache) regardless of -protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rnuma/internal/config"
+	"rnuma/internal/harness"
+	"rnuma/internal/report"
+	"rnuma/internal/workloads"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "moldyn", "application: "+strings.Join(workloads.Names(), ", "))
+		protocol = flag.String("protocol", "rnuma", "protocol: ccnuma, scoma, rnuma")
+		bc       = flag.Int("bc", -2, "block cache bytes (-1 = infinite, default per protocol)")
+		pc       = flag.Int("pc", -2, "page cache bytes (default per protocol)")
+		thr      = flag.Int("T", 64, "R-NUMA relocation threshold")
+		scale    = flag.Float64("scale", 1.0, "workload scale (iteration multiplier)")
+		nodes    = flag.Int("nodes", 8, "SMP nodes")
+		cpus     = flag.Int("cpus", 4, "CPUs per node")
+		soft     = flag.Bool("soft", false, "use SOFT costs (10-µs traps, 5-µs software shootdowns)")
+		ideal    = flag.Bool("ideal", false, "run the infinite-block-cache baseline")
+		verbose  = flag.Bool("v", false, "log progress")
+	)
+	flag.Parse()
+
+	var sys config.System
+	switch strings.ToLower(*protocol) {
+	case "ccnuma", "cc-numa", "cc":
+		sys = config.Base(config.CCNUMA)
+	case "scoma", "s-coma", "sc":
+		sys = config.Base(config.SCOMA)
+	case "rnuma", "r-numa", "r":
+		sys = config.Base(config.RNUMA)
+	default:
+		fmt.Fprintf(os.Stderr, "rnuma-sim: unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+	if *ideal {
+		sys = config.Ideal()
+	}
+	if *bc != -2 {
+		sys.BlockCacheBytes = *bc
+	}
+	if *pc != -2 {
+		sys.PageCacheBytes = *pc
+	}
+	sys.Threshold = *thr
+	sys.Nodes = *nodes
+	sys.CPUsPerNode = *cpus
+	if *soft {
+		sys.Costs = config.SoftCosts()
+	}
+	if err := sys.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "rnuma-sim: %v\n", err)
+		os.Exit(2)
+	}
+
+	h := harness.New(*scale)
+	if *verbose {
+		h.Log = os.Stderr
+	}
+	run, err := h.Run(*appName, sys)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rnuma-sim: %v\n", err)
+		os.Exit(1)
+	}
+	app, _ := workloads.ByName(*appName)
+	fmt.Printf("application: %s (%s)\n", app.Name, app.PaperInput)
+	fmt.Printf("system: %s, %dx%d CPUs\n", sys.Name, sys.Nodes, sys.CPUsPerNode)
+	report.RunSummary(os.Stdout, sys.Name, run)
+
+	ideal2, err := h.Ideal(*appName)
+	if err == nil && ideal2.ExecCycles > 0 {
+		fmt.Printf("  normalized exec time:  %.3f (vs infinite block cache)\n", run.Normalized(ideal2))
+	}
+}

@@ -1,0 +1,28 @@
+// Package rnuma is a Go reproduction of "Reactive NUMA: A Design for
+// Unifying S-COMA and CC-NUMA" (Falsafi & Wood, ISCA 1997).
+//
+// The library simulates a distributed shared-memory cluster of SMP nodes
+// with three remote-data caching designs — CC-NUMA (a per-node SRAM block
+// cache), S-COMA (a main-memory page cache with fine-grain access control
+// tags), and the paper's contribution, Reactive NUMA, which starts every
+// remote page in CC-NUMA mode, counts per-page capacity/conflict refetches
+// at the directory, and relocates pages that cross a threshold into the
+// S-COMA page cache.
+//
+// Packages:
+//
+//   - internal/machine — the whole-machine discrete-event simulator
+//   - internal/core — R-NUMA's reactive refetch counters
+//   - internal/directory — the full-map coherence directory with refetch
+//     detection
+//   - internal/cache, internal/blockcache, internal/pagecache — the
+//     storage hierarchy
+//   - internal/workloads — synthetic versions of the paper's ten
+//     applications (Table 3)
+//   - internal/harness — drivers that regenerate every table and figure
+//   - internal/model — the analytical worst-case model (Section 3.2)
+//
+// The benchmarks in bench_test.go regenerate each table/figure; see
+// EXPERIMENTS.md for paper-versus-measured results and README.md for a
+// walkthrough.
+package rnuma

@@ -1,0 +1,104 @@
+// dbscan: the paper's introduction motivates R-NUMA with commercial
+// databases — Verghese et al. found 90% of user data misses in a
+// relational DBMS hit read-write shared pages, which page replication and
+// migration cannot help. This example models an OLTP-style workload: every
+// node scans a shared buffer pool of read-write pages (index roots and hot
+// tables) that all nodes read and update.
+//
+// CC-NUMA's block cache is too small for the buffer pool; read-only
+// replication would not help (the pages are written); S-COMA holds the
+// pool but pays for the scan-temp pages too. R-NUMA relocates the hot pool
+// and leaves scan temps alone.
+//
+// Run: go run ./examples/dbscan
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rnuma/internal/addr"
+	"rnuma/internal/config"
+	"rnuma/internal/machine"
+	"rnuma/internal/trace"
+)
+
+const (
+	poolPages = 48  // hot shared buffer pool (fits the 80-frame page cache)
+	tempPages = 150 // per-node scan temporaries streamed once per query
+	queries   = 8
+)
+
+func buildStreams(sys config.System) ([]trace.Stream, func(addr.PageNum) addr.NodeID) {
+	nodes, cpus := sys.Nodes, sys.CPUsPerNode
+	// Page layout: pool pages homed round-robin, then per-node temp pages.
+	homes := func(p addr.PageNum) addr.NodeID {
+		if int(p) < poolPages {
+			return addr.NodeID(int(p) % nodes)
+		}
+		return addr.NodeID((int(p) - poolPages) / tempPages % nodes)
+	}
+	streams := make([]trace.Stream, nodes*cpus)
+	for n := 0; n < nodes; n++ {
+		tempBase := poolPages + n*tempPages
+		for c := 0; c < cpus; c++ {
+			rng := rand.New(rand.NewSource(int64(n*cpus + c)))
+			var refs []trace.Ref
+			for q := 0; q < queries; q++ {
+				// Index lookups: random probes into the shared pool,
+				// mostly reads with ~10% updates (read-write sharing).
+				for i := 0; i < 2200; i++ {
+					page := addr.PageNum(rng.Intn(poolPages))
+					off := uint16(rng.Intn(128))
+					refs = append(refs, trace.Ref{Page: page, Off: off, Write: rng.Float64() < 0.10, Gap: 60})
+				}
+				// Sequential scan through this node's temp segment: each
+				// block touched once — pure streaming.
+				for p := 0; p < tempPages; p++ {
+					for off := 0; off < 8; off++ {
+						refs = append(refs, trace.Ref{Page: addr.PageNum(tempBase + p), Off: uint16(off * 16), Write: true, Gap: 12})
+					}
+				}
+				refs = append(refs, trace.BarrierRef())
+			}
+			streams[n*cpus+c] = trace.FromSlice(refs)
+		}
+	}
+	return streams, homes
+}
+
+func main() {
+	fmt.Println("OLTP-style read-write shared buffer pool (paper Section 1 motivation)")
+	fmt.Printf("%d hot shared pages (RW), %d streaming temp pages/node, %d queries\n\n",
+		poolPages, tempPages, queries)
+
+	var baseline int64
+	for _, p := range []config.Protocol{config.CCNUMA, config.SCOMA, config.RNUMA} {
+		sys := config.Base(p)
+		streams, homes := buildStreams(sys)
+		m, err := machine.New(sys, machine.WithHomes(homes))
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := m.Run(streams)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline == 0 {
+			// Also run the ideal machine for normalization.
+			ideal, _ := machine.New(config.Ideal(), machine.WithHomes(homes))
+			istreams, _ := buildStreams(config.Ideal())
+			irun, err := ideal.Run(istreams)
+			if err != nil {
+				log.Fatal(err)
+			}
+			baseline = irun.ExecCycles
+		}
+		fmt.Printf("%-8v exec=%9d cycles (%.2fx ideal)  remote=%7d refetch=%7d reloc=%4d repl=%4d\n",
+			p, run.ExecCycles, float64(run.ExecCycles)/float64(baseline),
+			run.RemoteFetches, run.Refetches, run.Relocations, run.Replacements)
+	}
+	fmt.Println("\nR-NUMA relocates the hot pool (read-write pages that replication")
+	fmt.Println("cannot handle) while the streaming temps stay CC-NUMA.")
+}

@@ -1,0 +1,85 @@
+// halo: an em3d/ocean-style bulk-synchronous halo exchange, showing the
+// communication-page case where CC-NUMA is the right answer and S-COMA's
+// page cache only thrashes (paper Section 5.2, em3d/fft discussion).
+//
+// Each node owns a subgrid; every iteration it updates its interior and
+// reads boundary blocks from its ring neighbors. The boundary data is
+// rewritten every iteration, so every remote miss is a coherence miss —
+// R-NUMA's counters never fire, and it correctly behaves like CC-NUMA.
+//
+// Run: go run ./examples/halo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rnuma/internal/addr"
+	"rnuma/internal/config"
+	"rnuma/internal/machine"
+	"rnuma/internal/trace"
+)
+
+const (
+	pagesPerNode = 100 // subgrid pages per node (page cache holds only 80)
+	haloBlocks   = 6   // boundary blocks read per remote page
+	iterations   = 6
+)
+
+func main() {
+	fmt.Println("Bulk-synchronous halo exchange (communication pages only)")
+	fmt.Printf("%d pages/node, %d halo blocks/page, %d iterations\n\n", pagesPerNode, haloBlocks, iterations)
+
+	for _, p := range []config.Protocol{config.CCNUMA, config.SCOMA, config.RNUMA} {
+		sys := config.Base(p)
+		nodes, cpus := sys.Nodes, sys.CPUsPerNode
+
+		homes := func(pg addr.PageNum) addr.NodeID {
+			return addr.NodeID(int(pg) / pagesPerNode % nodes)
+		}
+		streams := make([]trace.Stream, nodes*cpus)
+		for n := 0; n < nodes; n++ {
+			left := (n + nodes - 1) % nodes
+			right := (n + 1) % nodes
+			for c := 0; c < cpus; c++ {
+				var refs []trace.Ref
+				for it := 0; it < iterations; it++ {
+					// Interior update: this CPU's slice of the subgrid.
+					for p := c; p < pagesPerNode; p += cpus {
+						page := addr.PageNum(n*pagesPerNode + p)
+						for off := 0; off < 32; off++ {
+							refs = append(refs, trace.Ref{Page: page, Off: uint16(off), Write: true, Gap: 20})
+						}
+					}
+					refs = append(refs, trace.BarrierRef())
+					// Halo reads from both neighbors.
+					for _, nb := range []int{left, right} {
+						for p := c; p < pagesPerNode; p += cpus {
+							page := addr.PageNum(nb*pagesPerNode + p)
+							for k := 0; k < haloBlocks; k++ {
+								refs = append(refs, trace.Ref{Page: page, Off: uint16(k), Gap: 25})
+							}
+						}
+					}
+					refs = append(refs, trace.BarrierRef())
+				}
+				streams[n*cpus+c] = trace.FromSlice(refs)
+			}
+		}
+
+		m, err := machine.New(sys, machine.WithHomes(homes))
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := m.Run(streams)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8v exec=%9d  remote=%6d refetch=%5d faults=%5d repl=%5d reloc=%4d\n",
+			p, run.ExecCycles, run.RemoteFetches, run.Refetches,
+			run.PageFaults, run.Replacements, run.Relocations)
+	}
+	fmt.Println("\nEvery remote miss is an invalidation (coherence) miss, so R-NUMA's")
+	fmt.Println("refetch counters stay at zero: no relocations, no wasted page ops —")
+	fmt.Println("while pure S-COMA churns its page cache for nothing.")
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a small DSM machine, run a hand-written workload under
+// all three protocols, and watch R-NUMA's reactive relocation converge.
+//
+// The workload is the paper's motivating case in miniature: one node
+// repeatedly sweeps remote "reuse" pages (capacity misses), while a second
+// page set is pure producer-consumer "communication" (coherence misses).
+// CC-NUMA refetches the reuse pages forever; S-COMA wastes page frames on
+// the communication pages; R-NUMA relocates exactly the reuse pages.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rnuma/internal/addr"
+	"rnuma/internal/config"
+	"rnuma/internal/machine"
+	"rnuma/internal/report"
+	"rnuma/internal/trace"
+)
+
+func main() {
+	for _, protocol := range []config.Protocol{config.CCNUMA, config.SCOMA, config.RNUMA} {
+		sys := config.Base(protocol)
+		sys.Nodes, sys.CPUsPerNode = 2, 1 // keep the example tiny
+
+		// Pages 0..9 live on node 0; node 1 will cache them remotely.
+		homes := func(p addr.PageNum) addr.NodeID { return 0 }
+
+		m, err := machine.New(sys, machine.WithHomes(homes))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Node 1's program: 30 dense sweeps over 8 reuse pages (1024
+		// blocks — too big for its L1, bigger than R-NUMA's 128-byte
+		// block cache), interleaved with reads of a communication page
+		// that node 0 keeps rewriting.
+		var consumer []trace.Ref
+		for sweep := 0; sweep < 30; sweep++ {
+			for page := addr.PageNum(0); page < 8; page++ {
+				for off := 0; off < 128; off++ {
+					consumer = append(consumer, trace.Ref{Page: page, Off: uint16(off), Gap: 10})
+				}
+			}
+			consumer = append(consumer, trace.Ref{Page: 9, Off: 0, Gap: 10})
+		}
+		var producer []trace.Ref
+		for i := 0; i < 30; i++ {
+			producer = append(producer, trace.Ref{Page: 9, Off: 0, Write: true, Gap: 35000})
+		}
+
+		run, err := m.Run([]trace.Stream{
+			trace.FromSlice(producer), // node 0, CPU 0
+			trace.FromSlice(consumer), // node 1, CPU 0
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("=== %v ===\n", protocol)
+		report.RunSummary(os.Stdout, sys.Name, run)
+		fmt.Println()
+	}
+	fmt.Println("Note how R-NUMA relocates the 8 reuse pages once (8 relocations),")
+	fmt.Println("converts their refetches into page-cache hits, and leaves the")
+	fmt.Println("communication page in CC-NUMA mode — the paper's Section 3 in action.")
+}

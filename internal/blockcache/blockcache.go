@@ -1,0 +1,220 @@
+// Package blockcache implements the CC-NUMA remote access device's block
+// cache (paper Section 2.1): a direct-mapped, writeback SRAM cache that
+// holds only remote data, acting as another level of the node's cache
+// hierarchy.
+//
+// It tracks node-level coherence state: ReadOnly (the node is a sharer at
+// the directory) or ReadWrite (the node is the exclusive owner). Per the
+// paper, the cache maintains inclusion with the node's processor caches for
+// read-write blocks but not for read-only blocks; enforcing the inclusion
+// invalidations is the machine's job, signaled through the eviction result.
+//
+// A negative size constructs the paper's "infinite block cache" used as the
+// normalization baseline: a fully associative, never-evicting cache.
+package blockcache
+
+import "rnuma/internal/addr"
+
+// State is the node-level state of a cached remote block.
+type State uint8
+
+const (
+	// Invalid: frame empty.
+	Invalid State = iota
+	// ReadOnly: the node is a sharer; silent drop on eviction.
+	ReadOnly
+	// ReadWrite: the node is the exclusive owner; eviction writes back to
+	// the home and must invalidate processor-cache copies (inclusion).
+	ReadWrite
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "inv"
+	case ReadOnly:
+		return "ro"
+	case ReadWrite:
+		return "rw"
+	}
+	return "?"
+}
+
+// Entry is one block-cache frame.
+type Entry struct {
+	Block   addr.BlockNum
+	State   State
+	Dirty   bool
+	Version uint32
+}
+
+// Cache is the direct-mapped block cache (or the infinite baseline cache).
+type Cache struct {
+	frames   []Entry
+	mask     uint32
+	infinite bool
+	inf      map[addr.BlockNum]*Entry
+
+	hits   int64
+	misses int64
+}
+
+// New builds a block cache with the given number of frames; frames < 0
+// builds the infinite cache.
+func New(frames int) *Cache {
+	if frames < 0 {
+		return &Cache{infinite: true, inf: make(map[addr.BlockNum]*Entry)}
+	}
+	if frames < 1 {
+		frames = 1
+	}
+	return &Cache{frames: make([]Entry, frames), mask: uint32(frames - 1)}
+}
+
+// Infinite reports whether this is the ideal never-evicting cache.
+func (c *Cache) Infinite() bool { return c.infinite }
+
+// Frames returns the frame count (0 for the infinite cache).
+func (c *Cache) Frames() int { return len(c.frames) }
+
+func (c *Cache) frameFor(b addr.BlockNum) *Entry {
+	return &c.frames[uint32(b)&c.mask]
+}
+
+// Lookup returns the entry for the block if resident.
+func (c *Cache) Lookup(b addr.BlockNum) (Entry, bool) {
+	if c.infinite {
+		if e, ok := c.inf[b]; ok {
+			c.hits++
+			return *e, true
+		}
+		c.misses++
+		return Entry{}, false
+	}
+	e := c.frameFor(b)
+	if e.State != Invalid && e.Block == b {
+		c.hits++
+		return *e, true
+	}
+	c.misses++
+	return Entry{}, false
+}
+
+// Fill installs the block, returning a displaced valid victim if any.
+func (c *Cache) Fill(b addr.BlockNum, st State, dirty bool, ver uint32) (victim Entry, evicted bool) {
+	if st == Invalid {
+		panic("blockcache: fill with Invalid state")
+	}
+	if c.infinite {
+		c.inf[b] = &Entry{Block: b, State: st, Dirty: dirty, Version: ver}
+		return Entry{}, false
+	}
+	e := c.frameFor(b)
+	if e.State != Invalid && e.Block != b {
+		victim, evicted = *e, true
+	}
+	*e = Entry{Block: b, State: st, Dirty: dirty, Version: ver}
+	return victim, evicted
+}
+
+// Update rewrites state/dirty/version of a resident block (e.g., absorbing
+// a processor-cache writeback, or an upgrade). It reports whether the block
+// was resident.
+func (c *Cache) Update(b addr.BlockNum, st State, dirty bool, ver uint32) bool {
+	if c.infinite {
+		if e, ok := c.inf[b]; ok {
+			e.State, e.Dirty, e.Version = st, dirty, ver
+			return true
+		}
+		return false
+	}
+	e := c.frameFor(b)
+	if e.State != Invalid && e.Block == b {
+		e.State, e.Dirty, e.Version = st, dirty, ver
+		return true
+	}
+	return false
+}
+
+// Invalidate removes the block if resident, returning its prior content.
+func (c *Cache) Invalidate(b addr.BlockNum) (Entry, bool) {
+	if c.infinite {
+		if e, ok := c.inf[b]; ok {
+			old := *e
+			delete(c.inf, b)
+			return old, true
+		}
+		return Entry{}, false
+	}
+	e := c.frameFor(b)
+	if e.State != Invalid && e.Block == b {
+		old := *e
+		e.State = Invalid
+		return old, true
+	}
+	return Entry{}, false
+}
+
+// Downgrade moves a resident block to ReadOnly after its dirty data was
+// written back home on an inter-node read of an exclusive block. The
+// cached copy is refreshed to the written-back version: the node's L1 may
+// have held data newer than this cache's frame, and after the downgrade
+// this frame is an authoritative clean copy.
+func (c *Cache) Downgrade(b addr.BlockNum, version uint32) {
+	if c.infinite {
+		if e, ok := c.inf[b]; ok {
+			e.State, e.Dirty, e.Version = ReadOnly, false, version
+		}
+		return
+	}
+	e := c.frameFor(b)
+	if e.State != Invalid && e.Block == b {
+		e.State, e.Dirty, e.Version = ReadOnly, false, version
+	}
+}
+
+// PageEntries returns copies of all resident entries belonging to a page
+// (for R-NUMA relocation, which moves the node's cached blocks into the
+// page cache).
+func (c *Cache) PageEntries(g addr.Geometry, p addr.PageNum) []Entry {
+	var out []Entry
+	if c.infinite {
+		for b, e := range c.inf {
+			if g.PageOf(b) == p {
+				out = append(out, *e)
+			}
+		}
+		return out
+	}
+	for i := range c.frames {
+		e := &c.frames[i]
+		if e.State != Invalid && g.PageOf(e.Block) == p {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// InvalidatePage removes all resident blocks of the page.
+func (c *Cache) InvalidatePage(g addr.Geometry, p addr.PageNum) {
+	if c.infinite {
+		for b, e := range c.inf {
+			if g.PageOf(b) == p {
+				_ = e
+				delete(c.inf, b)
+			}
+		}
+		return
+	}
+	for i := range c.frames {
+		e := &c.frames[i]
+		if e.State != Invalid && g.PageOf(e.Block) == p {
+			e.State = Invalid
+		}
+	}
+}
+
+// Hits and Misses report lookup statistics.
+func (c *Cache) Hits() int64   { return c.hits }
+func (c *Cache) Misses() int64 { return c.misses }

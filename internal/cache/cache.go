@@ -1,0 +1,181 @@
+// Package cache models the per-CPU direct-mapped writeback data caches of
+// the simulated SMP nodes, with MOESI-style states (Modified, Owned,
+// Shared, Invalid; Exclusive is folded into Modified-on-write as in the
+// paper's MBus-like protocol, which supplies cache-to-cache data only for
+// owned blocks).
+//
+// Lines are indexed by an externally supplied index key because the
+// physical address a CPU uses depends on the page's mapping: CC-NUMA pages
+// index by global physical address, S-COMA pages by their page-cache frame
+// address. All CPUs of a node share one mapping, so a node computes the
+// index once and applies it to every peer cache during snooping.
+package cache
+
+import "rnuma/internal/addr"
+
+// State is a cache line's MOESI-style state.
+type State uint8
+
+const (
+	// Invalid: the line holds no block.
+	Invalid State = iota
+	// Shared: clean, possibly held by other caches.
+	Shared
+	// Owned: dirty but shared within the node; this cache supplies
+	// cache-to-cache transfers and writes back on eviction.
+	Owned
+	// Modified: dirty and exclusive within the node.
+	Modified
+)
+
+// Dirty reports whether the state obliges a writeback on eviction.
+func (s State) Dirty() bool { return s == Owned || s == Modified }
+
+// Valid reports whether the line holds data.
+func (s State) Valid() bool { return s != Invalid }
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Line is one direct-mapped cache line.
+type Line struct {
+	Block   addr.BlockNum
+	State   State
+	Version uint32
+}
+
+// L1 is a direct-mapped writeback data cache.
+type L1 struct {
+	lines []Line
+	mask  uint32
+
+	hits   int64
+	misses int64
+}
+
+// New builds an L1 of the given total size and block size (both bytes,
+// both powers of two).
+func New(bytes, blockBytes int) *L1 {
+	n := bytes / blockBytes
+	if n < 1 {
+		n = 1
+	}
+	return &L1{lines: make([]Line, n), mask: uint32(n - 1)}
+}
+
+// Lines returns the number of lines.
+func (c *L1) Lines() int { return len(c.lines) }
+
+// Index maps an index key (a physical block address) to a set index.
+func (c *L1) Index(key uint32) int { return int(key & c.mask) }
+
+// Lookup returns the line's state and version if the block is resident at
+// the given index, or Invalid otherwise.
+func (c *L1) Lookup(idx int, b addr.BlockNum) (State, uint32) {
+	ln := &c.lines[idx]
+	if ln.State != Invalid && ln.Block == b {
+		c.hits++
+		return ln.State, ln.Version
+	}
+	c.misses++
+	return Invalid, 0
+}
+
+// Probe is Lookup without touching hit/miss statistics (used by snooping).
+func (c *L1) Probe(idx int, b addr.BlockNum) (State, uint32) {
+	ln := &c.lines[idx]
+	if ln.State != Invalid && ln.Block == b {
+		return ln.State, ln.Version
+	}
+	return Invalid, 0
+}
+
+// Fill installs a block at idx with the given state and version, returning
+// the victim line if a valid different block was displaced.
+func (c *L1) Fill(idx int, b addr.BlockNum, st State, ver uint32) (victim Line, evicted bool) {
+	ln := &c.lines[idx]
+	if ln.State != Invalid && ln.Block != b {
+		victim, evicted = *ln, true
+	}
+	ln.Block = b
+	ln.State = st
+	ln.Version = ver
+	return victim, evicted
+}
+
+// SetState rewrites the state of a resident block; it is a no-op if the
+// block is not resident at idx.
+func (c *L1) SetState(idx int, b addr.BlockNum, st State) {
+	ln := &c.lines[idx]
+	if ln.State != Invalid && ln.Block == b {
+		ln.State = st
+	}
+}
+
+// SetVersion updates the version of a resident block (a write hit).
+func (c *L1) SetVersion(idx int, b addr.BlockNum, ver uint32) {
+	ln := &c.lines[idx]
+	if ln.State != Invalid && ln.Block == b {
+		ln.Version = ver
+	}
+}
+
+// Invalidate removes the block if resident at idx, returning its prior
+// line content.
+func (c *L1) Invalidate(idx int, b addr.BlockNum) (Line, bool) {
+	ln := &c.lines[idx]
+	if ln.State != Invalid && ln.Block == b {
+		old := *ln
+		ln.State = Invalid
+		return old, true
+	}
+	return Line{}, false
+}
+
+// FindPage scans for resident blocks of the given page and returns copies
+// of their lines (used for page flushes, where the mapping — and hence the
+// index key — is being destroyed).
+func (c *L1) FindPage(g addr.Geometry, p addr.PageNum) []Line {
+	var out []Line
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if ln.State != Invalid && g.PageOf(ln.Block) == p {
+			out = append(out, *ln)
+		}
+	}
+	return out
+}
+
+// InvalidatePage removes all resident blocks of the page.
+func (c *L1) InvalidatePage(g addr.Geometry, p addr.PageNum) {
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if ln.State != Invalid && g.PageOf(ln.Block) == p {
+			ln.State = Invalid
+		}
+	}
+}
+
+// Hits and Misses report the lookup statistics.
+func (c *L1) Hits() int64   { return c.hits }
+func (c *L1) Misses() int64 { return c.misses }
+
+// Reset clears all lines and statistics.
+func (c *L1) Reset() {
+	for i := range c.lines {
+		c.lines[i] = Line{}
+	}
+	c.hits, c.misses = 0, 0
+}

@@ -1,0 +1,241 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rnuma/internal/addr"
+)
+
+func newTest() *L1 { return New(8<<10, 32) } // paper base: 8-KB, 32-B blocks
+
+func TestSizing(t *testing.T) {
+	c := newTest()
+	if c.Lines() != 256 {
+		t.Errorf("8K/32B = %d lines, want 256", c.Lines())
+	}
+}
+
+func TestFillLookup(t *testing.T) {
+	c := newTest()
+	b := addr.BlockNum(1000)
+	idx := c.Index(uint32(b))
+	if st, _ := c.Lookup(idx, b); st != Invalid {
+		t.Fatal("empty cache should miss")
+	}
+	c.Fill(idx, b, Shared, 7)
+	st, ver := c.Lookup(idx, b)
+	if st != Shared || ver != 7 {
+		t.Errorf("lookup = (%v,%d), want (S,7)", st, ver)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", c.Hits(), c.Misses())
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := newTest()
+	a := addr.BlockNum(5)
+	b := addr.BlockNum(5 + 256) // same set in a 256-line direct-mapped cache
+	idx := c.Index(uint32(a))
+	if idx != c.Index(uint32(b)) {
+		t.Fatal("test blocks should conflict")
+	}
+	c.Fill(idx, a, Modified, 1)
+	victim, ev := c.Fill(idx, b, Shared, 2)
+	if !ev {
+		t.Fatal("conflicting fill should evict")
+	}
+	if victim.Block != a || victim.State != Modified || victim.Version != 1 {
+		t.Errorf("victim = %+v", victim)
+	}
+	if st, _ := c.Lookup(idx, a); st != Invalid {
+		t.Error("evicted block still resident")
+	}
+}
+
+func TestFillSameBlockNoEviction(t *testing.T) {
+	c := newTest()
+	b := addr.BlockNum(9)
+	idx := c.Index(uint32(b))
+	c.Fill(idx, b, Shared, 1)
+	if _, ev := c.Fill(idx, b, Modified, 2); ev {
+		t.Error("refilling the same block must not report an eviction")
+	}
+	st, ver := c.Lookup(idx, b)
+	if st != Modified || ver != 2 {
+		t.Errorf("after refill: (%v,%d)", st, ver)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := newTest()
+	b := addr.BlockNum(3)
+	idx := c.Index(uint32(b))
+	c.Fill(idx, b, Owned, 4)
+	old, found := c.Invalidate(idx, b)
+	if !found || old.State != Owned || old.Version != 4 {
+		t.Errorf("invalidate = (%+v,%v)", old, found)
+	}
+	if _, found := c.Invalidate(idx, b); found {
+		t.Error("double invalidate should not find the block")
+	}
+	// Invalidate of a different block at the same index is a no-op.
+	c.Fill(idx, b, Shared, 1)
+	if _, found := c.Invalidate(idx, b+256); found {
+		t.Error("invalidate must match the block identity")
+	}
+}
+
+func TestSetStateAndVersion(t *testing.T) {
+	c := newTest()
+	b := addr.BlockNum(77)
+	idx := c.Index(uint32(b))
+	c.Fill(idx, b, Modified, 1)
+	c.SetState(idx, b, Shared)
+	c.SetVersion(idx, b, 9)
+	st, ver := c.Probe(idx, b)
+	if st != Shared || ver != 9 {
+		t.Errorf("after set: (%v,%d)", st, ver)
+	}
+	// No-ops on absent blocks.
+	c.SetState(idx, b+256, Modified)
+	c.SetVersion(idx, b+256, 5)
+	if st, _ := c.Probe(idx, b); st != Shared {
+		t.Error("setting an absent block must not disturb the resident one")
+	}
+}
+
+func TestStateDirtyValid(t *testing.T) {
+	if Invalid.Dirty() || Shared.Dirty() || !Owned.Dirty() || !Modified.Dirty() {
+		t.Error("dirty states are O and M")
+	}
+	if Invalid.Valid() || !Shared.Valid() || !Owned.Valid() || !Modified.Valid() {
+		t.Error("valid states are S, O, M")
+	}
+	for _, s := range []State{Invalid, Shared, Owned, Modified} {
+		if s.String() == "?" {
+			t.Errorf("state %d lacks a name", s)
+		}
+	}
+}
+
+func TestFindPageAndInvalidatePage(t *testing.T) {
+	g := addr.Default
+	c := newTest()
+	page := addr.PageNum(3)
+	for off := 0; off < 5; off++ {
+		b := g.BlockOf(page, off)
+		c.Fill(c.Index(uint32(b)), b, Shared, uint32(off))
+	}
+	other := g.BlockOf(addr.PageNum(8), 0) // page 8 block 0 -> index 0, clear of page 3's lines
+	c.Fill(c.Index(uint32(other)), other, Modified, 99)
+	lines := c.FindPage(g, page)
+	if len(lines) != 5 {
+		t.Fatalf("FindPage = %d lines, want 5", len(lines))
+	}
+	c.InvalidatePage(g, page)
+	if got := c.FindPage(g, page); len(got) != 0 {
+		t.Errorf("page still resident after InvalidatePage: %d lines", len(got))
+	}
+	if st, _ := c.Probe(c.Index(uint32(other)), other); st != Modified {
+		t.Error("InvalidatePage must not disturb other pages")
+	}
+}
+
+func TestProbeDoesNotCountStats(t *testing.T) {
+	c := newTest()
+	b := addr.BlockNum(1)
+	idx := c.Index(uint32(b))
+	c.Probe(idx, b)
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Error("probe must not touch statistics")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := newTest()
+	b := addr.BlockNum(1)
+	idx := c.Index(uint32(b))
+	c.Fill(idx, b, Shared, 1)
+	c.Lookup(idx, b)
+	c.Reset()
+	if st, _ := c.Probe(idx, b); st != Invalid {
+		t.Error("reset should invalidate lines")
+	}
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Error("reset should clear statistics")
+	}
+}
+
+// TestIndexCoversAllLines: the index function maps the key space uniformly
+// onto all lines.
+func TestIndexCoversAllLines(t *testing.T) {
+	c := newTest()
+	seen := make(map[int]bool)
+	for k := uint32(0); k < 1024; k++ {
+		seen[c.Index(k)] = true
+	}
+	if len(seen) != c.Lines() {
+		t.Errorf("index covered %d lines, want %d", len(seen), c.Lines())
+	}
+}
+
+// TestSingleResidencyProperty: after any sequence of fills and
+// invalidations, a block is resident in at most one line, and every
+// lookup result matches the last fill of that block.
+func TestSingleResidencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(1<<10, 32) // 32 lines
+		last := make(map[addr.BlockNum]uint32)
+		resident := make(map[addr.BlockNum]bool)
+		for op := 0; op < 500; op++ {
+			b := addr.BlockNum(rng.Intn(128))
+			idx := c.Index(uint32(b))
+			switch rng.Intn(3) {
+			case 0:
+				v := rng.Uint32()
+				victim, ev := c.Fill(idx, b, Shared, v)
+				if ev {
+					delete(resident, victim.Block)
+				}
+				last[b] = v
+				resident[b] = true
+			case 1:
+				if _, found := c.Invalidate(idx, b); found {
+					delete(resident, b)
+				}
+			case 2:
+				st, ver := c.Probe(idx, b)
+				if resident[b] {
+					if st == Invalid || ver != last[b] {
+						return false
+					}
+				} else if st != Invalid {
+					return false
+				}
+			}
+		}
+		// Count residency by scanning all indices.
+		count := make(map[addr.BlockNum]int)
+		for k := 0; k < 32; k++ {
+			for b := range resident {
+				if st, _ := c.Probe(k, b); st != Invalid {
+					count[b]++
+				}
+			}
+		}
+		for b, n := range count {
+			if n > 1 {
+				_ = b
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

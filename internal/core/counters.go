@@ -1,0 +1,61 @@
+// Package core implements the paper's primary contribution: the R-NUMA
+// reactive machinery (Section 3.1). Each node's remote access device keeps
+// a per-page refetch counter; when a page's count of capacity/conflict
+// refetches crosses the relocation threshold, the device raises an
+// interrupt and the operating system relocates the page from CC-NUMA to
+// the S-COMA page cache.
+package core
+
+import "rnuma/internal/addr"
+
+// Counters is the per-node set of per-page refetch counters.
+type Counters struct {
+	threshold uint32
+	counts    map[addr.PageNum]uint32
+
+	crossings int64
+	total     int64
+}
+
+// NewCounters builds a counter set with the given relocation threshold.
+// A page is selected for relocation when it accumulates `threshold`
+// refetches (paper: "a page is selected for relocation when it incurs 64
+// capacity or conflict misses in the block cache").
+func NewCounters(threshold int) *Counters {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Counters{threshold: uint32(threshold), counts: make(map[addr.PageNum]uint32)}
+}
+
+// Threshold returns the relocation threshold T.
+func (c *Counters) Threshold() int { return int(c.threshold) }
+
+// Record counts one refetch against the page and reports whether the count
+// just reached the threshold (the relocation interrupt).
+func (c *Counters) Record(p addr.PageNum) (crossed bool) {
+	c.total++
+	n := c.counts[p] + 1
+	c.counts[p] = n
+	if n == c.threshold {
+		c.crossings++
+		return true
+	}
+	return false
+}
+
+// Count returns the page's current refetch count.
+func (c *Counters) Count(p addr.PageNum) int { return int(c.counts[p]) }
+
+// Reset clears a page's counter (after relocation, or when the page is
+// unmapped and its next mapping starts fresh).
+func (c *Counters) Reset(p addr.PageNum) { delete(c.counts, p) }
+
+// Crossings reports how many relocation interrupts were raised.
+func (c *Counters) Crossings() int64 { return c.crossings }
+
+// Total reports all refetches recorded.
+func (c *Counters) Total() int64 { return c.total }
+
+// Pages reports how many pages currently have nonzero counters.
+func (c *Counters) Pages() int { return len(c.counts) }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rnuma/internal/addr"
+)
+
+func TestThresholdCrossing(t *testing.T) {
+	c := NewCounters(3)
+	p := addr.PageNum(9)
+	if c.Record(p) {
+		t.Error("crossed at count 1")
+	}
+	if c.Record(p) {
+		t.Error("crossed at count 2")
+	}
+	if !c.Record(p) {
+		t.Error("did not cross at count 3 (threshold)")
+	}
+	// Counting past the threshold does not re-raise the interrupt: the OS
+	// relocates the page (and resets) exactly once per crossing.
+	if c.Record(p) {
+		t.Error("crossed again at count 4")
+	}
+	if c.Count(p) != 4 {
+		t.Errorf("count = %d, want 4", c.Count(p))
+	}
+	if c.Crossings() != 1 {
+		t.Errorf("crossings = %d, want 1", c.Crossings())
+	}
+}
+
+func TestResetStartsFresh(t *testing.T) {
+	c := NewCounters(2)
+	p := addr.PageNum(1)
+	c.Record(p)
+	c.Record(p) // crossed
+	c.Reset(p)
+	if c.Count(p) != 0 {
+		t.Error("reset did not clear the count")
+	}
+	if c.Record(p) {
+		t.Error("crossed immediately after reset")
+	}
+	if !c.Record(p) {
+		t.Error("second refetch after reset should cross again")
+	}
+	if c.Crossings() != 2 {
+		t.Errorf("crossings = %d, want 2", c.Crossings())
+	}
+}
+
+func TestPerPageIndependence(t *testing.T) {
+	c := NewCounters(2)
+	c.Record(1)
+	if c.Record(2) {
+		t.Error("page 2 crossed from page 1's count")
+	}
+	if !c.Record(1) {
+		t.Error("page 1 should cross at its own 2nd refetch")
+	}
+	if c.Pages() != 2 {
+		t.Errorf("pages tracked = %d, want 2", c.Pages())
+	}
+	if c.Total() != 3 {
+		t.Errorf("total = %d, want 3", c.Total())
+	}
+}
+
+func TestDefaultThresholdFloor(t *testing.T) {
+	c := NewCounters(0) // degenerate: clamp to 1
+	if c.Threshold() != 1 {
+		t.Errorf("threshold = %d, want 1", c.Threshold())
+	}
+	if !c.Record(5) {
+		t.Error("threshold-1 counters must cross on the first refetch")
+	}
+}
+
+// TestCrossingExactlyOncePerTReset: for any threshold T, a page crosses
+// exactly once per T consecutive refetches when reset after each crossing
+// (the machine's relocation discipline).
+func TestCrossingExactlyOncePerTReset(t *testing.T) {
+	f := func(tRaw uint8, nRaw uint16) bool {
+		T := int(tRaw)%64 + 1
+		n := int(nRaw) % 2000
+		c := NewCounters(T)
+		crossings := 0
+		for i := 0; i < n; i++ {
+			if c.Record(7) {
+				crossings++
+				c.Reset(7)
+			}
+		}
+		return crossings == n/T
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package directory implements the full-map, non-notifying directory
+// coherence protocol shared by all three designs (paper Section 2), plus
+// the refetch-detection machinery R-NUMA relies on (Section 3.1).
+//
+// Each block has a home node (derived from its page). The directory entry
+// tracks the sharer set, an optional exclusive owner, the version of the
+// data held at home memory, and the per-node "previously held" bits that
+// make refetch detection work:
+//
+//   - Read-only copies are dropped silently by nodes (non-notifying), so
+//     the sharer bit simply remains set; a later fetch request from a node
+//     whose bit is still set is, by definition, a capacity/conflict
+//     refetch.
+//   - Read-write copies are written back on eviction; the voluntary
+//     writeback sets the node's previously-held bit, so a later fetch is
+//     again recognized as a refetch.
+//   - Coherence invalidations clear both bits, so invalidation misses are
+//     never misclassified as refetches. A write by any node clears all
+//     previously-held bits: once the data changes, an absent node's next
+//     miss is a coherence miss, not a capacity miss.
+//
+// Directory transactions are atomic: state transitions complete at the
+// event instant while the machine accounts their latency, which keeps the
+// protocol free of transient states and makes its invariants directly
+// checkable (see the Check method).
+package directory
+
+import (
+	"fmt"
+
+	"rnuma/internal/addr"
+)
+
+// Entry is the directory state for one block.
+type Entry struct {
+	Sharers  uint32      // bitmask of nodes holding (as far as home knows) a copy
+	Owner    addr.NodeID // exclusive owner, or addr.NoNode
+	PrevHeld uint32      // nodes that voluntarily dropped a copy since the last write
+	Version  uint32      // version of the data held at home memory
+}
+
+func bit(n addr.NodeID) uint32 { return 1 << uint(n) }
+
+// Dir is the machine-wide directory (logically distributed across homes;
+// the home node of a block is a property of its page, held by the machine).
+type Dir struct {
+	entries map[addr.BlockNum]*Entry
+	nodes   int
+}
+
+// New builds a directory for a machine with the given node count.
+func New(nodes int) *Dir {
+	return &Dir{entries: make(map[addr.BlockNum]*Entry), nodes: nodes}
+}
+
+// Entry returns the entry for a block, creating it on first touch.
+func (d *Dir) Entry(b addr.BlockNum) *Entry {
+	e, ok := d.entries[b]
+	if !ok {
+		e = &Entry{Owner: addr.NoNode}
+		d.entries[b] = e
+	}
+	return e
+}
+
+// Peek returns the entry without creating it.
+func (d *Dir) Peek(b addr.BlockNum) (*Entry, bool) {
+	e, ok := d.entries[b]
+	return e, ok
+}
+
+// Blocks returns how many blocks have directory state.
+func (d *Dir) Blocks() int { return len(d.entries) }
+
+// FetchResult describes the actions a fetch triggered.
+type FetchResult struct {
+	// Refetch is true when the requester previously held the block and
+	// lost it to a capacity/conflict eviction rather than an invalidation.
+	Refetch bool
+	// FromOwner is the previous exclusive owner that must supply (and, for
+	// reads, downgrade; for writes, invalidate) its dirty copy, or NoNode
+	// if home memory supplies the data.
+	FromOwner addr.NodeID
+	// Invalidate lists the other nodes whose copies a write must destroy
+	// (excludes FromOwner, which is already being handled).
+	Invalidate []addr.NodeID
+}
+
+// Fetch processes a data request from a node that does not currently hold
+// the block. exclusive requests write permission. The machine must then
+// move data/versions according to the result and call SetHomeVersion if
+// the owner's dirty data lands at home.
+func (d *Dir) Fetch(b addr.BlockNum, requester addr.NodeID, exclusive bool) FetchResult {
+	e := d.Entry(b)
+	var res FetchResult
+	res.FromOwner = addr.NoNode
+	res.Refetch = (e.Sharers|e.PrevHeld)&bit(requester) != 0
+
+	if e.Owner != addr.NoNode && e.Owner != requester {
+		res.FromOwner = e.Owner
+	}
+
+	if exclusive {
+		for n := addr.NodeID(0); int(n) < d.nodes; n++ {
+			if n == requester || n == res.FromOwner {
+				continue
+			}
+			if e.Sharers&bit(n) != 0 {
+				res.Invalidate = append(res.Invalidate, n)
+			}
+		}
+		e.Sharers = bit(requester)
+		e.Owner = requester
+		// The write makes every absent node's next miss a coherence miss.
+		e.PrevHeld = 0
+	} else {
+		if res.FromOwner != addr.NoNode {
+			// Owner downgrades to shared; its dirty data is written home
+			// by the machine (SetHomeVersion).
+			e.Sharers |= bit(res.FromOwner)
+		}
+		e.Owner = addr.NoNode
+		e.Sharers |= bit(requester)
+		e.PrevHeld &^= bit(requester)
+	}
+	return res
+}
+
+// Upgrade processes a write-permission request from a node that still
+// holds a read-only copy (no data transfer, never a refetch). It returns
+// the nodes to invalidate.
+func (d *Dir) Upgrade(b addr.BlockNum, requester addr.NodeID) []addr.NodeID {
+	e := d.Entry(b)
+	var inval []addr.NodeID
+	for n := addr.NodeID(0); int(n) < d.nodes; n++ {
+		if n == requester {
+			continue
+		}
+		if e.Sharers&bit(n) != 0 || e.Owner == n {
+			inval = append(inval, n)
+		}
+	}
+	e.Sharers = bit(requester)
+	e.Owner = requester
+	e.PrevHeld = 0
+	return inval
+}
+
+// WritebackVoluntary records a node's capacity/conflict eviction of a
+// dirty block: the data returns home and the node is remembered as having
+// previously held the block (enabling refetch detection for read-write
+// data, the paper's extra directory state).
+func (d *Dir) WritebackVoluntary(b addr.BlockNum, node addr.NodeID, version uint32) {
+	e := d.Entry(b)
+	if e.Owner == node {
+		e.Owner = addr.NoNode
+	}
+	e.Sharers &^= bit(node)
+	e.PrevHeld |= bit(node)
+	e.Version = version
+}
+
+// DropShared records a node flushing a clean read-only copy during a page
+// operation. The protocol is non-notifying for read-only data, so this
+// intentionally leaves the sharer bit set: the next fetch from this node
+// is a refetch, exactly the semantics Section 3.1 describes.
+func (d *Dir) DropShared(b addr.BlockNum, node addr.NodeID) {
+	// No state change: non-notifying.
+	_ = b
+	_ = node
+}
+
+// SetHomeVersion records dirty data arriving at home (owner downgrade or
+// three-hop forward).
+func (d *Dir) SetHomeVersion(b addr.BlockNum, version uint32) {
+	d.Entry(b).Version = version
+}
+
+// HomeVersion returns the version stored at home memory.
+func (d *Dir) HomeVersion(b addr.BlockNum) uint32 {
+	if e, ok := d.entries[b]; ok {
+		return e.Version
+	}
+	return 0
+}
+
+// ClearNode removes a node from a block's sharer/owner sets without
+// setting previously-held state (used when an invalidation and a local
+// flush race in page operations; the bits must not fake a refetch).
+func (d *Dir) ClearNode(b addr.BlockNum, node addr.NodeID) {
+	e := d.Entry(b)
+	e.Sharers &^= bit(node)
+	e.PrevHeld &^= bit(node)
+	if e.Owner == node {
+		e.Owner = addr.NoNode
+	}
+}
+
+// Check verifies the directory invariants for every entry:
+//
+//  1. an exclusive owner implies the sharer set is exactly the owner,
+//  2. previously-held bits are disjoint from the sharer set, except that
+//     a sharer bit may persist for silently dropped read-only copies
+//     (which is why rule 2 applies only to owned blocks),
+//  3. owner ids are within range.
+//
+// It returns the first violation found.
+func (d *Dir) Check() error {
+	for b, e := range d.entries {
+		if e.Owner != addr.NoNode {
+			if int(e.Owner) < 0 || int(e.Owner) >= d.nodes {
+				return fmt.Errorf("directory: block %d owner %d out of range", b, e.Owner)
+			}
+			if e.Sharers != bit(e.Owner) {
+				return fmt.Errorf("directory: block %d owned by %d but sharers=%b", b, e.Owner, e.Sharers)
+			}
+			if e.PrevHeld&bit(e.Owner) != 0 {
+				return fmt.Errorf("directory: block %d owner %d also in prevHeld", b, e.Owner)
+			}
+		}
+		if e.Sharers>>uint(d.nodes) != 0 {
+			return fmt.Errorf("directory: block %d sharer bits beyond %d nodes: %b", b, d.nodes, e.Sharers)
+		}
+	}
+	return nil
+}

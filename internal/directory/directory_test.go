@@ -1,0 +1,265 @@
+package directory
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rnuma/internal/addr"
+)
+
+func TestColdReadNotRefetch(t *testing.T) {
+	d := New(8)
+	res := d.Fetch(1, 0, false)
+	if res.Refetch {
+		t.Error("cold miss classified as refetch")
+	}
+	if res.FromOwner != addr.NoNode || len(res.Invalidate) != 0 {
+		t.Errorf("cold read triggered actions: %+v", res)
+	}
+	e := d.Entry(1)
+	if e.Sharers != 1 || e.Owner != addr.NoNode {
+		t.Errorf("after read: %+v", e)
+	}
+}
+
+// TestSilentDropRefetch: the core of Section 3.1 for read-only data — a
+// node that silently drops a clean copy and fetches again is refetching.
+func TestSilentDropRefetch(t *testing.T) {
+	d := New(8)
+	d.Fetch(1, 3, false)
+	// Node 3 silently drops (non-notifying): no directory call at all.
+	res := d.Fetch(1, 3, false)
+	if !res.Refetch {
+		t.Error("re-fetch after silent drop not classified as refetch")
+	}
+}
+
+// TestVoluntaryWritebackRefetch: the read-write case — a node that evicted
+// a dirty block (voluntary writeback) and fetches again is refetching.
+func TestVoluntaryWritebackRefetch(t *testing.T) {
+	d := New(8)
+	d.Fetch(1, 3, true) // node 3 takes the block exclusive
+	d.WritebackVoluntary(1, 3, 7)
+	e := d.Entry(1)
+	if e.Owner != addr.NoNode || e.Sharers != 0 || e.PrevHeld != 1<<3 || e.Version != 7 {
+		t.Fatalf("after voluntary writeback: %+v", e)
+	}
+	res := d.Fetch(1, 3, false)
+	if !res.Refetch {
+		t.Error("re-fetch after voluntary writeback not a refetch")
+	}
+	if d.Entry(1).PrevHeld != 0 {
+		t.Error("prevHeld not cleared by the re-fetch")
+	}
+}
+
+// TestInvalidationClearsRefetchState: a coherence miss must never count
+// as a refetch — a write by another node clears both sharer and
+// previously-held state.
+func TestInvalidationClearsRefetchState(t *testing.T) {
+	d := New(8)
+	d.Fetch(1, 3, false) // node 3 reads
+	d.Fetch(1, 2, true)  // node 2 writes: node 3 invalidated
+	res := d.Fetch(1, 3, false)
+	if res.Refetch {
+		t.Error("invalidation miss misclassified as refetch")
+	}
+}
+
+// TestWriteClearsAllPrevHeld: after any write, every node's next miss is a
+// coherence miss.
+func TestWriteClearsAllPrevHeld(t *testing.T) {
+	d := New(8)
+	d.Fetch(1, 3, true)
+	d.WritebackVoluntary(1, 3, 1) // prevHeld{3}
+	d.Fetch(1, 2, true)           // write by node 2
+	res := d.Fetch(1, 3, false)
+	if res.Refetch {
+		t.Error("node 3's miss after node 2's write is a coherence miss, not a refetch")
+	}
+}
+
+func TestReadFromDirtyOwner(t *testing.T) {
+	d := New(8)
+	d.Fetch(1, 2, true) // node 2 owns
+	res := d.Fetch(1, 5, false)
+	if res.FromOwner != 2 {
+		t.Errorf("FromOwner = %d, want 2", res.FromOwner)
+	}
+	e := d.Entry(1)
+	if e.Owner != addr.NoNode {
+		t.Error("owner not cleared by downgrade")
+	}
+	if e.Sharers != (1<<2)|(1<<5) {
+		t.Errorf("sharers = %b, want nodes 2 and 5", e.Sharers)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	d := New(8)
+	d.Fetch(1, 0, false)
+	d.Fetch(1, 3, false)
+	d.Fetch(1, 5, false)
+	res := d.Fetch(1, 3, true)
+	if len(res.Invalidate) != 2 {
+		t.Fatalf("invalidations = %v, want nodes 0 and 5", res.Invalidate)
+	}
+	got := map[addr.NodeID]bool{}
+	for _, n := range res.Invalidate {
+		got[n] = true
+	}
+	if !got[0] || !got[5] || got[3] {
+		t.Errorf("invalidate set = %v", res.Invalidate)
+	}
+	e := d.Entry(1)
+	if e.Owner != 3 || e.Sharers != 1<<3 {
+		t.Errorf("after write: %+v", e)
+	}
+}
+
+func TestWriteFromDirtyOwnerForwards(t *testing.T) {
+	d := New(8)
+	d.Fetch(1, 2, true)
+	res := d.Fetch(1, 6, true)
+	if res.FromOwner != 2 {
+		t.Errorf("FromOwner = %d, want 2", res.FromOwner)
+	}
+	// Owner is handled by forwarding, not by the invalidation list.
+	for _, n := range res.Invalidate {
+		if n == 2 {
+			t.Error("owner also in invalidate list")
+		}
+	}
+	e := d.Entry(1)
+	if e.Owner != 6 || e.Sharers != 1<<6 {
+		t.Errorf("after owner-to-owner transfer: %+v", e)
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	d := New(8)
+	d.Fetch(1, 1, false)
+	d.Fetch(1, 4, false)
+	inval := d.Upgrade(1, 4)
+	if len(inval) != 1 || inval[0] != 1 {
+		t.Errorf("upgrade invalidations = %v, want [1]", inval)
+	}
+	e := d.Entry(1)
+	if e.Owner != 4 || e.Sharers != 1<<4 || e.PrevHeld != 0 {
+		t.Errorf("after upgrade: %+v", e)
+	}
+}
+
+func TestHomeVersion(t *testing.T) {
+	d := New(4)
+	if d.HomeVersion(9) != 0 {
+		t.Error("untouched block should have version 0")
+	}
+	d.SetHomeVersion(9, 42)
+	if d.HomeVersion(9) != 42 {
+		t.Error("version not stored")
+	}
+}
+
+func TestClearNode(t *testing.T) {
+	d := New(4)
+	d.Fetch(1, 2, true)
+	d.ClearNode(1, 2)
+	e := d.Entry(1)
+	if e.Owner != addr.NoNode || e.Sharers != 0 || e.PrevHeld != 0 {
+		t.Errorf("after clear: %+v", e)
+	}
+	res := d.Fetch(1, 2, false)
+	if res.Refetch {
+		t.Error("ClearNode must not arm refetch detection")
+	}
+}
+
+func TestCheckInvariants(t *testing.T) {
+	d := New(4)
+	d.Fetch(1, 0, false)
+	d.Fetch(1, 1, false)
+	d.Fetch(2, 3, true)
+	if err := d.Check(); err != nil {
+		t.Errorf("legal states flagged: %v", err)
+	}
+	// Corrupt: owner with extra sharers.
+	e := d.Entry(2)
+	e.Sharers |= 1 << 1
+	if err := d.Check(); err == nil {
+		t.Error("owner+extra sharer not flagged")
+	}
+	e.Sharers = 1 << 3
+	e.PrevHeld = 1 << 3
+	if err := d.Check(); err == nil {
+		t.Error("owner in prevHeld not flagged")
+	}
+}
+
+func TestPeekAndBlocks(t *testing.T) {
+	d := New(4)
+	if _, ok := d.Peek(5); ok {
+		t.Error("peek created an entry")
+	}
+	d.Fetch(5, 0, false)
+	if _, ok := d.Peek(5); !ok {
+		t.Error("peek missed an existing entry")
+	}
+	if d.Blocks() != 1 {
+		t.Errorf("blocks = %d, want 1", d.Blocks())
+	}
+}
+
+// TestRandomTrafficInvariants drives random protocol traffic and checks
+// the directory invariants continuously, plus the refetch-soundness
+// property: a fetch is a refetch only if the node previously fetched the
+// block and no other node wrote it in between.
+func TestRandomTrafficInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nodes = 4
+		d := New(nodes)
+		// holds[b][n]: whether node n fetched b and wasn't invalidated.
+		type key struct {
+			b addr.BlockNum
+			n addr.NodeID
+		}
+		everHeld := map[key]bool{}
+		for op := 0; op < 800; op++ {
+			b := addr.BlockNum(rng.Intn(8))
+			n := addr.NodeID(rng.Intn(nodes))
+			switch rng.Intn(3) {
+			case 0: // read
+				res := d.Fetch(b, n, false)
+				if res.Refetch && !everHeld[key{b, n}] {
+					return false // refetch without prior possession
+				}
+				everHeld[key{b, n}] = true
+			case 1: // write
+				res := d.Fetch(b, n, true)
+				if res.Refetch && !everHeld[key{b, n}] {
+					return false
+				}
+				// All other nodes lose their copies and their history.
+				for i := addr.NodeID(0); i < nodes; i++ {
+					if i != n {
+						everHeld[key{b, i}] = false
+					}
+				}
+				everHeld[key{b, n}] = true
+			case 2: // voluntary writeback if owner
+				if e := d.Entry(b); e.Owner == n {
+					d.WritebackVoluntary(b, n, rng.Uint32())
+				}
+			}
+			if d.Check() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

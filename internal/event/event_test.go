@@ -1,0 +1,164 @@
+package event
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceUncontended(t *testing.T) {
+	var r Resource
+	if start := r.Acquire(100, 10); start != 100 {
+		t.Errorf("uncontended acquire at 100 started at %d", start)
+	}
+	if r.NextFree() != 110 {
+		t.Errorf("next free = %d, want 110", r.NextFree())
+	}
+	if r.WaitCycles() != 0 {
+		t.Errorf("wait = %d, want 0", r.WaitCycles())
+	}
+}
+
+func TestResourceQueueing(t *testing.T) {
+	var r Resource
+	r.Acquire(100, 10)
+	start := r.Acquire(105, 10) // arrives while busy
+	if start != 110 {
+		t.Errorf("queued acquire started at %d, want 110", start)
+	}
+	if r.WaitCycles() != 5 {
+		t.Errorf("wait = %d, want 5", r.WaitCycles())
+	}
+	// Arriving after idle: no wait.
+	start = r.Acquire(200, 10)
+	if start != 200 {
+		t.Errorf("idle acquire started at %d, want 200", start)
+	}
+	if r.Acquisitions() != 3 {
+		t.Errorf("acquisitions = %d, want 3", r.Acquisitions())
+	}
+	if r.BusyCycles() != 30 {
+		t.Errorf("busy = %d, want 30", r.BusyCycles())
+	}
+}
+
+func TestResourceHold(t *testing.T) {
+	var r Resource
+	if wait := r.Hold(50, 20); wait != 0 {
+		t.Errorf("hold wait = %d, want 0", wait)
+	}
+	if wait := r.Hold(60, 20); wait != 10 {
+		t.Errorf("hold wait = %d, want 10", wait)
+	}
+}
+
+// TestResourceMonotonic: service start times never decrease for
+// non-decreasing arrival times (the FIFO-server property).
+func TestResourceMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var r Resource
+		now, lastStart := int64(0), int64(-1)
+		for i := 0; i < 200; i++ {
+			now += rng.Int63n(20)
+			occ := rng.Int63n(15) + 1
+			start := r.Acquire(now, occ)
+			if start < now || start < lastStart {
+				return false
+			}
+			lastStart = start
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueOrdering(t *testing.T) {
+	var q Queue
+	a := &Actor{ID: 0, Clock: 30}
+	b := &Actor{ID: 1, Clock: 10}
+	c := &Actor{ID: 2, Clock: 20}
+	q.Push(a)
+	q.Push(b)
+	q.Push(c)
+	if got := q.Pop(); got != b {
+		t.Errorf("first pop = actor %d, want 1", got.ID)
+	}
+	if got := q.Peek(); got != c {
+		t.Errorf("peek = actor %d, want 2", got.ID)
+	}
+	if got := q.Pop(); got != c {
+		t.Errorf("second pop = actor %d, want 2", got.ID)
+	}
+	if got := q.Pop(); got != a {
+		t.Errorf("third pop = actor %d, want 0", got.ID)
+	}
+	if q.Pop() != nil {
+		t.Error("empty queue should pop nil")
+	}
+}
+
+func TestQueueTieBreakByID(t *testing.T) {
+	var q Queue
+	a := &Actor{ID: 5, Clock: 10}
+	b := &Actor{ID: 2, Clock: 10}
+	q.Push(a)
+	q.Push(b)
+	if got := q.Pop(); got.ID != 2 {
+		t.Errorf("tie broken toward %d, want lower ID 2", got.ID)
+	}
+}
+
+// TestQueueDrainSorted: popping yields a non-decreasing clock sequence.
+func TestQueueDrainSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		for i := 0; i < 100; i++ {
+			q.Push(&Actor{ID: i, Clock: rng.Int63n(1000)})
+		}
+		last := int64(-1)
+		for q.Len() > 0 {
+			a := q.Pop()
+			if a.Clock < last {
+				return false
+			}
+			last = a.Clock
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	var r Resource
+	r.Acquire(10, 10)
+	r.Reset()
+	if r.NextFree() != 0 || r.BusyCycles() != 0 || r.Acquisitions() != 0 {
+		t.Error("reset did not clear resource state")
+	}
+}
+
+// TestReschedulePattern mimics the machine loop: re-pushing an advanced
+// actor keeps ordering coherent.
+func TestReschedulePattern(t *testing.T) {
+	var q Queue
+	actors := []*Actor{{ID: 0}, {ID: 1}, {ID: 2}}
+	for _, a := range actors {
+		q.Push(a)
+	}
+	steps := map[int]int{}
+	for i := 0; i < 30; i++ {
+		a := q.Pop()
+		steps[a.ID]++
+		a.Clock += int64(10 * (a.ID + 1)) // CPU 0 fastest
+		q.Push(a)
+	}
+	if steps[0] <= steps[2] {
+		t.Errorf("fast actor stepped %d times, slow %d; want fast > slow", steps[0], steps[2])
+	}
+}

@@ -1,0 +1,391 @@
+// Package harness drives the paper's experiments: it instantiates
+// machines, executes workloads, and produces the rows of every table and
+// figure in the evaluation (Section 5). Runs are memoized so figures that
+// share configurations (e.g., the ideal baseline) reuse results.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"rnuma/internal/addr"
+	"rnuma/internal/config"
+	"rnuma/internal/machine"
+	"rnuma/internal/stats"
+	"rnuma/internal/workloads"
+)
+
+// Harness runs experiments at a given workload scale.
+type Harness struct {
+	// Scale multiplies workload iteration counts (1.0 = evaluation size).
+	Scale float64
+	// Log, if non-nil, receives progress lines.
+	Log io.Writer
+
+	cache map[string]cached
+}
+
+type cached struct {
+	run *stats.Run
+	err error
+}
+
+// New builds a harness.
+func New(scale float64) *Harness {
+	return &Harness{Scale: scale, cache: make(map[string]cached)}
+}
+
+func (h *Harness) logf(format string, args ...any) {
+	if h.Log != nil {
+		fmt.Fprintf(h.Log, format+"\n", args...)
+	}
+}
+
+func sysKey(s config.System) string {
+	soft := ""
+	if s.Costs.SoftTrap != config.BaseCosts().SoftTrap {
+		soft = "-soft"
+	}
+	return fmt.Sprintf("%v-bc%d-pc%d-T%d%s", s.Protocol, s.BlockCacheBytes, s.PageCacheBytes, s.Threshold, soft)
+}
+
+// Run executes (with memoization) one application under one system.
+func (h *Harness) Run(appName string, sys config.System) (*stats.Run, error) {
+	key := appName + "|" + sysKey(sys)
+	if c, ok := h.cache[key]; ok {
+		return c.run, c.err
+	}
+	run, err := h.runOnce(appName, sys)
+	h.cache[key] = cached{run, err}
+	return run, err
+}
+
+func (h *Harness) runOnce(appName string, sys config.System) (*stats.Run, error) {
+	app, ok := workloads.ByName(appName)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown application %q", appName)
+	}
+	cfg := workloads.Config{
+		Nodes:       sys.Nodes,
+		CPUsPerNode: sys.CPUsPerNode,
+		Geometry:    sys.Geometry,
+		Scale:       h.Scale,
+	}
+	w := app.Build(cfg)
+	m, err := machine.New(sys, machine.WithHomes(w.Homes))
+	if err != nil {
+		return nil, err
+	}
+	h.logf("running %-9s on %-40s", appName, sys.Name)
+	run, err := m.Run(w.Streams)
+	if err != nil {
+		return nil, err
+	}
+	h.logf("  %s", run.Summary())
+	return run, nil
+}
+
+// Ideal returns the app's run on the normalization baseline (CC-NUMA with
+// an infinite block cache).
+func (h *Harness) Ideal(appName string) (*stats.Run, error) {
+	return h.Run(appName, config.Ideal())
+}
+
+// Normalized returns the app's execution time under sys relative to the
+// ideal machine.
+func (h *Harness) Normalized(appName string, sys config.System) (float64, error) {
+	run, err := h.Run(appName, sys)
+	if err != nil {
+		return 0, err
+	}
+	base, err := h.Ideal(appName)
+	if err != nil {
+		return 0, err
+	}
+	return run.Normalized(base), nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 5: cumulative distribution of refetches over remote pages under
+// CC-NUMA with a 32-KB block cache.
+
+// Fig5Curve is one application's CDF.
+type Fig5Curve struct {
+	App    string
+	Points []stats.CDFPoint
+	// At10/At30 sample the curve at 10% and 30% of remote pages (the
+	// paper's headline observations).
+	At10, At30 float64
+}
+
+// Figure5 computes the refetch CDFs. Applications with no refetches (fft)
+// return an empty curve, matching the paper's omission of fft.
+func (h *Harness) Figure5(apps []string) ([]Fig5Curve, error) {
+	out := make([]Fig5Curve, 0, len(apps))
+	for _, a := range apps {
+		run, err := h.Run(a, config.Base(config.CCNUMA))
+		if err != nil {
+			return nil, err
+		}
+		pts := run.RefetchCDF(int(run.RemotePages))
+		out = append(out, Fig5Curve{
+			App:    a,
+			Points: pts,
+			At10:   stats.CDFAt(pts, 10),
+			At30:   stats.CDFAt(pts, 30),
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Table 4: read-write page refetch fraction in CC-NUMA; R-NUMA refetches
+// and replacements relative to CC-NUMA and S-COMA.
+
+// Table4Row is one application's row.
+type Table4Row struct {
+	App string
+	// RWPagePct: percent of CC-NUMA refetches due to pages with both read
+	// and write sharing traffic.
+	RWPagePct float64
+	// RefetchPct: R-NUMA refetches as a percentage of CC-NUMA's.
+	RefetchPct float64
+	// ReplacementPct: R-NUMA page replacements as a percentage of
+	// S-COMA's.
+	ReplacementPct float64
+}
+
+// Table4 computes the characterization table.
+func (h *Harness) Table4(apps []string) ([]Table4Row, error) {
+	out := make([]Table4Row, 0, len(apps))
+	for _, a := range apps {
+		cc, err := h.Run(a, config.Base(config.CCNUMA))
+		if err != nil {
+			return nil, err
+		}
+		sc, err := h.Run(a, config.Base(config.SCOMA))
+		if err != nil {
+			return nil, err
+		}
+		rn, err := h.Run(a, config.Base(config.RNUMA))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table4Row{
+			App:            a,
+			RWPagePct:      100 * stats.Ratio(cc.RWRefetches, cc.Refetches),
+			RefetchPct:     100 * stats.Ratio(rn.Refetches, cc.Refetches),
+			ReplacementPct: 100 * stats.Ratio(rn.Replacements, sc.Replacements),
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: normalized execution time under the base configurations.
+
+// Fig6Row is one application's three bars.
+type Fig6Row struct {
+	App                       string
+	CCNUMA, SCOMA, RNUMA      float64
+	BestOfBase, RNUMAOverBest float64
+}
+
+// Figure6 computes the base-system comparison.
+func (h *Harness) Figure6(apps []string) ([]Fig6Row, error) {
+	out := make([]Fig6Row, 0, len(apps))
+	for _, a := range apps {
+		cc, err := h.Normalized(a, config.Base(config.CCNUMA))
+		if err != nil {
+			return nil, err
+		}
+		sc, err := h.Normalized(a, config.Base(config.SCOMA))
+		if err != nil {
+			return nil, err
+		}
+		rn, err := h.Normalized(a, config.Base(config.RNUMA))
+		if err != nil {
+			return nil, err
+		}
+		best := cc
+		if sc < best {
+			best = sc
+		}
+		out = append(out, Fig6Row{
+			App: a, CCNUMA: cc, SCOMA: sc, RNUMA: rn,
+			BestOfBase:    best,
+			RNUMAOverBest: rn / best,
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: cache-size sensitivity.
+
+// Fig7Row holds the five configurations of Figure 7 for one application.
+type Fig7Row struct {
+	App       string
+	CC1K      float64 // CC-NUMA, 1-KB block cache
+	CC32K     float64 // CC-NUMA, 32-KB block cache
+	R128p320K float64 // R-NUMA, 128-B block cache, 320-KB page cache
+	R32Kp320K float64 // R-NUMA, 32-KB block cache, 320-KB page cache
+	R128p40M  float64 // R-NUMA, 128-B block cache, 40-MB page cache
+}
+
+// Figure7 computes the cache-size sensitivity study.
+func (h *Harness) Figure7(apps []string) ([]Fig7Row, error) {
+	cc1k := config.Base(config.CCNUMA)
+	cc1k.Name = "CC-NUMA b=1K"
+	cc1k.BlockCacheBytes = 1 << 10
+
+	r32k := config.Base(config.RNUMA)
+	r32k.Name = "R-NUMA b=32K p=320K"
+	r32k.BlockCacheBytes = 32 << 10
+
+	r40m := config.Base(config.RNUMA)
+	r40m.Name = "R-NUMA b=128 p=40M"
+	r40m.PageCacheBytes = 40 << 20
+
+	out := make([]Fig7Row, 0, len(apps))
+	for _, a := range apps {
+		row := Fig7Row{App: a}
+		var err error
+		if row.CC1K, err = h.Normalized(a, cc1k); err != nil {
+			return nil, err
+		}
+		if row.CC32K, err = h.Normalized(a, config.Base(config.CCNUMA)); err != nil {
+			return nil, err
+		}
+		if row.R128p320K, err = h.Normalized(a, config.Base(config.RNUMA)); err != nil {
+			return nil, err
+		}
+		if row.R32Kp320K, err = h.Normalized(a, r32k); err != nil {
+			return nil, err
+		}
+		if row.R128p40M, err = h.Normalized(a, r40m); err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 8: relocation-threshold sensitivity.
+
+// Fig8Thresholds are the paper's threshold values.
+var Fig8Thresholds = []int{16, 64, 256, 1024}
+
+// Fig8Row holds execution times at each threshold normalized to T=64.
+type Fig8Row struct {
+	App string
+	ByT map[int]float64
+}
+
+// Figure8 computes the threshold sensitivity study.
+func (h *Harness) Figure8(apps []string) ([]Fig8Row, error) {
+	out := make([]Fig8Row, 0, len(apps))
+	for _, a := range apps {
+		base, err := h.Run(a, config.Base(config.RNUMA)) // T=64
+		if err != nil {
+			return nil, err
+		}
+		row := Fig8Row{App: a, ByT: make(map[int]float64, len(Fig8Thresholds))}
+		for _, T := range Fig8Thresholds {
+			sys := config.Base(config.RNUMA)
+			sys.Threshold = T
+			sys.Name = fmt.Sprintf("R-NUMA T=%d", T)
+			run, err := h.Run(a, sys)
+			if err != nil {
+				return nil, err
+			}
+			row.ByT[T] = run.Normalized(base)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 9: page-fault and TLB-invalidation overhead sensitivity.
+
+// Fig9Row holds the four systems of Figure 9 normalized to the ideal
+// machine.
+type Fig9Row struct {
+	App                                string
+	SCOMA, SCOMASoft, RNUMA, RNUMASoft float64
+}
+
+// Figure9 computes the overhead sensitivity study (SOFT = 10-µs traps and
+// 5-µs software TLB shootdowns).
+func (h *Harness) Figure9(apps []string) ([]Fig9Row, error) {
+	scSoft := config.Base(config.SCOMA)
+	scSoft.Name = "S-COMA-SOFT"
+	scSoft.Costs = config.SoftCosts()
+
+	rnSoft := config.Base(config.RNUMA)
+	rnSoft.Name = "R-NUMA-SOFT"
+	rnSoft.Costs = config.SoftCosts()
+
+	out := make([]Fig9Row, 0, len(apps))
+	for _, a := range apps {
+		row := Fig9Row{App: a}
+		var err error
+		if row.SCOMA, err = h.Normalized(a, config.Base(config.SCOMA)); err != nil {
+			return nil, err
+		}
+		if row.SCOMASoft, err = h.Normalized(a, scSoft); err != nil {
+			return nil, err
+		}
+		if row.RNUMA, err = h.Normalized(a, config.Base(config.RNUMA)); err != nil {
+			return nil, err
+		}
+		if row.RNUMASoft, err = h.Normalized(a, rnSoft); err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+
+// LuImbalance reports the per-node replacement distribution for lu under
+// S-COMA (Section 5.5: two nodes perform over half the replacements).
+func (h *Harness) LuImbalance() (topTwoShare float64, err error) {
+	run, err := h.Run("lu", config.Base(config.SCOMA))
+	if err != nil {
+		return 0, err
+	}
+	var counts []int64
+	var total int64
+	for _, c := range run.PerNodeReplacements {
+		counts = append(counts, c)
+		total += c
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	var top int64
+	for i := 0; i < 2 && i < len(counts); i++ {
+		top += counts[i]
+	}
+	return float64(top) / float64(total), nil
+}
+
+// AllApps returns the Table 3 application names.
+func AllApps() []string { return workloads.Names() }
+
+// HomesOf is a small helper for tests: builds the workload and returns its
+// homes function.
+func HomesOf(appName string, sys config.System, scale float64) (func(addr.PageNum) addr.NodeID, error) {
+	app, ok := workloads.ByName(appName)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown application %q", appName)
+	}
+	w := app.Build(workloads.Config{Nodes: sys.Nodes, CPUsPerNode: sys.CPUsPerNode, Geometry: sys.Geometry, Scale: scale})
+	return w.Homes, nil
+}

@@ -1,0 +1,267 @@
+// Package machine is the whole-machine simulator: it assembles the nodes,
+// directory, and network model, executes per-CPU reference streams with a
+// conservative discrete-event engine, and implements the protocol flows of
+// CC-NUMA (paper Figure 2b), S-COMA (Figure 3b), and R-NUMA (Figure 4b).
+//
+// The engine always advances the CPU with the globally smallest clock, so
+// resource contention (bus, network interfaces, protocol controllers) is
+// causally consistent at memory-reference granularity. Directory
+// transactions are atomic at the event instant with their latencies
+// accounted into the reference's completion time.
+package machine
+
+import (
+	"fmt"
+
+	"rnuma/internal/addr"
+	"rnuma/internal/config"
+	"rnuma/internal/directory"
+	"rnuma/internal/event"
+	"rnuma/internal/node"
+	"rnuma/internal/stats"
+	"rnuma/internal/trace"
+)
+
+// Machine is one simulated DSM system.
+type Machine struct {
+	sys   config.System
+	g     addr.Geometry
+	bpp   int // blocks per page
+	costs config.Costs
+
+	nodes []*node.Node
+	cpus  []*node.CPU // flattened, indexed by global CPU id
+	dir   *directory.Dir
+
+	homes  map[addr.PageNum]addr.NodeID
+	homeFn func(addr.PageNum) addr.NodeID
+
+	run        *stats.Run
+	remoteSeen map[stats.PageKey]struct{}
+
+	// Sharing-traffic classification for Table 4 (read-write pages).
+	pageReadShared  map[addr.PageNum]bool
+	pageWriteShared map[addr.PageNum]bool
+
+	// naiveCounting is an ablation switch: feed the R-NUMA counters on
+	// every remote fetch instead of only on refetches, deliberately
+	// breaking Section 3.1's capacity-vs-coherence distinction.
+	naiveCounting bool
+
+	// Version model for correctness verification: every write gets a
+	// globally unique version; with verification on, each read must
+	// observe the latest version of its block.
+	nextVersion uint32
+	verify      bool
+	truth       map[addr.BlockNum]uint32
+	verifyErr   error
+}
+
+// Option customizes machine construction.
+type Option func(*Machine)
+
+// WithHomes supplies an explicit page-placement function, modeling a
+// perfectly effective first-touch migration (the workloads know which node
+// touches each page first, so this is equivalent to the paper's user
+// directive without simulating the migration itself).
+func WithHomes(fn func(addr.PageNum) addr.NodeID) Option {
+	return func(m *Machine) { m.homeFn = fn }
+}
+
+// WithVerify enables the sequential-consistency version check: every read
+// must return the version written by the last write to that block. The
+// first violation is recorded and retrievable via Err.
+func WithVerify() Option {
+	return func(m *Machine) {
+		m.verify = true
+		m.truth = make(map[addr.BlockNum]uint32)
+	}
+}
+
+// WithNaiveCounting is an ablation of Section 3.1: the reactive counters
+// are fed by every remote fetch, coherence misses included, instead of by
+// refetches only. Communication pages then cross the threshold and are
+// pointlessly relocated, demonstrating why the paper's refetch distinction
+// matters.
+func WithNaiveCounting() Option {
+	return func(m *Machine) { m.naiveCounting = true }
+}
+
+// New builds a machine for the given system configuration.
+func New(sys config.System, opts ...Option) (*Machine, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		sys:             sys,
+		g:               sys.Geometry,
+		bpp:             sys.Geometry.BlocksPerPage(),
+		costs:           sys.Costs,
+		dir:             directory.New(sys.Nodes),
+		homes:           make(map[addr.PageNum]addr.NodeID),
+		run:             stats.NewRun(),
+		remoteSeen:      make(map[stats.PageKey]struct{}),
+		pageReadShared:  make(map[addr.PageNum]bool),
+		pageWriteShared: make(map[addr.PageNum]bool),
+	}
+	for i := 0; i < sys.Nodes; i++ {
+		nd := node.New(sys, addr.NodeID(i))
+		m.nodes = append(m.nodes, nd)
+		m.cpus = append(m.cpus, nd.CPUs...)
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
+}
+
+// System returns the machine's configuration.
+func (m *Machine) System() config.System { return m.sys }
+
+// Nodes exposes the node array (tests and diagnostics).
+func (m *Machine) Nodes() []*node.Node { return m.nodes }
+
+// Directory exposes the directory (tests and diagnostics).
+func (m *Machine) Directory() *directory.Dir { return m.dir }
+
+// Err returns the first verification failure, if verification was enabled.
+func (m *Machine) Err() error { return m.verifyErr }
+
+// HomeOf returns (and on first touch, assigns) the page's home node.
+func (m *Machine) HomeOf(p addr.PageNum, toucher addr.NodeID) addr.NodeID {
+	if h, ok := m.homes[p]; ok {
+		return h
+	}
+	var h addr.NodeID
+	switch {
+	case m.homeFn != nil:
+		h = m.homeFn(p)
+	case m.sys.FirstTouch:
+		h = toucher
+	default:
+		h = addr.NodeID(uint32(p) % uint32(len(m.nodes)))
+	}
+	m.homes[p] = h
+	return h
+}
+
+// Run executes one stream per CPU to completion and returns the collected
+// statistics. The number of streams must equal the machine's CPU count.
+func (m *Machine) Run(streams []trace.Stream) (*stats.Run, error) {
+	if len(streams) != len(m.cpus) {
+		return nil, fmt.Errorf("machine: %d streams for %d CPUs", len(streams), len(m.cpus))
+	}
+	var q event.Queue
+	var waiting []*node.CPU // CPUs parked at a barrier
+	for i, c := range m.cpus {
+		c.Stream = streams[i]
+		c.Actor.Clock = 0
+		q.Push(&c.Actor)
+	}
+	active := len(m.cpus)
+	release := func() {
+		// All still-running CPUs have reached the barrier: everyone
+		// resumes at the latest arrival time.
+		var maxT int64
+		for _, w := range waiting {
+			if w.Actor.Clock > maxT {
+				maxT = w.Actor.Clock
+			}
+		}
+		for _, w := range waiting {
+			w.Actor.Clock = maxT
+			q.Push(&w.Actor)
+		}
+		waiting = waiting[:0]
+	}
+	for {
+		a := q.Pop()
+		if a == nil {
+			break
+		}
+		c := m.cpus[a.ID]
+		var ref trace.Ref
+		if c.HasPending {
+			ref, c.HasPending = c.Pending, false
+		} else {
+			r, ok := c.Stream.Next()
+			if !ok {
+				c.Done = true
+				c.Finish = a.Clock
+				active--
+				if len(waiting) > 0 && len(waiting) == active {
+					release()
+				}
+				continue
+			}
+			ref = r
+			if ref.Gap > 0 {
+				// The compute gap advances this CPU's clock before the
+				// reference issues; if another CPU is now globally
+				// earlier, defer the reference so events stay causally
+				// ordered.
+				a.Clock += int64(ref.Gap)
+				if top := q.Peek(); top != nil && top.Clock < a.Clock {
+					c.Pending, c.HasPending = ref, true
+					q.Push(a)
+					continue
+				}
+			}
+		}
+		if ref.Barrier {
+			waiting = append(waiting, c)
+			if len(waiting) == active {
+				release()
+			}
+			continue
+		}
+		lat := m.access(c, a.Clock, ref)
+		a.Clock += lat
+		c.Refs++
+		q.Push(a)
+	}
+	m.finalize()
+	return m.run, m.verifyErr
+}
+
+func (m *Machine) finalize() {
+	var exec int64
+	for _, c := range m.cpus {
+		if c.Finish > exec {
+			exec = c.Finish
+		}
+	}
+	m.run.ExecCycles = exec
+	for _, nd := range m.nodes {
+		m.run.BusWaitCycles += nd.Bus.WaitCycles()
+		m.run.NIWaitCycles += nd.NI.WaitCycles()
+		m.run.RADWaitCycles += nd.RAD.Ctl.WaitCycles()
+	}
+	for key, c := range m.run.RefetchByPage {
+		if m.pageReadShared[key.Page] && m.pageWriteShared[key.Page] {
+			m.run.RWRefetches += c
+		}
+	}
+	if m.verify && m.verifyErr == nil {
+		m.verifyErr = m.dir.Check()
+	}
+}
+
+// bumpVersion mints a new version for a write to block b.
+func (m *Machine) bumpVersion(b addr.BlockNum) uint32 {
+	m.nextVersion++
+	if m.verify {
+		m.truth[b] = m.nextVersion
+	}
+	return m.nextVersion
+}
+
+// checkRead validates an observed read version against the truth model.
+func (m *Machine) checkRead(b addr.BlockNum, got uint32, where string) {
+	if !m.verify || m.verifyErr != nil {
+		return
+	}
+	if want := m.truth[b]; got != want {
+		m.verifyErr = fmt.Errorf("machine: stale read of block %d from %s: got version %d want %d", b, where, got, want)
+	}
+}

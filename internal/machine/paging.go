@@ -1,0 +1,266 @@
+package machine
+
+import (
+	"fmt"
+
+	"rnuma/internal/addr"
+	"rnuma/internal/blockcache"
+	"rnuma/internal/cache"
+	"rnuma/internal/config"
+	"rnuma/internal/node"
+	"rnuma/internal/osmodel"
+	"rnuma/internal/pagecache"
+)
+
+// pageFault maps an unmapped remote page. CC-NUMA and R-NUMA map the page
+// CC-NUMA with a soft trap (paper Figures 2b/4b); S-COMA allocates a
+// page-cache frame, replacing a victim if none is free (Figure 3b).
+func (m *Machine) pageFault(nd *node.Node, now int64, page addr.PageNum) int64 {
+	m.run.PageFaults++
+	switch nd.RAD.Protocol {
+	case config.CCNUMA, config.RNUMA:
+		nd.PT.MapCC(page)
+		return m.costs.SoftTrap
+	case config.SCOMA:
+		return m.scomaAllocate(nd, now, page)
+	}
+	panic("machine: unknown protocol")
+}
+
+// scomaAllocate installs an S-COMA mapping for the page, evicting the
+// least-recently-missed victim if the page cache is full. The cost follows
+// Table 2: trap + TLB shootdown + bookkeeping + per-flushed-block work.
+func (m *Machine) scomaAllocate(nd *node.Node, now int64, page addr.PageNum) int64 {
+	pc := nd.RAD.PageCache
+	flushed := 0
+	if pc.FreeFrames() == 0 {
+		flushed = m.replaceVictim(nd, now)
+	}
+	frame := pc.Allocate(page, now)
+	nd.PT.MapSCOMA(page, frame)
+	m.run.Allocations++
+	m.run.TLBShootdowns++
+	m.run.FlushedBlocks += int64(flushed)
+	cost := m.costs.PageOpCost(flushed)
+	// The flush burst occupies the network interface without blocking
+	// progress beyond the page operation itself.
+	nd.NI.Hold(now, int64(flushed)*4)
+	return cost
+}
+
+// replaceVictim evicts the LRM page from the page cache, flushing its
+// blocks home, and returns how many blocks were flushed.
+func (m *Machine) replaceVictim(nd *node.Node, now int64) int {
+	pc := nd.RAD.PageCache
+	vidx, ok := pc.PickVictim()
+	if !ok {
+		panic("machine: page cache full but no victim")
+	}
+	victim := pc.FrameAt(vidx).Page
+	flushed := m.flushSCOMAPage(nd, victim, vidx)
+	pc.Evict(vidx)
+	nd.PT.Unmap(victim)
+	if nd.RAD.Reactive() {
+		// A future remapping starts with a fresh counter (this is what
+		// makes pages "bounce" slowly rather than thrash: a replaced page
+		// must earn T new refetches before it relocates again).
+		nd.RAD.Counters.Reset(victim)
+	}
+	m.run.Replacements++
+	m.run.PerNodeReplacements[nd.ID]++
+	return flushed
+}
+
+// flushSCOMAPage writes a page-cache frame's dirty blocks back to the home
+// node and invalidates the node's L1 copies (the TLB shootdown destroys
+// the local translation). Read-only blocks are dropped silently — the
+// protocol is non-notifying, so the directory keeps the node in the sharer
+// set and a later fetch counts as a refetch, per Section 3.1. It returns
+// the number of blocks written home (the flush cost driver).
+func (m *Machine) flushSCOMAPage(nd *node.Node, page addr.PageNum, frame int) int {
+	pc := nd.RAD.PageCache
+	f := pc.FrameAt(frame)
+	flushed := 0
+	for off := 0; off < m.bpp; off++ {
+		if f.Tags[off] == pagecache.TagInvalid {
+			continue
+		}
+		b := m.g.BlockOf(page, off)
+		idx := m.l1Index(nd, page, b)
+		newest := f.Versions[off]
+		dirty := f.Dirty[off]
+		for _, l1 := range nd.L1s {
+			if st, ver := l1.Probe(idx, b); st.Valid() {
+				if st.Dirty() {
+					newest, dirty = ver, true
+				}
+				l1.Invalidate(idx, b)
+			}
+		}
+		if f.Tags[off] == pagecache.TagReadWrite {
+			// The node owned the block: write it back; the directory
+			// remembers the voluntary drop for refetch detection.
+			m.dir.WritebackVoluntary(b, nd.ID, newest)
+			m.run.WritebacksHome++
+			flushed++
+			_ = dirty
+		} else {
+			m.dir.DropShared(b, nd.ID)
+		}
+	}
+	return flushed
+}
+
+// relocate moves a CC-NUMA page into the S-COMA page cache after its
+// refetch counter crossed the threshold (paper Figure 4b): flush the
+// node's cached blocks of the page, unmap, allocate a frame (replacing a
+// victim if needed), and map S-COMA. Only the blocks the node actually has
+// cached are replicated into the frame, which is why relocation is cheap
+// (Section 5.1).
+func (m *Machine) relocate(nd *node.Node, now int64, page addr.PageNum) int64 {
+	pc := nd.RAD.PageCache
+	var lat int64
+	if pc.FreeFrames() == 0 {
+		flushed := m.replaceVictim(nd, now)
+		m.run.FlushedBlocks += int64(flushed)
+		lat += m.costs.PageOpCost(flushed)
+	}
+
+	// Gather the node's cached blocks of this page: block cache entries
+	// plus any L1 lines (which may be newer).
+	type moved struct {
+		tag   pagecache.TagState
+		dirty bool
+		ver   uint32
+	}
+	blocks := make(map[int]moved)
+	for _, e := range nd.RAD.BlockCache.PageEntries(m.g, page) {
+		t := pagecache.TagReadOnly
+		if e.State == blockcache.ReadWrite {
+			t = pagecache.TagReadWrite
+		}
+		blocks[m.g.OffsetOf(e.Block)] = moved{tag: t, dirty: e.Dirty, ver: e.Version}
+	}
+	for _, l1 := range nd.L1s {
+		for _, ln := range l1.FindPage(m.g, page) {
+			off := m.g.OffsetOf(ln.Block)
+			mv, ok := blocks[off]
+			if !ok {
+				// L1-only copy (read-only block whose block-cache entry
+				// was evicted silently).
+				mv = moved{tag: pagecache.TagReadOnly, ver: ln.Version}
+			}
+			if ln.State.Dirty() {
+				mv.tag, mv.dirty, mv.ver = pagecache.TagReadWrite, true, ln.Version
+			}
+			blocks[off] = mv
+		}
+	}
+
+	frame := pc.Allocate(page, now)
+	for off, mv := range blocks {
+		pc.SetBlock(frame, off, mv.tag, mv.dirty, mv.ver)
+	}
+	nd.RAD.BlockCache.InvalidatePage(m.g, page)
+	for _, l1 := range nd.L1s {
+		l1.InvalidatePage(m.g, page)
+	}
+	nd.PT.Unmap(page)
+	nd.PT.MapSCOMA(page, frame)
+	nd.RAD.Counters.Reset(page)
+
+	m.run.Relocations++
+	m.run.TLBShootdowns++
+	lat += m.costs.PageOpCost(len(blocks))
+	return lat
+}
+
+// demote tears down an S-COMA mapping whose frame shows a pure
+// communication pattern (the DemotionThreshold extension): flush the
+// frame, free it, and remap the page CC-NUMA with a fresh refetch counter.
+func (m *Machine) demote(nd *node.Node, now int64, page addr.PageNum, frame int) int64 {
+	pc := nd.RAD.PageCache
+	flushed := m.flushSCOMAPage(nd, page, frame)
+	pc.Evict(frame)
+	nd.PT.Unmap(page)
+	nd.PT.MapCC(page)
+	nd.RAD.Counters.Reset(page)
+	m.run.Demotions++
+	m.run.TLBShootdowns++
+	m.run.FlushedBlocks += int64(flushed)
+	_ = now
+	return m.costs.PageOpCost(flushed)
+}
+
+// l1Install fills an L1 line and handles the displaced victim: dirty
+// victims write back into the level below (block cache, page cache, or
+// home memory); clean victims drop silently.
+func (m *Machine) l1Install(nd *node.Node, c *node.CPU, idx int, b addr.BlockNum, st cache.State, ver uint32) {
+	victim, ev := nd.L1s[c.Index].Fill(idx, b, st, ver)
+	if ev && victim.State.Dirty() {
+		m.l1Writeback(nd, victim)
+	}
+}
+
+// l1Writeback absorbs a dirty L1 eviction into the node's next level.
+func (m *Machine) l1Writeback(nd *node.Node, v cache.Line) {
+	page := m.g.PageOf(v.Block)
+	home, ok := m.homes[page]
+	if !ok {
+		panic(fmt.Sprintf("machine: writeback for untouched page %d", page))
+	}
+	if home == nd.ID {
+		// Home-local data: the memory array absorbs it. The directory's
+		// owner state for the home node is unaffected; the home version
+		// is now the freshest.
+		m.dir.SetHomeVersion(v.Block, v.Version)
+		return
+	}
+	mp := nd.PT.Lookup(page)
+	switch mp.Kind {
+	case osmodel.MappedCC:
+		// Inclusion for read-write blocks guarantees the block cache
+		// still holds a frame for this block.
+		if !nd.RAD.BlockCache.Update(v.Block, blockcache.ReadWrite, true, v.Version) {
+			if m.verify && m.verifyErr == nil {
+				m.verifyErr = fmt.Errorf("machine: read-write inclusion violated for block %d", v.Block)
+			}
+			m.dir.SetHomeVersion(v.Block, v.Version)
+			m.run.WritebacksHome++
+		}
+	case osmodel.MappedSCOMA:
+		nd.RAD.PageCache.SetBlock(mp.Frame, m.g.OffsetOf(v.Block), pagecache.TagReadWrite, true, v.Version)
+	default:
+		// The page was unmapped while this CPU still cached data; the
+		// flush should have invalidated the line.
+		if m.verify && m.verifyErr == nil {
+			m.verifyErr = fmt.Errorf("machine: dirty L1 line for unmapped page %d", page)
+		}
+		m.dir.SetHomeVersion(v.Block, v.Version)
+	}
+}
+
+// bcEvict handles a block-cache eviction: read-write victims write back to
+// the home (a voluntary writeback, arming refetch detection) and must
+// invalidate L1 copies to preserve inclusion; read-only victims drop
+// silently and L1 copies survive (no inclusion for read-only blocks).
+func (m *Machine) bcEvict(nd *node.Node, now int64, victim blockcache.Entry) {
+	if victim.State != blockcache.ReadWrite {
+		m.dir.DropShared(victim.Block, nd.ID)
+		return
+	}
+	page := m.g.PageOf(victim.Block)
+	idx := m.l1Index(nd, page, victim.Block)
+	newest := victim.Version
+	for _, l1 := range nd.L1s {
+		if st, ver := l1.Probe(idx, victim.Block); st.Valid() {
+			if st.Dirty() {
+				newest = ver
+			}
+			l1.Invalidate(idx, victim.Block)
+		}
+	}
+	m.dir.WritebackVoluntary(victim.Block, nd.ID, newest)
+	m.run.WritebacksHome++
+	nd.NI.Hold(now, m.costs.NIOccupancy)
+}

@@ -1,0 +1,251 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"rnuma/internal/addr"
+	"rnuma/internal/config"
+	"rnuma/internal/stats"
+	"rnuma/internal/trace"
+)
+
+// randomStreams builds per-CPU random streams over a small shared page
+// set, exercising sharing, invalidations, upgrades, evictions, page
+// replacement, and relocation all at once.
+func randomStreams(seed int64, cpus, pages, refsPerCPU int, writeFrac float64) []trace.Stream {
+	out := make([]trace.Stream, cpus)
+	for c := 0; c < cpus; c++ {
+		rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+		refs := make([]trace.Ref, refsPerCPU)
+		for i := range refs {
+			refs[i] = trace.Ref{
+				Page:  addr.PageNum(rng.Intn(pages)),
+				Off:   uint16(rng.Intn(8)),
+				Write: rng.Float64() < writeFrac,
+				Gap:   uint16(rng.Intn(50)),
+			}
+		}
+		out[c] = trace.FromSlice(refs)
+	}
+	return out
+}
+
+// TestSequentialConsistencyUnderRandomTraffic is the heavyweight protocol
+// property test: with verification on, every read must observe the version
+// of the last write processed before it, across all three protocols and
+// the ideal baseline, under adversarial random sharing.
+func TestSequentialConsistencyUnderRandomTraffic(t *testing.T) {
+	protocols := []config.Protocol{config.CCNUMA, config.SCOMA, config.RNUMA}
+	for _, p := range protocols {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= 12; seed++ {
+				m, err := New(tinySys(p), WithHomes(evenOddHomes), WithVerify())
+				if err != nil {
+					t.Fatal(err)
+				}
+				// 10 pages with 8 blocks each, 35% writes: heavy sharing.
+				streams := randomStreams(seed, 4, 10, 1500, 0.35)
+				if _, err := m.Run(streams); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+	t.Run("ideal", func(t *testing.T) {
+		sys := tinySys(config.CCNUMA)
+		sys.BlockCacheBytes = config.InfiniteBlockCache
+		for seed := int64(1); seed <= 6; seed++ {
+			m, err := New(sys, WithHomes(evenOddHomes), WithVerify())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(randomStreams(seed, 4, 10, 1500, 0.35)); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	})
+}
+
+// TestSequentialConsistencyBaseMachine runs the paper's full 8x4 base
+// machine (all three protocols) under random traffic with verification.
+func TestSequentialConsistencyBaseMachine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full machine property test")
+	}
+	for _, p := range []config.Protocol{config.CCNUMA, config.SCOMA, config.RNUMA} {
+		sys := config.Base(p)
+		m, err := New(sys, WithHomes(func(pg addr.PageNum) addr.NodeID {
+			return addr.NodeID(pg % 8)
+		}), WithVerify())
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams := randomStreams(99, sys.TotalCPUs(), 120, 2000, 0.3)
+		if _, err := m.Run(streams); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+	}
+}
+
+// TestDeterminism: identical seeds produce identical executions.
+func TestDeterminism(t *testing.T) {
+	for _, p := range []config.Protocol{config.CCNUMA, config.SCOMA, config.RNUMA} {
+		var first *stats.Run
+		for rep := 0; rep < 2; rep++ {
+			m, err := New(tinySys(p), WithHomes(evenOddHomes))
+			if err != nil {
+				t.Fatal(err)
+			}
+			run, err := m.Run(randomStreams(77, 4, 8, 2000, 0.3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep == 0 {
+				first = run
+				continue
+			}
+			if run.ExecCycles != first.ExecCycles || run.Summary() != first.Summary() {
+				t.Errorf("%v nondeterministic:\n  %s\n  %s", p, first.Summary(), run.Summary())
+			}
+		}
+	}
+}
+
+// TestConservationOfReferences: every issued reference is serviced by
+// exactly one of the accounting categories.
+func TestConservationOfReferences(t *testing.T) {
+	for _, p := range []config.Protocol{config.CCNUMA, config.SCOMA, config.RNUMA} {
+		m, err := New(tinySys(p), WithHomes(evenOddHomes), WithVerify())
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := m.Run(randomStreams(5, 4, 10, 3000, 0.3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		serviced := run.L1Hits + run.LocalFills + run.C2CTransfers +
+			run.BlockCacheHits + run.PageCacheHits + run.RemoteFetches + run.Upgrades
+		if serviced != run.Refs {
+			t.Errorf("%v: %d refs but %d servicings (%s)", p, run.Refs, serviced, run.Summary())
+		}
+	}
+}
+
+// TestRefetchesAreSubsetOfRemoteFetches and other cross-counter sanity.
+func TestCounterSanity(t *testing.T) {
+	for _, p := range []config.Protocol{config.CCNUMA, config.SCOMA, config.RNUMA} {
+		m, err := New(tinySys(p), WithHomes(evenOddHomes), WithVerify())
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := m.Run(randomStreams(11, 4, 12, 2500, 0.4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Refetches > run.RemoteFetches {
+			t.Errorf("%v: refetches (%d) exceed remote fetches (%d)", p, run.Refetches, run.RemoteFetches)
+		}
+		var sum int64
+		for _, c := range run.RefetchByPage {
+			sum += c
+		}
+		if sum != run.Refetches {
+			t.Errorf("%v: per-page refetches (%d) != total (%d)", p, sum, run.Refetches)
+		}
+		if run.RWRefetches > run.Refetches {
+			t.Errorf("%v: RW refetches (%d) exceed refetches (%d)", p, run.RWRefetches, run.Refetches)
+		}
+		switch p {
+		case config.CCNUMA:
+			if run.Allocations != 0 || run.Replacements != 0 || run.Relocations != 0 {
+				t.Errorf("CC-NUMA performed page cache operations: %s", run.Summary())
+			}
+		case config.SCOMA:
+			if run.Relocations != 0 {
+				t.Errorf("S-COMA relocated pages: %s", run.Summary())
+			}
+			if run.BlockCacheHits != 0 {
+				t.Errorf("S-COMA hit a block cache: %s", run.Summary())
+			}
+		case config.RNUMA:
+			// R-NUMA maps faulting pages CC-NUMA first (Figure 4b); page
+			// cache frames are only ever claimed by relocation, so the
+			// S-COMA-style fault-allocation counter stays zero.
+			if run.Allocations != 0 {
+				t.Errorf("R-NUMA allocated on a fault: %s", run.Summary())
+			}
+			if run.Replacements > 0 && run.Relocations == 0 {
+				t.Errorf("R-NUMA replaced without ever relocating: %s", run.Summary())
+			}
+		}
+		var repl int64
+		for _, r := range run.PerNodeReplacements {
+			repl += r
+		}
+		if repl != run.Replacements {
+			t.Errorf("%v: per-node replacements (%d) != total (%d)", p, repl, run.Replacements)
+		}
+	}
+}
+
+// TestSingleWriterReadBack: a single CPU writing then reading its own
+// blocks always observes its own versions (no sharing involved), across
+// page-cache replacement churn.
+func TestSingleWriterReadBack(t *testing.T) {
+	for _, p := range []config.Protocol{config.CCNUMA, config.SCOMA, config.RNUMA} {
+		m, err := New(tinySys(p), WithHomes(evenOddHomes), WithVerify())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		var refs []trace.Ref
+		// Walk 8 remote pages (more than the 4-frame page cache) writing
+		// and reading back.
+		for i := 0; i < 4000; i++ {
+			page := addr.PageNum(2 * rng.Intn(8))
+			off := uint16(rng.Intn(8))
+			refs = append(refs,
+				trace.Ref{Page: page, Off: off, Write: true},
+				trace.Ref{Page: page, Off: off})
+		}
+		if _, err := m.Run(streams4(map[int][]trace.Ref{2: refs})); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+	}
+}
+
+// TestMigratoryShairing: a block bounces exclusively between nodes; each
+// reader-writer must observe the predecessor's version.
+func TestMigratorySharing(t *testing.T) {
+	for _, p := range []config.Protocol{config.CCNUMA, config.SCOMA, config.RNUMA} {
+		m, err := New(tinySys(p), WithHomes(evenOddHomes), WithVerify())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Node 0 and node 1 alternately read-modify-write the same block,
+		// spaced by gaps so ownership migrates.
+		var a, b []trace.Ref
+		for i := 0; i < 50; i++ {
+			a = append(a, trace.Ref{Page: 0, Off: 0, Gap: 9000}, trace.Ref{Page: 0, Off: 0, Write: true})
+			b = append(b, trace.Ref{Page: 0, Off: 0, Gap: 9100}, trace.Ref{Page: 0, Off: 0, Write: true})
+		}
+		if _, err := m.Run(streams4(map[int][]trace.Ref{0: a, 2: b})); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+	}
+}
+
+// TestHighContentionAllWrite: worst-case invalidation storm.
+func TestHighContentionAllWrite(t *testing.T) {
+	for _, p := range []config.Protocol{config.CCNUMA, config.SCOMA, config.RNUMA} {
+		m, err := New(tinySys(p), WithHomes(evenOddHomes), WithVerify())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(randomStreams(21, 4, 3, 2000, 1.0)); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+	}
+}

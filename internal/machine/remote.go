@@ -1,0 +1,160 @@
+package machine
+
+import (
+	"rnuma/internal/addr"
+	"rnuma/internal/cache"
+	"rnuma/internal/node"
+	"rnuma/internal/osmodel"
+	"rnuma/internal/pagecache"
+)
+
+// networkRequest models sending a request message from nd to the home node
+// and the home controller picking it up: local NI queueing, the constant
+// network latency folded into RemoteFetch by the cost model, and home
+// controller queueing. It returns only the *added* queueing delay; the
+// base end-to-end time lives in Costs.RemoteFetch.
+func (m *Machine) networkRequest(nd, home *node.Node, now int64, dataService bool) int64 {
+	niStart := nd.NI.Acquire(now, m.costs.NIOccupancy)
+	wait := niStart - now
+	arrive := niStart + m.costs.NIOccupancy + m.costs.NetLatency
+	occ := m.costs.RADOccupancy
+	if dataService {
+		occ += m.costs.DRAMAccess // home memory access holds the controller
+	}
+	ctlStart := home.RAD.Ctl.Acquire(arrive, occ)
+	wait += ctlStart - arrive
+	return wait
+}
+
+// remoteFetch performs the directory transaction for a block fetch from a
+// remote home: three-hop forwarding from a dirty owner, invalidation of
+// sharers on exclusive requests, refetch detection, and contention at the
+// network interfaces and controllers. It returns the added latency, the
+// version supplied, and whether the directory classified the request as a
+// capacity/conflict refetch.
+func (m *Machine) remoteFetch(nd *node.Node, now int64, page addr.PageNum, b addr.BlockNum, write bool) (int64, uint32, bool) {
+	home := m.homes[page]
+	lat := m.networkRequest(nd, m.nodes[home], now, true)
+	lat += m.costs.RemoteFetch
+
+	res := m.dir.Fetch(b, nd.ID, write)
+	ver := m.dir.HomeVersion(b)
+
+	if res.FromOwner != addr.NoNode {
+		owner := m.nodes[res.FromOwner]
+		newest, ok := m.newestAt(owner, page, b)
+		if !ok {
+			newest = ver
+		}
+		if write {
+			m.invalidateNodeCopies(owner, page, b)
+		} else {
+			m.downgradeNodeCopies(owner, page, b, newest)
+			m.dir.SetHomeVersion(b, newest)
+		}
+		owner.RAD.Ctl.Hold(now+lat, m.costs.RADOccupancy)
+		owner.NI.Hold(now+lat, m.costs.NIOccupancy)
+		lat += m.costs.ThreeHopExtra
+		m.run.ThreeHopXfers++
+		ver = newest
+	}
+
+	if write {
+		if len(res.Invalidate) > 0 {
+			lat += m.applyInvalidations(nd, now+lat, page, b, res.Invalidate)
+		}
+		m.markWriteShared(page)
+	}
+
+	m.run.RemoteFetches++
+	return lat, ver, res.Refetch
+}
+
+// recallFromOwner pulls the freshest copy of a home-local block back from
+// a remote exclusive owner (a two-hop recall): the owner's dirty data is
+// written home; on a read the owner downgrades, on a write it is
+// invalidated. The latency is a full remote round trip.
+func (m *Machine) recallFromOwner(nd *node.Node, now int64, page addr.PageNum, b addr.BlockNum, owner addr.NodeID, write bool) int64 {
+	on := m.nodes[owner]
+	newest, ok := m.newestAt(on, page, b)
+	if !ok {
+		newest = m.dir.HomeVersion(b)
+	}
+	if write {
+		m.invalidateNodeCopies(on, page, b)
+	} else {
+		m.downgradeNodeCopies(on, page, b, newest)
+	}
+	m.dir.SetHomeVersion(b, newest)
+	on.RAD.Ctl.Hold(now, m.costs.RADOccupancy)
+	on.NI.Hold(now, m.costs.NIOccupancy)
+	m.run.ThreeHopXfers++
+	return m.costs.RemoteFetch
+}
+
+// applyInvalidations destroys the listed nodes' copies of a block and
+// models the ack-collection latency and the occupancy the invalidations
+// impose on each target's controller and network interface.
+func (m *Machine) applyInvalidations(requester *node.Node, now int64, page addr.PageNum, b addr.BlockNum, targets []addr.NodeID) int64 {
+	for _, t := range targets {
+		tn := m.nodes[t]
+		m.invalidateNodeCopies(tn, page, b)
+		tn.RAD.Ctl.Hold(now, m.costs.RADOccupancy)
+		tn.NI.Hold(now, m.costs.NIOccupancy)
+		m.run.InvalsSent++
+	}
+	return m.costs.InvalExtra
+}
+
+// newestAt returns the freshest version of a block held anywhere in a
+// node's hierarchy.
+func (m *Machine) newestAt(nd *node.Node, page addr.PageNum, b addr.BlockNum) (uint32, bool) {
+	idx := m.l1Index(nd, page, b)
+	frame, off := -1, 0
+	if mp := nd.PT.Lookup(page); mp.Kind == osmodel.MappedSCOMA {
+		frame, off = mp.Frame, m.g.OffsetOf(b)
+	}
+	return nd.NewestVersion(idx, b, frame, off)
+}
+
+// invalidateNodeCopies removes every copy of the block a node holds: all
+// L1s, the block cache, and the page-cache tag.
+func (m *Machine) invalidateNodeCopies(nd *node.Node, page addr.PageNum, b addr.BlockNum) {
+	idx := m.l1Index(nd, page, b)
+	for _, l1 := range nd.L1s {
+		l1.Invalidate(idx, b)
+	}
+	if nd.RAD.BlockCache != nil {
+		nd.RAD.BlockCache.Invalidate(b)
+	}
+	if nd.RAD.PageCache != nil {
+		if mp := nd.PT.Lookup(page); mp.Kind == osmodel.MappedSCOMA {
+			nd.RAD.PageCache.InvalidateBlock(mp.Frame, m.g.OffsetOf(b))
+		}
+	}
+}
+
+// downgradeNodeCopies demotes a node's exclusive copy to read-only after
+// its dirty data was pulled home on an inter-node read. Every surviving
+// copy is refreshed to the written-back version, since the freshest data
+// may have lived in one L1 while the block/page cache held an older copy.
+func (m *Machine) downgradeNodeCopies(nd *node.Node, page addr.PageNum, b addr.BlockNum, newest uint32) {
+	idx := m.l1Index(nd, page, b)
+	for _, l1 := range nd.L1s {
+		if st, _ := l1.Probe(idx, b); st.Valid() {
+			l1.SetState(idx, b, cache.Shared)
+			l1.SetVersion(idx, b, newest)
+		}
+	}
+	if nd.RAD.BlockCache != nil {
+		nd.RAD.BlockCache.Downgrade(b, newest)
+	}
+	if nd.RAD.PageCache != nil {
+		if mp := nd.PT.Lookup(page); mp.Kind == osmodel.MappedSCOMA {
+			off := m.g.OffsetOf(b)
+			if nd.RAD.PageCache.Tag(mp.Frame, off) != pagecache.TagInvalid {
+				nd.RAD.PageCache.SetBlock(mp.Frame, off, pagecache.TagReadOnly, false, newest)
+			}
+		}
+	}
+}

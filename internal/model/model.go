@@ -1,0 +1,116 @@
+// Package model implements the paper's analytical worst-case performance
+// model (Section 3.2, Table 1, Equations 1-3).
+//
+// The model compares the per-page overheads of CC-NUMA, S-COMA, and R-NUMA
+// against an ideal CC-NUMA machine with an infinite block cache, for the
+// adversarial reference pattern in which a page is relocated and never
+// referenced again before replacement.
+package model
+
+import (
+	"errors"
+	"math"
+)
+
+// Params are the Table-1 parameters of the analytical model.
+type Params struct {
+	Crefetch  float64 // cost of refetching a remote block
+	Callocate float64 // cost of allocating and later replacing a page
+	Crelocate float64 // cost of relocating a page from CC-NUMA to S-COMA
+	T         float64 // relocation threshold (refetches before relocation)
+}
+
+// Validate rejects non-physical parameter values.
+func (p Params) Validate() error {
+	if p.Crefetch <= 0 || p.Callocate <= 0 || p.Crelocate < 0 {
+		return errors.New("model: costs must be positive (Crelocate may be zero)")
+	}
+	if p.T <= 0 {
+		return errors.New("model: threshold must be positive")
+	}
+	return nil
+}
+
+// OverheadCCNUMA returns the worst-case per-page overhead of CC-NUMA over
+// the ideal machine: T refetches before the (never-taken) relocation point.
+func (p Params) OverheadCCNUMA() float64 { return p.T * p.Crefetch }
+
+// OverheadSCOMA returns the worst-case per-page overhead of S-COMA: one
+// allocation/replacement.
+func (p Params) OverheadSCOMA() float64 { return p.Callocate }
+
+// OverheadRNUMA returns R-NUMA's overhead on the adversarial page: T
+// refetches, a relocation, and an allocation/replacement that buys nothing.
+func (p Params) OverheadRNUMA() float64 {
+	return p.T*p.Crefetch + p.Crelocate + p.Callocate
+}
+
+// RatioVsCCNUMA is Equation 1: how much worse R-NUMA can be than CC-NUMA.
+func (p Params) RatioVsCCNUMA() float64 {
+	return p.OverheadRNUMA() / p.OverheadCCNUMA()
+}
+
+// RatioVsSCOMA is Equation 2: how much worse R-NUMA can be than S-COMA.
+func (p Params) RatioVsSCOMA() float64 {
+	return p.OverheadRNUMA() / p.OverheadSCOMA()
+}
+
+// WorstCase returns the larger of the two competitive ratios at this T.
+func (p Params) WorstCase() float64 {
+	return math.Max(p.RatioVsCCNUMA(), p.RatioVsSCOMA())
+}
+
+// OptimalThreshold returns the T at which Equations 1 and 2 intersect:
+// T* = Callocate / Crefetch (Equation 3's threshold). At T*, both ratios
+// equal 2 + Crelocate/Callocate.
+func (p Params) OptimalThreshold() float64 { return p.Callocate / p.Crefetch }
+
+// BoundAtOptimum returns Equation 3's worst-case bound at the optimal
+// threshold: 2 + Crelocate/Callocate. With fast relocation the bound
+// approaches 2; with relocation as expensive as allocation it approaches 3.
+func (p Params) BoundAtOptimum() float64 { return 2 + p.Crelocate/p.Callocate }
+
+// AtOptimum returns a copy of the parameters with T set to the optimal
+// threshold.
+func (p Params) AtOptimum() Params {
+	p.T = p.OptimalThreshold()
+	return p
+}
+
+// SweepPoint is one (T, ratio) sample of a threshold sweep.
+type SweepPoint struct {
+	T        float64
+	VsCCNUMA float64
+	VsSCOMA  float64
+	Worst    float64
+}
+
+// SweepThreshold evaluates the competitive ratios across a geometric range
+// of thresholds, for plotting the intersection of Equations 1 and 2.
+func (p Params) SweepThreshold(tMin, tMax float64, points int) []SweepPoint {
+	if points < 2 || tMin <= 0 || tMax <= tMin {
+		return nil
+	}
+	out := make([]SweepPoint, 0, points)
+	ratio := math.Pow(tMax/tMin, 1/float64(points-1))
+	t := tMin
+	for i := 0; i < points; i++ {
+		q := p
+		q.T = t
+		out = append(out, SweepPoint{T: t, VsCCNUMA: q.RatioVsCCNUMA(), VsSCOMA: q.RatioVsSCOMA(), Worst: q.WorstCase()})
+		t *= ratio
+	}
+	return out
+}
+
+// FromCosts builds model parameters from concrete per-operation cycle
+// costs: a remote fetch, an average page allocation/replacement, and an
+// average relocation.
+func FromCosts(remoteFetch, pageAlloc, pageReloc float64, threshold int) Params {
+	return Params{
+		Crefetch:  remoteFetch,
+		Callocate: pageAlloc,
+		Crelocate: pageReloc,
+		T:         float64(threshold),
+	}
+}

@@ -1,0 +1,166 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func paperParams() Params {
+	// Concrete Table-2 instantiation: remote fetch 376 cycles, mid-range
+	// page allocation ~5000, relocation ~5000.
+	return Params{Crefetch: 376, Callocate: 5000, Crelocate: 5000, T: 64}
+}
+
+func TestEquation1(t *testing.T) {
+	p := paperParams()
+	want := (p.T*p.Crefetch + p.Crelocate + p.Callocate) / (p.T * p.Crefetch)
+	if got := p.RatioVsCCNUMA(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("EQ1 = %v, want %v", got, want)
+	}
+}
+
+func TestEquation2(t *testing.T) {
+	p := paperParams()
+	want := (p.T*p.Crefetch + p.Crelocate + p.Callocate) / p.Callocate
+	if got := p.RatioVsSCOMA(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("EQ2 = %v, want %v", got, want)
+	}
+}
+
+// TestEquation3 verifies that at T* = Callocate/Crefetch both ratios equal
+// 2 + Crelocate/Callocate.
+func TestEquation3(t *testing.T) {
+	p := paperParams().AtOptimum()
+	want := 2 + p.Crelocate/p.Callocate
+	if got := p.RatioVsCCNUMA(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("EQ1 at T* = %v, want %v", got, want)
+	}
+	if got := p.RatioVsSCOMA(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("EQ2 at T* = %v, want %v", got, want)
+	}
+	if got := p.BoundAtOptimum(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("BoundAtOptimum = %v, want %v", got, want)
+	}
+}
+
+// TestBoundBetween2And3: the paper's headline — with relocation no more
+// expensive than allocation, the worst case is between 2x and 3x.
+func TestBoundBetween2And3(t *testing.T) {
+	f := func(seedCref, seedCalloc, seedCreloc uint32) bool {
+		cref := 1 + float64(seedCref%10000)
+		calloc := 1 + float64(seedCalloc%100000)
+		creloc := float64(seedCreloc%100000) / 100000 * calloc // <= Callocate
+		p := Params{Crefetch: cref, Callocate: calloc, Crelocate: creloc}.AtOptimum()
+		b := p.BoundAtOptimum()
+		return b >= 2 && b <= 3+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOptimalThresholdMinimizesWorstCase: T* is the minimizer of the
+// max of the two competitive ratios (they are monotone in opposite
+// directions, so the intersection is the optimum).
+func TestOptimalThresholdMinimizesWorstCase(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		p := Params{
+			Crefetch:  1 + rng.Float64()*999,
+			Callocate: 1 + rng.Float64()*9999,
+			Crelocate: rng.Float64() * 10000,
+		}
+		opt := p.AtOptimum()
+		best := opt.WorstCase()
+		for _, factor := range []float64{0.25, 0.5, 0.9, 1.1, 2, 4} {
+			q := p
+			q.T = opt.T * factor
+			if q.WorstCase() < best-1e-9 {
+				t.Fatalf("T=%v beats T*=%v: %v < %v (params %+v)",
+					q.T, opt.T, q.WorstCase(), best, p)
+			}
+		}
+	}
+}
+
+// TestRatiosMonotone: EQ1 decreases with T, EQ2 increases with T.
+func TestRatiosMonotone(t *testing.T) {
+	p := paperParams()
+	prev1, prev2 := math.Inf(1), 0.0
+	for T := 1.0; T <= 4096; T *= 2 {
+		q := p
+		q.T = T
+		if r1 := q.RatioVsCCNUMA(); r1 > prev1+1e-12 {
+			t.Errorf("EQ1 not non-increasing at T=%v", T)
+		} else {
+			prev1 = r1
+		}
+		if r2 := q.RatioVsSCOMA(); r2 < prev2-1e-12 {
+			t.Errorf("EQ2 not non-decreasing at T=%v", T)
+		} else {
+			prev2 = r2
+		}
+	}
+}
+
+func TestPaperThresholdExample(t *testing.T) {
+	// With the paper's costs — remote fetch 376 and page operations in
+	// 3000~11500 — the optimal threshold lands in the small tens,
+	// consistent with the paper's default of 64.
+	low := FromCosts(376, 3000, 3000, 64)
+	high := FromCosts(376, 11500, 11500, 64)
+	if tl := low.OptimalThreshold(); tl < 4 || tl > 16 {
+		t.Errorf("T* at low page cost = %v, want single digits to 16", tl)
+	}
+	if th := high.OptimalThreshold(); th < 16 || th > 64 {
+		t.Errorf("T* at high page cost = %v, want tens", th)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := paperParams()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{Crefetch: 0, Callocate: 1, Crelocate: 0, T: 1},
+		{Crefetch: 1, Callocate: 0, Crelocate: 0, T: 1},
+		{Crefetch: 1, Callocate: 1, Crelocate: -1, T: 1},
+		{Crefetch: 1, Callocate: 1, Crelocate: 0, T: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSweepThreshold(t *testing.T) {
+	p := paperParams()
+	pts := p.SweepThreshold(1, 1024, 50)
+	if len(pts) != 50 {
+		t.Fatalf("sweep returned %d points, want 50", len(pts))
+	}
+	if pts[0].T != 1 {
+		t.Errorf("sweep starts at %v, want 1", pts[0].T)
+	}
+	if math.Abs(pts[len(pts)-1].T-1024) > 1 {
+		t.Errorf("sweep ends at %v, want ~1024", pts[len(pts)-1].T)
+	}
+	// The worst-case envelope should dip near T* and rise at the ends.
+	minWorst := math.Inf(1)
+	for _, pt := range pts {
+		if pt.Worst < minWorst {
+			minWorst = pt.Worst
+		}
+	}
+	bound := p.BoundAtOptimum()
+	if minWorst > bound*1.1 {
+		t.Errorf("sweep minimum %v far above analytic bound %v", minWorst, bound)
+	}
+	if p.SweepThreshold(10, 5, 10) != nil || p.SweepThreshold(1, 10, 1) != nil {
+		t.Error("degenerate sweeps should return nil")
+	}
+}

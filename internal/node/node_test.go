@@ -1,0 +1,108 @@
+package node
+
+import (
+	"testing"
+
+	"rnuma/internal/addr"
+	"rnuma/internal/cache"
+	"rnuma/internal/config"
+	"rnuma/internal/pagecache"
+)
+
+func newNode(t *testing.T, p config.Protocol) *Node {
+	t.Helper()
+	sys := config.Base(p)
+	return New(sys, 3)
+}
+
+func TestAssembly(t *testing.T) {
+	n := newNode(t, config.RNUMA)
+	if n.ID != 3 {
+		t.Errorf("id = %d", n.ID)
+	}
+	if len(n.CPUs) != 4 || len(n.L1s) != 4 {
+		t.Fatalf("cpus=%d l1s=%d, want 4 each", len(n.CPUs), len(n.L1s))
+	}
+	for i, c := range n.CPUs {
+		if c.Index != i || c.Node != 3 {
+			t.Errorf("cpu %d: index=%d node=%d", i, c.Index, c.Node)
+		}
+		if c.Global != 3*4+i {
+			t.Errorf("cpu %d: global=%d, want %d", i, c.Global, 3*4+i)
+		}
+		if c.Actor.ID != c.Global {
+			t.Errorf("cpu %d: actor id %d != global %d", i, c.Actor.ID, c.Global)
+		}
+	}
+	if n.RAD == nil || n.PT == nil {
+		t.Fatal("missing RAD or page table")
+	}
+	if !n.RAD.HasBlockCache() || !n.RAD.HasPageCache() || !n.RAD.Reactive() {
+		t.Error("R-NUMA node should have every device")
+	}
+}
+
+func TestProtocolDevices(t *testing.T) {
+	cc := newNode(t, config.CCNUMA)
+	if !cc.RAD.HasBlockCache() || cc.RAD.HasPageCache() || cc.RAD.Reactive() {
+		t.Error("CC-NUMA node devices wrong")
+	}
+	sc := newNode(t, config.SCOMA)
+	if sc.RAD.HasBlockCache() || !sc.RAD.HasPageCache() || sc.RAD.Reactive() {
+		t.Error("S-COMA node devices wrong")
+	}
+}
+
+func TestNewestVersionPrefersDirtyL1(t *testing.T) {
+	n := newNode(t, config.RNUMA)
+	b := addr.BlockNum(100)
+	idx := n.L1s[0].Index(uint32(b))
+	// Stale copy in the block cache, newer dirty copy in CPU 2's L1.
+	n.RAD.BlockCache.Fill(b, 2 /*ReadWrite*/, true, 5)
+	n.L1s[2].Fill(idx, b, cache.Modified, 9)
+	ver, ok := n.NewestVersion(idx, b, -1, 0)
+	if !ok || ver != 9 {
+		t.Errorf("newest = %d,%v, want 9 (dirty L1 wins)", ver, ok)
+	}
+}
+
+func TestNewestVersionFromBlockCache(t *testing.T) {
+	n := newNode(t, config.CCNUMA)
+	b := addr.BlockNum(7)
+	idx := n.L1s[0].Index(uint32(b))
+	n.RAD.BlockCache.Fill(b, 2, true, 4)
+	ver, ok := n.NewestVersion(idx, b, -1, 0)
+	if !ok || ver != 4 {
+		t.Errorf("newest = %d,%v, want 4", ver, ok)
+	}
+}
+
+func TestNewestVersionFromPageCache(t *testing.T) {
+	n := newNode(t, config.SCOMA)
+	frame := n.RAD.PageCache.Allocate(addr.PageNum(0), 0)
+	n.RAD.PageCache.SetBlock(frame, 3, pagecache.TagReadWrite, true, 6)
+	b := addr.BlockNum(3)
+	idx := n.L1s[0].Index(uint32(b))
+	ver, ok := n.NewestVersion(idx, b, frame, 3)
+	if !ok || ver != 6 {
+		t.Errorf("newest = %d,%v, want 6", ver, ok)
+	}
+}
+
+func TestNewestVersionAbsent(t *testing.T) {
+	n := newNode(t, config.RNUMA)
+	if _, ok := n.NewestVersion(0, addr.BlockNum(55), -1, 0); ok {
+		t.Error("absent block reported present")
+	}
+}
+
+func TestCleanL1CopyIsFallback(t *testing.T) {
+	n := newNode(t, config.CCNUMA)
+	b := addr.BlockNum(8)
+	idx := n.L1s[0].Index(uint32(b))
+	n.L1s[1].Fill(idx, b, cache.Shared, 3)
+	ver, ok := n.NewestVersion(idx, b, -1, 0)
+	if !ok || ver != 3 {
+		t.Errorf("newest = %d,%v, want clean copy 3", ver, ok)
+	}
+}

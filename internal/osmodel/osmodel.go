@@ -1,0 +1,91 @@
+// Package osmodel models the per-node operating system state the paper's
+// protocols rely on: a per-node page table with independent allocation
+// decisions (Section 2), and the mapping kinds a remote page can be in.
+//
+// The actual costs of the OS operations (soft traps, TLB shootdowns, page
+// allocation/replacement/relocation) come from the config package; the
+// machine charges them when it invokes these transitions.
+package osmodel
+
+import (
+	"fmt"
+
+	"rnuma/internal/addr"
+)
+
+// Kind is how a node currently maps a remote page.
+type Kind uint8
+
+const (
+	// Unmapped: the node has never touched the page, or its mapping was
+	// torn down (page-cache replacement). The next reference faults.
+	Unmapped Kind = iota
+	// MappedCC: references go directly to the home's global physical
+	// address; the block cache may intercept them.
+	MappedCC
+	// MappedSCOMA: references go to a local page-cache frame guarded by
+	// fine-grain tags.
+	MappedSCOMA
+)
+
+// String names the mapping kind.
+func (k Kind) String() string {
+	switch k {
+	case Unmapped:
+		return "unmapped"
+	case MappedCC:
+		return "cc"
+	case MappedSCOMA:
+		return "scoma"
+	}
+	return "?"
+}
+
+// Mapping is a page-table entry for a remote page.
+type Mapping struct {
+	Kind  Kind
+	Frame int // page-cache frame when Kind == MappedSCOMA
+}
+
+// PageTable is one node's (remote-segment) page table.
+type PageTable struct {
+	m map[addr.PageNum]Mapping
+
+	faults int64
+}
+
+// NewPageTable builds an empty page table.
+func NewPageTable() *PageTable {
+	return &PageTable{m: make(map[addr.PageNum]Mapping)}
+}
+
+// Lookup returns the page's mapping (zero value = Unmapped).
+func (t *PageTable) Lookup(p addr.PageNum) Mapping { return t.m[p] }
+
+// MapCC installs a CC-NUMA mapping. The page must be unmapped.
+func (t *PageTable) MapCC(p addr.PageNum) {
+	if t.m[p].Kind != Unmapped {
+		panic(fmt.Sprintf("osmodel: MapCC over existing mapping for page %d", p))
+	}
+	t.m[p] = Mapping{Kind: MappedCC}
+	t.faults++
+}
+
+// MapSCOMA installs an S-COMA mapping to a page-cache frame. Remapping
+// from CC (relocation) is allowed; the caller must have flushed first.
+func (t *PageTable) MapSCOMA(p addr.PageNum, frame int) {
+	t.m[p] = Mapping{Kind: MappedSCOMA, Frame: frame}
+	t.faults++
+}
+
+// Unmap tears the mapping down (page-cache replacement, or the unmap step
+// of a relocation).
+func (t *PageTable) Unmap(p addr.PageNum) {
+	delete(t.m, p)
+}
+
+// Mapped reports how many remote pages are currently mapped.
+func (t *PageTable) Mapped() int { return len(t.m) }
+
+// Faults reports how many mapping installs occurred.
+func (t *PageTable) Faults() int64 { return t.faults }

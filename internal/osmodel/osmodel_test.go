@@ -1,0 +1,77 @@
+package osmodel
+
+import (
+	"testing"
+
+	"rnuma/internal/addr"
+)
+
+func TestLifecycle(t *testing.T) {
+	pt := NewPageTable()
+	p := addr.PageNum(4)
+	if pt.Lookup(p).Kind != Unmapped {
+		t.Fatal("fresh table should be unmapped")
+	}
+	pt.MapCC(p)
+	if pt.Lookup(p).Kind != MappedCC {
+		t.Error("MapCC did not take")
+	}
+	// Relocation: CC -> S-COMA.
+	pt.MapSCOMA(p, 5)
+	mp := pt.Lookup(p)
+	if mp.Kind != MappedSCOMA || mp.Frame != 5 {
+		t.Errorf("after relocation: %+v", mp)
+	}
+	pt.Unmap(p)
+	if pt.Lookup(p).Kind != Unmapped {
+		t.Error("unmap did not take")
+	}
+	if pt.Faults() != 2 {
+		t.Errorf("faults = %d, want 2", pt.Faults())
+	}
+}
+
+func TestMapCCOverExistingPanics(t *testing.T) {
+	pt := NewPageTable()
+	pt.MapCC(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("double MapCC should panic")
+		}
+	}()
+	pt.MapCC(1)
+}
+
+func TestBounceCycle(t *testing.T) {
+	// The R-NUMA bounce: CC -> S-COMA -> (replacement) unmapped -> CC.
+	pt := NewPageTable()
+	p := addr.PageNum(1)
+	pt.MapCC(p)
+	pt.MapSCOMA(p, 0)
+	pt.Unmap(p)
+	pt.MapCC(p) // must not panic: the mapping was torn down
+	if pt.Lookup(p).Kind != MappedCC {
+		t.Error("bounce remap failed")
+	}
+}
+
+func TestMappedCount(t *testing.T) {
+	pt := NewPageTable()
+	pt.MapCC(1)
+	pt.MapSCOMA(2, 0)
+	if pt.Mapped() != 2 {
+		t.Errorf("mapped = %d, want 2", pt.Mapped())
+	}
+	pt.Unmap(1)
+	if pt.Mapped() != 1 {
+		t.Errorf("mapped = %d, want 1", pt.Mapped())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{Unmapped, MappedCC, MappedSCOMA} {
+		if k.String() == "?" {
+			t.Errorf("kind %d lacks a name", k)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package pagecache implements the S-COMA page cache (paper Section 2.2):
+// a region of main memory that caches remote pages at page granularity,
+// with two-bit fine-grain access-control tags per block, an auxiliary
+// translation table mapping local frames to global pages, and the paper's
+// Least Recently Missed (LRM) replacement policy — the frame list is
+// reordered only on remote misses, not on every reference.
+package pagecache
+
+import "rnuma/internal/addr"
+
+// TagState is the fine-grain access-control state of one block in a frame
+// (the paper's two bits per block).
+type TagState uint8
+
+const (
+	// TagInvalid: access must be intercepted and fetched from home.
+	TagInvalid TagState = iota
+	// TagReadOnly: reads hit locally; writes need an upgrade.
+	TagReadOnly
+	// TagReadWrite: reads and writes hit locally.
+	TagReadWrite
+)
+
+// String names the tag state.
+func (t TagState) String() string {
+	switch t {
+	case TagInvalid:
+		return "inv"
+	case TagReadOnly:
+		return "ro"
+	case TagReadWrite:
+		return "rw"
+	}
+	return "?"
+}
+
+// Policy selects the replacement policy.
+type Policy int
+
+const (
+	// LRM is the paper's Least Recently Missed policy: the frame list is
+	// reordered only on remote misses, approximating hardware miss
+	// counters the OS samples at fault time (Section 4).
+	LRM Policy = iota
+	// LRU reorders on every access (hits included) — a conventional
+	// policy requiring per-reference bookkeeping the paper's hardware
+	// avoids; provided for the replacement-policy ablation.
+	LRU
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LRM:
+		return "LRM"
+	case LRU:
+		return "LRU"
+	}
+	return "?"
+}
+
+// Frame is one page-cache frame: a page's worth of blocks plus tags.
+type Frame struct {
+	Page     addr.PageNum
+	InUse    bool
+	LastMiss int64 // LRM ordering key: time of the frame's last remote miss
+	Tags     []TagState
+	Dirty    []bool
+	Versions []uint32
+	// wasValid marks blocks that held data in this frame and were then
+	// invalidated by coherence: a re-miss on such a block is a coherence
+	// miss, not a cold fill.
+	wasValid []bool
+	valid    int
+	dirty    int
+
+	// MissStreak counts consecutive remote *coherence* misses with no
+	// intervening local hit since the frame was (re)used — the demotion
+	// extension's communication-page detector. Cold fills never count, so
+	// a freshly relocated reuse page is not mistaken for a communication
+	// page.
+	MissStreak int
+}
+
+// ValidBlocks returns how many blocks currently hold data.
+func (f *Frame) ValidBlocks() int { return f.valid }
+
+// DirtyBlocks returns how many blocks must be flushed home on eviction.
+func (f *Frame) DirtyBlocks() int { return f.dirty }
+
+// DirtyList enumerates the offsets and versions of dirty blocks.
+func (f *Frame) DirtyList() []BlockVersion {
+	out := make([]BlockVersion, 0, f.dirty)
+	for off, d := range f.Dirty {
+		if d {
+			out = append(out, BlockVersion{Off: off, Version: f.Versions[off]})
+		}
+	}
+	return out
+}
+
+// BlockVersion pairs a block offset with the version held.
+type BlockVersion struct {
+	Off     int
+	Version uint32
+}
+
+// Cache is the page cache plus its frame/page translation tables.
+type Cache struct {
+	frames        []Frame
+	byPage        map[addr.PageNum]int
+	free          []int
+	blocksPerPage int
+	policy        Policy
+
+	hits         int64
+	misses       int64
+	allocations  int64
+	replacements int64
+}
+
+// New builds a page cache with the given number of page frames and the
+// paper's LRM replacement policy.
+func New(frames, blocksPerPage int) *Cache {
+	return NewWithPolicy(frames, blocksPerPage, LRM)
+}
+
+// NewWithPolicy builds a page cache with an explicit replacement policy.
+func NewWithPolicy(frames, blocksPerPage int, p Policy) *Cache {
+	c := &Cache{
+		frames:        make([]Frame, frames),
+		byPage:        make(map[addr.PageNum]int, frames),
+		free:          make([]int, 0, frames),
+		blocksPerPage: blocksPerPage,
+		policy:        p,
+	}
+	for i := frames - 1; i >= 0; i-- {
+		c.free = append(c.free, i)
+	}
+	return c
+}
+
+// Policy reports the replacement policy in force.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Frames returns the frame count.
+func (c *Cache) Frames() int { return len(c.frames) }
+
+// FreeFrames returns how many frames are unallocated.
+func (c *Cache) FreeFrames() int { return len(c.free) }
+
+// InUse returns how many frames hold pages.
+func (c *Cache) InUse() int { return len(c.frames) - len(c.free) }
+
+// FrameOf looks up the frame index holding a page (the reverse translation
+// the node's page table would hold).
+func (c *Cache) FrameOf(p addr.PageNum) (int, bool) {
+	idx, ok := c.byPage[p]
+	return idx, ok
+}
+
+// FrameAt returns the frame at an index for inspection.
+func (c *Cache) FrameAt(idx int) *Frame { return &c.frames[idx] }
+
+// PickVictim returns the least-recently-missed in-use frame. It does not
+// evict; the caller flushes the victim's dirty blocks first and then calls
+// Evict. Returns false if every frame is free.
+func (c *Cache) PickVictim() (int, bool) {
+	best, found := -1, false
+	var bestMiss int64
+	for i := range c.frames {
+		f := &c.frames[i]
+		if !f.InUse {
+			continue
+		}
+		if !found || f.LastMiss < bestMiss || (f.LastMiss == bestMiss && i < best) {
+			best, bestMiss, found = i, f.LastMiss, true
+		}
+	}
+	return best, found
+}
+
+// Evict releases a frame, returning the page it held. The caller must have
+// flushed dirty blocks already.
+func (c *Cache) Evict(idx int) addr.PageNum {
+	f := &c.frames[idx]
+	if !f.InUse {
+		panic("pagecache: evicting free frame")
+	}
+	p := f.Page
+	delete(c.byPage, p)
+	f.InUse = false
+	f.valid, f.dirty = 0, 0
+	c.free = append(c.free, idx)
+	c.replacements++
+	return p
+}
+
+// Allocate assigns a free frame to the page (the caller must ensure one is
+// free, evicting first if necessary) and initializes all tags to invalid.
+func (c *Cache) Allocate(p addr.PageNum, now int64) int {
+	if len(c.free) == 0 {
+		panic("pagecache: allocate with no free frames")
+	}
+	if _, dup := c.byPage[p]; dup {
+		panic("pagecache: page already mapped")
+	}
+	idx := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	f := &c.frames[idx]
+	if cap(f.Tags) < c.blocksPerPage {
+		f.Tags = make([]TagState, c.blocksPerPage)
+		f.Dirty = make([]bool, c.blocksPerPage)
+		f.Versions = make([]uint32, c.blocksPerPage)
+		f.wasValid = make([]bool, c.blocksPerPage)
+	} else {
+		for i := 0; i < c.blocksPerPage; i++ {
+			f.Tags[i] = TagInvalid
+			f.Dirty[i] = false
+			f.Versions[i] = 0
+			f.wasValid[i] = false
+		}
+	}
+	f.Page = p
+	f.InUse = true
+	f.LastMiss = now
+	f.MissStreak = 0
+	f.valid, f.dirty = 0, 0
+	c.byPage[p] = idx
+	c.allocations++
+	return idx
+}
+
+// Tag returns the fine-grain tag for a block offset in a frame.
+func (c *Cache) Tag(idx, off int) TagState { return c.frames[idx].Tags[off] }
+
+// Version returns the version held for a block offset.
+func (c *Cache) Version(idx, off int) uint32 { return c.frames[idx].Versions[off] }
+
+// SetBlock installs or updates a block's tag, dirtiness, and version.
+func (c *Cache) SetBlock(idx, off int, t TagState, dirty bool, ver uint32) {
+	f := &c.frames[idx]
+	old := f.Tags[off]
+	if old == TagInvalid && t != TagInvalid {
+		f.valid++
+	}
+	if old != TagInvalid && t == TagInvalid {
+		f.valid--
+	}
+	wasDirty := f.Dirty[off]
+	if !wasDirty && dirty {
+		f.dirty++
+	}
+	if wasDirty && !dirty {
+		f.dirty--
+	}
+	f.Tags[off] = t
+	f.Dirty[off] = dirty
+	f.Versions[off] = ver
+}
+
+// InvalidateBlock clears one block's tag (a coherence invalidation),
+// returning whether it was dirty and its version.
+func (c *Cache) InvalidateBlock(idx, off int) (wasDirty bool, ver uint32) {
+	f := &c.frames[idx]
+	if f.Tags[off] == TagInvalid {
+		return false, 0
+	}
+	wasDirty, ver = f.Dirty[off], f.Versions[off]
+	c.SetBlock(idx, off, TagInvalid, false, 0)
+	f.wasValid[off] = true
+	return wasDirty, ver
+}
+
+// TouchMiss records a remote miss on the frame, refreshing its LRM
+// position.
+func (c *Cache) TouchMiss(idx int, now int64) {
+	c.frames[idx].LastMiss = now
+}
+
+// WasInvalidated reports whether the block previously held data in this
+// frame and lost it to a coherence invalidation.
+func (c *Cache) WasInvalidated(idx, off int) bool { return c.frames[idx].wasValid[off] }
+
+// NoteCoherenceMiss grows the frame's communication-detector streak; the
+// machine calls it for misses to previously-invalidated blocks only.
+func (c *Cache) NoteCoherenceMiss(idx int) { c.frames[idx].MissStreak++ }
+
+// TouchHit records a local hit. Under the paper's LRM policy this
+// deliberately leaves the replacement ordering alone; under LRU it
+// refreshes the frame. Either way it breaks the frame's miss streak (the
+// page is demonstrably being reused locally).
+func (c *Cache) TouchHit(idx int, now int64) {
+	if c.policy == LRU {
+		c.frames[idx].LastMiss = now
+	}
+	c.frames[idx].MissStreak = 0
+}
+
+// RecordHit and RecordMiss maintain access statistics.
+func (c *Cache) RecordHit()  { c.hits++ }
+func (c *Cache) RecordMiss() { c.misses++ }
+
+// Hits, Misses, Allocations, Replacements expose statistics.
+func (c *Cache) Hits() int64         { return c.hits }
+func (c *Cache) Misses() int64       { return c.misses }
+func (c *Cache) Allocations() int64  { return c.allocations }
+func (c *Cache) Replacements() int64 { return c.replacements }

@@ -1,0 +1,298 @@
+package pagecache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rnuma/internal/addr"
+)
+
+func TestAllocateLookup(t *testing.T) {
+	c := New(4, 128)
+	if c.Frames() != 4 || c.FreeFrames() != 4 || c.InUse() != 0 {
+		t.Fatalf("fresh cache: frames=%d free=%d inuse=%d", c.Frames(), c.FreeFrames(), c.InUse())
+	}
+	idx := c.Allocate(addr.PageNum(7), 100)
+	if got, ok := c.FrameOf(7); !ok || got != idx {
+		t.Errorf("FrameOf(7) = %d,%v", got, ok)
+	}
+	if c.FreeFrames() != 3 || c.InUse() != 1 {
+		t.Errorf("after alloc: free=%d inuse=%d", c.FreeFrames(), c.InUse())
+	}
+	f := c.FrameAt(idx)
+	if f.Page != 7 || !f.InUse || f.LastMiss != 100 {
+		t.Errorf("frame = %+v", f)
+	}
+	for off := 0; off < 128; off++ {
+		if c.Tag(idx, off) != TagInvalid {
+			t.Fatal("fresh frame has valid tags")
+		}
+	}
+}
+
+func TestSetBlockCounts(t *testing.T) {
+	c := New(2, 128)
+	idx := c.Allocate(1, 0)
+	c.SetBlock(idx, 0, TagReadOnly, false, 5)
+	c.SetBlock(idx, 1, TagReadWrite, true, 6)
+	f := c.FrameAt(idx)
+	if f.ValidBlocks() != 2 || f.DirtyBlocks() != 1 {
+		t.Errorf("valid=%d dirty=%d, want 2/1", f.ValidBlocks(), f.DirtyBlocks())
+	}
+	// Upgrading in place must not double count.
+	c.SetBlock(idx, 0, TagReadWrite, true, 7)
+	if f.ValidBlocks() != 2 || f.DirtyBlocks() != 2 {
+		t.Errorf("after upgrade: valid=%d dirty=%d, want 2/2", f.ValidBlocks(), f.DirtyBlocks())
+	}
+	if c.Version(idx, 0) != 7 {
+		t.Errorf("version = %d, want 7", c.Version(idx, 0))
+	}
+	dl := f.DirtyList()
+	if len(dl) != 2 || dl[0].Off != 0 || dl[1].Off != 1 {
+		t.Errorf("dirty list = %+v", dl)
+	}
+}
+
+func TestInvalidateBlock(t *testing.T) {
+	c := New(2, 128)
+	idx := c.Allocate(1, 0)
+	c.SetBlock(idx, 3, TagReadWrite, true, 9)
+	wasDirty, ver := c.InvalidateBlock(idx, 3)
+	if !wasDirty || ver != 9 {
+		t.Errorf("invalidate = %v,%d", wasDirty, ver)
+	}
+	if c.Tag(idx, 3) != TagInvalid {
+		t.Error("tag still valid")
+	}
+	if f := c.FrameAt(idx); f.ValidBlocks() != 0 || f.DirtyBlocks() != 0 {
+		t.Error("counts not decremented")
+	}
+	if wasDirty, _ := c.InvalidateBlock(idx, 3); wasDirty {
+		t.Error("double invalidate reported dirty")
+	}
+}
+
+// TestLRMPolicy verifies Least Recently Missed: the victim is the frame
+// with the oldest last-miss time, and hits do not refresh it.
+func TestLRMPolicy(t *testing.T) {
+	c := New(3, 128)
+	a := c.Allocate(10, 100)
+	b := c.Allocate(20, 200)
+	d := c.Allocate(30, 300)
+	_ = b
+	_ = d
+	// Page 10 missed longest ago; "hits" (which never call TouchMiss)
+	// must not save it.
+	vidx, ok := c.PickVictim()
+	if !ok || vidx != a {
+		t.Fatalf("victim = frame %d, want %d (page 10)", vidx, a)
+	}
+	// A remote miss on page 10 refreshes it; page 20 becomes the victim.
+	c.TouchMiss(a, 400)
+	vidx, _ = c.PickVictim()
+	if c.FrameAt(vidx).Page != 20 {
+		t.Errorf("victim after touch = page %d, want 20", c.FrameAt(vidx).Page)
+	}
+}
+
+func TestEvictFreesFrame(t *testing.T) {
+	c := New(2, 128)
+	idx := c.Allocate(5, 1)
+	c.SetBlock(idx, 0, TagReadWrite, true, 1)
+	page := c.Evict(idx)
+	if page != 5 {
+		t.Errorf("evicted page = %d, want 5", page)
+	}
+	if _, ok := c.FrameOf(5); ok {
+		t.Error("evicted page still mapped")
+	}
+	if c.FreeFrames() != 2 {
+		t.Errorf("free = %d, want 2", c.FreeFrames())
+	}
+	// The freed frame must come back clean.
+	idx2 := c.Allocate(6, 2)
+	for off := 0; off < 128; off++ {
+		if c.Tag(idx2, off) != TagInvalid {
+			t.Fatal("recycled frame not cleaned")
+		}
+	}
+	if c.Replacements() != 1 || c.Allocations() != 2 {
+		t.Errorf("repl=%d alloc=%d", c.Replacements(), c.Allocations())
+	}
+}
+
+func TestAllocatePanics(t *testing.T) {
+	c := New(1, 128)
+	c.Allocate(1, 0)
+	t.Run("no free frames", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		c.Allocate(2, 0)
+	})
+	t.Run("duplicate page", func(t *testing.T) {
+		c := New(2, 128)
+		c.Allocate(1, 0)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		c.Allocate(1, 0)
+	})
+	t.Run("evict free frame", func(t *testing.T) {
+		c := New(2, 128)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		c.Evict(0)
+	})
+}
+
+func TestPickVictimEmpty(t *testing.T) {
+	c := New(2, 128)
+	if _, ok := c.PickVictim(); ok {
+		t.Error("empty cache offered a victim")
+	}
+}
+
+// TestLRMVictimProperty: across random allocate/touch sequences, the
+// picked victim always has the minimum LastMiss among in-use frames.
+func TestLRMVictimProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(8, 16)
+		now := int64(0)
+		next := addr.PageNum(0)
+		for op := 0; op < 300; op++ {
+			now += int64(rng.Intn(10) + 1)
+			if c.FreeFrames() > 0 && rng.Intn(2) == 0 {
+				c.Allocate(next, now)
+				next++
+				continue
+			}
+			if c.InUse() == 0 {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				// Touch a random in-use frame.
+				for {
+					i := rng.Intn(8)
+					if c.FrameAt(i).InUse {
+						c.TouchMiss(i, now)
+						break
+					}
+				}
+				continue
+			}
+			vidx, ok := c.PickVictim()
+			if !ok {
+				return false
+			}
+			vm := c.FrameAt(vidx).LastMiss
+			for i := 0; i < 8; i++ {
+				f := c.FrameAt(i)
+				if f.InUse && f.LastMiss < vm {
+					return false
+				}
+			}
+			c.Evict(vidx)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTagStrings(t *testing.T) {
+	for _, s := range []TagState{TagInvalid, TagReadOnly, TagReadWrite} {
+		if s.String() == "?" {
+			t.Errorf("tag %d lacks a name", s)
+		}
+	}
+}
+
+func TestHitMissStats(t *testing.T) {
+	c := New(1, 16)
+	c.RecordHit()
+	c.RecordMiss()
+	c.RecordMiss()
+	if c.Hits() != 1 || c.Misses() != 2 {
+		t.Errorf("hits/misses = %d/%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUPolicyRefreshesOnHit(t *testing.T) {
+	c := NewWithPolicy(2, 16, LRU)
+	if c.Policy() != LRU {
+		t.Fatal("policy not stored")
+	}
+	a := c.Allocate(1, 100)
+	c.Allocate(2, 200)
+	// A hit on the older frame refreshes it under LRU...
+	c.TouchHit(a, 300)
+	if v, _ := c.PickVictim(); c.FrameAt(v).Page != 2 {
+		t.Errorf("LRU victim = page %d, want 2 (page 1 was hit)", c.FrameAt(v).Page)
+	}
+	// ...but not under the paper's LRM.
+	lrm := New(2, 16)
+	a = lrm.Allocate(1, 100)
+	lrm.Allocate(2, 200)
+	lrm.TouchHit(a, 300)
+	if v, _ := lrm.PickVictim(); lrm.FrameAt(v).Page != 1 {
+		t.Errorf("LRM victim = page %d, want 1 (hits do not refresh)", lrm.FrameAt(v).Page)
+	}
+}
+
+func TestMissStreak(t *testing.T) {
+	c := New(2, 16)
+	idx := c.Allocate(1, 0)
+	if c.FrameAt(idx).MissStreak != 0 {
+		t.Fatal("fresh frame has a streak")
+	}
+	// Cold fills never grow the streak (TouchMiss alone is LRM ordering).
+	c.TouchMiss(idx, 1)
+	if c.FrameAt(idx).MissStreak != 0 {
+		t.Error("cold miss grew the streak")
+	}
+	// A coherence-invalidated block's re-miss does.
+	c.SetBlock(idx, 3, TagReadOnly, false, 1)
+	if c.WasInvalidated(idx, 3) {
+		t.Error("valid block reported as invalidated")
+	}
+	c.InvalidateBlock(idx, 3)
+	if !c.WasInvalidated(idx, 3) {
+		t.Fatal("invalidation not remembered")
+	}
+	c.NoteCoherenceMiss(idx)
+	c.NoteCoherenceMiss(idx)
+	if c.FrameAt(idx).MissStreak != 2 {
+		t.Errorf("streak = %d, want 2", c.FrameAt(idx).MissStreak)
+	}
+	c.TouchHit(idx, 3)
+	if c.FrameAt(idx).MissStreak != 0 {
+		t.Error("hit did not break the streak")
+	}
+	// Reallocation starts clean.
+	c.NoteCoherenceMiss(idx)
+	c.Evict(idx)
+	idx2 := c.Allocate(2, 5)
+	if c.FrameAt(idx2).MissStreak != 0 || c.WasInvalidated(idx2, 3) {
+		t.Error("recycled frame kept streak or invalidation history")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if LRM.String() != "LRM" || LRU.String() != "LRU" {
+		t.Error("policy names wrong")
+	}
+	if Policy(9).String() != "?" {
+		t.Error("unknown policy should render ?")
+	}
+}

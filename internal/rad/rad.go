@@ -1,0 +1,63 @@
+// Package rad assembles the per-node Remote Access Device for each of the
+// three designs (paper Figures 2a, 3a, 4a):
+//
+//   - CC-NUMA: protocol FSM + directory + SRAM block cache.
+//   - S-COMA: protocol FSM + directory + fine-grain tags + translation
+//     table + main-memory page cache.
+//   - R-NUMA: all of the above plus the reactive per-page refetch
+//     counters.
+//
+// The RAD's protocol controller is a contended resource: every remote
+// transaction the node originates or services occupies it.
+package rad
+
+import (
+	"rnuma/internal/blockcache"
+	"rnuma/internal/config"
+	"rnuma/internal/core"
+	"rnuma/internal/event"
+	"rnuma/internal/pagecache"
+)
+
+// RAD is one node's remote access device.
+type RAD struct {
+	Protocol config.Protocol
+
+	// BlockCache is present for CC-NUMA and R-NUMA.
+	BlockCache *blockcache.Cache
+
+	// PageCache (with its fine-grain tags and translation table) is
+	// present for S-COMA and R-NUMA.
+	PageCache *pagecache.Cache
+
+	// Counters are R-NUMA's reactive per-page refetch counters.
+	Counters *core.Counters
+
+	// Ctl is the protocol controller occupancy (contention point).
+	Ctl event.Resource
+}
+
+// New builds the RAD dictated by the system configuration.
+func New(sys config.System) *RAD {
+	r := &RAD{Protocol: sys.Protocol}
+	switch sys.Protocol {
+	case config.CCNUMA:
+		r.BlockCache = blockcache.New(sys.BlockCacheBlocks())
+	case config.SCOMA:
+		r.PageCache = pagecache.NewWithPolicy(sys.PageCacheFrames(), sys.Geometry.BlocksPerPage(), sys.PageReplacement)
+	case config.RNUMA:
+		r.BlockCache = blockcache.New(sys.BlockCacheBlocks())
+		r.PageCache = pagecache.NewWithPolicy(sys.PageCacheFrames(), sys.Geometry.BlocksPerPage(), sys.PageReplacement)
+		r.Counters = core.NewCounters(sys.Threshold)
+	}
+	return r
+}
+
+// HasBlockCache reports whether this design caches remote blocks in SRAM.
+func (r *RAD) HasBlockCache() bool { return r.BlockCache != nil }
+
+// HasPageCache reports whether this design caches remote pages in memory.
+func (r *RAD) HasPageCache() bool { return r.PageCache != nil }
+
+// Reactive reports whether this design relocates pages reactively.
+func (r *RAD) Reactive() bool { return r.Counters != nil }

@@ -1,0 +1,64 @@
+package rad
+
+import (
+	"testing"
+
+	"rnuma/internal/config"
+)
+
+func TestCCNUMADevices(t *testing.T) {
+	r := New(config.Base(config.CCNUMA))
+	if !r.HasBlockCache() {
+		t.Error("CC-NUMA RAD lacks a block cache")
+	}
+	if r.HasPageCache() || r.Reactive() {
+		t.Error("CC-NUMA RAD has S-COMA/R-NUMA hardware")
+	}
+	if r.BlockCache.Frames() != 1024 {
+		t.Errorf("block cache frames = %d, want 1024 (32 KB / 32 B)", r.BlockCache.Frames())
+	}
+}
+
+func TestSCOMADevices(t *testing.T) {
+	r := New(config.Base(config.SCOMA))
+	if r.HasBlockCache() || r.Reactive() {
+		t.Error("S-COMA RAD has CC-NUMA/R-NUMA hardware")
+	}
+	if !r.HasPageCache() {
+		t.Fatal("S-COMA RAD lacks a page cache")
+	}
+	if r.PageCache.Frames() != 80 {
+		t.Errorf("page cache frames = %d, want 80 (320 KB / 4 KB)", r.PageCache.Frames())
+	}
+}
+
+func TestRNUMADevices(t *testing.T) {
+	r := New(config.Base(config.RNUMA))
+	if !r.HasBlockCache() || !r.HasPageCache() || !r.Reactive() {
+		t.Fatal("R-NUMA RAD must combine all devices (paper Figure 4a)")
+	}
+	if r.BlockCache.Frames() != 4 {
+		t.Errorf("block cache frames = %d, want 4 (128 B)", r.BlockCache.Frames())
+	}
+	if r.Counters.Threshold() != 64 {
+		t.Errorf("threshold = %d, want 64", r.Counters.Threshold())
+	}
+}
+
+func TestIdealDevices(t *testing.T) {
+	r := New(config.Ideal())
+	if !r.BlockCache.Infinite() {
+		t.Error("ideal machine should have an infinite block cache")
+	}
+}
+
+func TestControllerIsAResource(t *testing.T) {
+	r := New(config.Base(config.RNUMA))
+	start := r.Ctl.Acquire(100, 26)
+	if start != 100 {
+		t.Errorf("idle controller acquired at %d", start)
+	}
+	if s := r.Ctl.Acquire(100, 26); s != 126 {
+		t.Errorf("busy controller acquired at %d, want 126", s)
+	}
+}

@@ -1,0 +1,183 @@
+// Package stats collects the measurements the paper's evaluation reports:
+// execution time, block refetches (per node and page), page-cache
+// replacements, relocations, remote fetches, and the cumulative refetch
+// distribution of Figure 5.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"rnuma/internal/addr"
+)
+
+// PageKey identifies a (node, page) pair: refetch counting in the paper is
+// per-node, per-page.
+type PageKey struct {
+	Node addr.NodeID
+	Page addr.PageNum
+}
+
+// Run accumulates every counter a single simulation produces.
+type Run struct {
+	// ExecCycles is the parallel execution time: the maximum completion
+	// time over all processors.
+	ExecCycles int64
+
+	// References processed, split by kind of service.
+	Refs           int64 // total references issued
+	L1Hits         int64
+	LocalFills     int64 // fills from node memory (home-local data)
+	C2CTransfers   int64 // intra-node cache-to-cache supplies (owned blocks)
+	BlockCacheHits int64
+	PageCacheHits  int64
+	RemoteFetches  int64 // block fetches that crossed the network
+	Upgrades       int64 // writes serviced by a permission upgrade (data already held)
+
+	// Refetches are remote fetches for blocks the node previously held and
+	// lost to capacity/conflict eviction (never to an invalidation).
+	Refetches int64
+
+	// Paging activity.
+	PageFaults     int64 // mapping faults (first touch of an unmapped page)
+	Allocations    int64 // S-COMA page-cache frame allocations
+	Replacements   int64 // S-COMA page-cache victim replacements
+	Relocations    int64 // R-NUMA CC->S-COMA page relocations
+	Demotions      int64 // S-COMA->CC demotions (reverse-adaptation extension)
+	FlushedBlocks  int64 // blocks written back during page ops
+	TLBShootdowns  int64
+	RemotePages    int64 // distinct (node, page) remote pairs touched
+	InvalsSent     int64 // directory-initiated invalidations
+	ThreeHopXfers  int64 // dirty blocks forwarded from third-party owners
+	WritebacksHome int64 // dirty block writebacks that reached the home
+
+	// Contention.
+	BusWaitCycles int64
+	NIWaitCycles  int64
+	RADWaitCycles int64
+
+	// RefetchByPage maps (node, page) to its refetch count, feeding
+	// Figure 5 and Table 4.
+	RefetchByPage map[PageKey]int64
+
+	// RWRefetches counts refetches attributed to pages that saw both read
+	// and write sharing traffic (Table 4, column 2 numerator).
+	RWRefetches int64
+
+	// PerNodeReplacements records which nodes performed page replacements
+	// (Section 5.5 attributes lu's sensitivity to two overloaded nodes).
+	PerNodeReplacements map[addr.NodeID]int64
+}
+
+// NewRun returns an empty, ready-to-accumulate Run.
+func NewRun() *Run {
+	return &Run{
+		RefetchByPage:       make(map[PageKey]int64),
+		PerNodeReplacements: make(map[addr.NodeID]int64),
+	}
+}
+
+// AddRefetch records one refetch for the (node, page) pair.
+func (r *Run) AddRefetch(n addr.NodeID, p addr.PageNum) {
+	r.Refetches++
+	r.RefetchByPage[PageKey{n, p}]++
+}
+
+// TotalPageOps returns allocations+replacements+relocations, the page
+// machinery activity R-NUMA's competitive analysis bounds.
+func (r *Run) TotalPageOps() int64 { return r.Allocations + r.Replacements + r.Relocations }
+
+// RemoteMissRatio returns remote fetches per reference.
+func (r *Run) RemoteMissRatio() float64 {
+	if r.Refs == 0 {
+		return 0
+	}
+	return float64(r.RemoteFetches) / float64(r.Refs)
+}
+
+// CDFPoint is one point of Figure 5: after including the top PctPages
+// percent of remote pages (by refetch count), PctRefetches percent of all
+// refetches are covered.
+type CDFPoint struct {
+	PctPages     float64
+	PctRefetches float64
+}
+
+// RefetchCDF computes the Figure-5 curve: remote pages sorted by
+// descending refetch count, cumulative share of refetches. Pages with zero
+// refetches still count toward the page axis, exactly as the paper's
+// "percentage of remote pages" axis does; totalRemotePages supplies the
+// denominator (pass 0 to use only pages that appear in the refetch map).
+func (r *Run) RefetchCDF(totalRemotePages int) []CDFPoint {
+	counts := make([]int64, 0, len(r.RefetchByPage))
+	var total int64
+	for _, c := range r.RefetchByPage {
+		counts = append(counts, c)
+		total += c
+	}
+	if total == 0 {
+		return nil
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	denom := len(counts)
+	if totalRemotePages > denom {
+		denom = totalRemotePages
+	}
+	pts := make([]CDFPoint, 0, len(counts)+1)
+	pts = append(pts, CDFPoint{0, 0})
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		pts = append(pts, CDFPoint{
+			PctPages:     100 * float64(i+1) / float64(denom),
+			PctRefetches: 100 * float64(cum) / float64(total),
+		})
+	}
+	if denom > len(counts) {
+		pts = append(pts, CDFPoint{100, 100})
+	}
+	return pts
+}
+
+// CDFAt linearly interpolates the refetch coverage at pctPages percent of
+// remote pages. It returns 0 if the curve is empty.
+func CDFAt(pts []CDFPoint, pctPages float64) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].PctPages >= pctPages {
+			p0, p1 := pts[i-1], pts[i]
+			if p1.PctPages == p0.PctPages {
+				return p1.PctRefetches
+			}
+			f := (pctPages - p0.PctPages) / (p1.PctPages - p0.PctPages)
+			return p0.PctRefetches + f*(p1.PctRefetches-p0.PctRefetches)
+		}
+	}
+	return pts[len(pts)-1].PctRefetches
+}
+
+// Normalized returns this run's execution time relative to a baseline.
+func (r *Run) Normalized(baseline *Run) float64 {
+	if baseline == nil || baseline.ExecCycles == 0 {
+		return 0
+	}
+	return float64(r.ExecCycles) / float64(baseline.ExecCycles)
+}
+
+// Summary renders the headline counters in a compact single line.
+func (r *Run) Summary() string {
+	return fmt.Sprintf(
+		"exec=%d refs=%d l1hit=%d bc=%d pc=%d remote=%d refetch=%d faults=%d alloc=%d repl=%d reloc=%d",
+		r.ExecCycles, r.Refs, r.L1Hits, r.BlockCacheHits, r.PageCacheHits,
+		r.RemoteFetches, r.Refetches, r.PageFaults, r.Allocations, r.Replacements, r.Relocations)
+}
+
+// Ratio safely divides two counters, returning 0 when the denominator is 0.
+func Ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rnuma/internal/addr"
+)
+
+func TestAddRefetch(t *testing.T) {
+	r := NewRun()
+	r.AddRefetch(1, 10)
+	r.AddRefetch(1, 10)
+	r.AddRefetch(2, 10)
+	if r.Refetches != 3 {
+		t.Errorf("refetches = %d, want 3", r.Refetches)
+	}
+	if r.RefetchByPage[PageKey{1, 10}] != 2 {
+		t.Errorf("per-page count = %d, want 2", r.RefetchByPage[PageKey{1, 10}])
+	}
+	if len(r.RefetchByPage) != 2 {
+		t.Errorf("distinct (node,page) pairs = %d, want 2", len(r.RefetchByPage))
+	}
+}
+
+func TestRefetchCDFSkewed(t *testing.T) {
+	r := NewRun()
+	// One page with 90 refetches, nine pages with 1 or 2.
+	for i := 0; i < 90; i++ {
+		r.AddRefetch(0, 0)
+	}
+	for p := addr.PageNum(1); p <= 9; p++ {
+		r.AddRefetch(0, p)
+	}
+	pts := r.RefetchCDF(10)
+	// The top 10% of pages (1 of 10) covers 90/99 of refetches.
+	got := CDFAt(pts, 10)
+	want := 100 * 90.0 / 99.0
+	if math.Abs(got-want) > 1 {
+		t.Errorf("CDF at 10%% = %.1f, want %.1f", got, want)
+	}
+	if end := CDFAt(pts, 100); math.Abs(end-100) > 0.01 {
+		t.Errorf("CDF at 100%% = %.1f, want 100", end)
+	}
+}
+
+func TestRefetchCDFUniform(t *testing.T) {
+	r := NewRun()
+	for p := addr.PageNum(0); p < 50; p++ {
+		r.AddRefetch(0, p)
+		r.AddRefetch(0, p)
+	}
+	pts := r.RefetchCDF(0)
+	// Uniform counts: the curve is the diagonal.
+	for _, x := range []float64{20, 40, 60, 80} {
+		if got := CDFAt(pts, x); math.Abs(got-x) > 3 {
+			t.Errorf("uniform CDF at %.0f%% = %.1f, want ~%.0f", x, got, x)
+		}
+	}
+}
+
+func TestRefetchCDFWithZeroPages(t *testing.T) {
+	r := NewRun()
+	r.AddRefetch(0, 0)
+	// 1 refetching page out of 100 remote pages: the curve jumps to 100%
+	// at 1% of pages.
+	pts := r.RefetchCDF(100)
+	if got := CDFAt(pts, 1); math.Abs(got-100) > 0.01 {
+		t.Errorf("CDF at 1%% = %.1f, want 100", got)
+	}
+	if got := CDFAt(pts, 50); math.Abs(got-100) > 0.01 {
+		t.Errorf("CDF at 50%% = %.1f, want 100 (flat tail)", got)
+	}
+}
+
+func TestRefetchCDFEmpty(t *testing.T) {
+	r := NewRun()
+	if pts := r.RefetchCDF(10); pts != nil {
+		t.Error("no refetches should produce an empty curve")
+	}
+	if CDFAt(nil, 50) != 0 {
+		t.Error("CDFAt on empty curve should be 0")
+	}
+}
+
+// TestCDFMonotonic: the CDF is non-decreasing in both axes for arbitrary
+// refetch count multisets.
+func TestCDFMonotonic(t *testing.T) {
+	f := func(counts []uint8) bool {
+		r := NewRun()
+		for i, c := range counts {
+			for j := 0; j < int(c); j++ {
+				r.AddRefetch(0, addr.PageNum(i))
+			}
+		}
+		pts := r.RefetchCDF(len(counts))
+		lastP, lastR := -1.0, -1.0
+		for _, pt := range pts {
+			if pt.PctPages < lastP || pt.PctRefetches < lastR-1e-9 {
+				return false
+			}
+			lastP, lastR = pt.PctPages, pt.PctRefetches
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	a, b := NewRun(), NewRun()
+	a.ExecCycles, b.ExecCycles = 300, 200
+	if got := a.Normalized(b); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("normalized = %v, want 1.5", got)
+	}
+	if a.Normalized(nil) != 0 || a.Normalized(NewRun()) != 0 {
+		t.Error("degenerate baselines should yield 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("divide by zero should yield 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Error("ratio wrong")
+	}
+}
+
+func TestTotalsAndSummary(t *testing.T) {
+	r := NewRun()
+	r.Allocations, r.Replacements, r.Relocations = 2, 3, 4
+	if r.TotalPageOps() != 9 {
+		t.Errorf("page ops = %d, want 9", r.TotalPageOps())
+	}
+	r.Refs, r.RemoteFetches = 100, 25
+	if r.RemoteMissRatio() != 0.25 {
+		t.Errorf("remote miss ratio = %v", r.RemoteMissRatio())
+	}
+	s := r.Summary()
+	for _, frag := range []string{"refs=100", "remote=25", "reloc=4"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("summary %q missing %q", s, frag)
+		}
+	}
+	empty := NewRun()
+	if empty.RemoteMissRatio() != 0 {
+		t.Error("zero refs should give 0 miss ratio")
+	}
+}

@@ -1,0 +1,107 @@
+// Package trace defines the memory-reference streams the simulated
+// processors execute. Workloads produce one stream per CPU; the machine
+// pulls references lazily, so streams can be generated on the fly without
+// materializing full traces.
+package trace
+
+import "rnuma/internal/addr"
+
+// Ref is one data memory reference, or a barrier marker.
+type Ref struct {
+	// Page and Off name the referenced block in the global shared segment.
+	Page addr.PageNum
+	Off  uint16
+	// Write distinguishes stores from loads.
+	Write bool
+	// Gap is the compute time (cycles) the CPU spends before issuing this
+	// reference — the non-memory instructions between references.
+	Gap uint16
+	// Barrier marks a global synchronization point instead of a memory
+	// access: the CPU waits until every other active CPU reaches its next
+	// barrier (the bulk-synchronous structure of the SPLASH-2 workloads).
+	Barrier bool
+}
+
+// BarrierRef returns a barrier marker.
+func BarrierRef() Ref { return Ref{Barrier: true} }
+
+// Stream produces a CPU's references in program order.
+type Stream interface {
+	// Next returns the next reference, or ok=false at end of program.
+	Next() (Ref, bool)
+}
+
+// SliceStream replays a pre-built reference slice.
+type SliceStream struct {
+	refs []Ref
+	pos  int
+}
+
+// FromSlice wraps a slice of references as a Stream.
+func FromSlice(refs []Ref) *SliceStream { return &SliceStream{refs: refs} }
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Ref, bool) {
+	if s.pos >= len(s.refs) {
+		return Ref{}, false
+	}
+	r := s.refs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Len returns the total number of references in the slice.
+func (s *SliceStream) Len() int { return len(s.refs) }
+
+// FuncStream adapts a generator function to a Stream.
+type FuncStream func() (Ref, bool)
+
+// Next implements Stream.
+func (f FuncStream) Next() (Ref, bool) { return f() }
+
+// Concat chains streams back to back.
+func Concat(streams ...Stream) Stream {
+	i := 0
+	return FuncStream(func() (Ref, bool) {
+		for i < len(streams) {
+			if r, ok := streams[i].Next(); ok {
+				return r, true
+			}
+			i++
+		}
+		return Ref{}, false
+	})
+}
+
+// Repeat replays the slice n times (phases/iterations).
+func Repeat(refs []Ref, n int) Stream {
+	iter, pos := 0, 0
+	return FuncStream(func() (Ref, bool) {
+		for {
+			if iter >= n {
+				return Ref{}, false
+			}
+			if pos < len(refs) {
+				r := refs[pos]
+				pos++
+				return r, true
+			}
+			iter++
+			pos = 0
+		}
+	})
+}
+
+// Empty is a stream with no references (an idle CPU).
+func Empty() Stream { return FromSlice(nil) }
+
+// Count drains a stream and returns its length (testing helper).
+func Count(s Stream) int {
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}

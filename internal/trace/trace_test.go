@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"testing"
+
+	"rnuma/internal/addr"
+)
+
+func refs(n int) []Ref {
+	out := make([]Ref, n)
+	for i := range out {
+		out[i] = Ref{Page: addr.PageNum(i), Off: uint16(i % 128)}
+	}
+	return out
+}
+
+func TestSliceStream(t *testing.T) {
+	s := FromSlice(refs(3))
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	for i := 0; i < 3; i++ {
+		r, ok := s.Next()
+		if !ok || r.Page != addr.PageNum(i) {
+			t.Fatalf("ref %d = %+v, ok=%v", i, r, ok)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("stream did not end")
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("ended stream restarted")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	s := Concat(FromSlice(refs(2)), Empty(), FromSlice(refs(3)))
+	if got := Count(s); got != 5 {
+		t.Errorf("concat length = %d, want 5", got)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	base := refs(4)
+	s := Repeat(base, 3)
+	var seen []addr.PageNum
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		seen = append(seen, r.Page)
+	}
+	if len(seen) != 12 {
+		t.Fatalf("repeat emitted %d refs, want 12", len(seen))
+	}
+	for i, p := range seen {
+		if p != addr.PageNum(i%4) {
+			t.Fatalf("ref %d = page %d, want %d", i, p, i%4)
+		}
+	}
+	if got := Count(Repeat(base, 0)); got != 0 {
+		t.Errorf("repeat 0 emitted %d refs", got)
+	}
+}
+
+func TestFuncStream(t *testing.T) {
+	n := 0
+	s := FuncStream(func() (Ref, bool) {
+		if n >= 2 {
+			return Ref{}, false
+		}
+		n++
+		return Ref{Page: addr.PageNum(n)}, true
+	})
+	if got := Count(s); got != 2 {
+		t.Errorf("func stream length = %d, want 2", got)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if got := Count(Empty()); got != 0 {
+		t.Errorf("empty stream emitted %d refs", got)
+	}
+}

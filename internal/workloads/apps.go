@@ -1,0 +1,443 @@
+package workloads
+
+import (
+	"rnuma/internal/addr"
+)
+
+// The per-application constants below size footprints against the paper's
+// base machine: 256-block (8-KB) L1s per CPU, a 1024-block (32-KB) CC-NUMA
+// block cache, and an 80-frame (320-KB) page cache. Footprints never
+// scale; only iteration counts do.
+
+// Barnes reproduces barnes (Table 3: 16K particles). Section 5.2: a small
+// set of hot reuse pages (the shared tree) misses constantly in CC-NUMA's
+// block cache, while the full remote page set is too large for S-COMA's
+// page cache — R-NUMA relocates the tree and beats both. Table 4: 97% of
+// refetches are to read-write pages; Figure 5: under 10% of pages carry
+// over 80% of refetches.
+func Barnes(cfg Config) *Workload {
+	cfg.validate()
+	b := newBuilder(cfg, 0xBA27E5)
+	iters := cfg.iters(6)
+
+	hot := b.allocGlobal(20) // the tree: read by all, partially rewritten
+	cold := make([][]addr.PageNum, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		cold[n] = b.alloc(addr.NodeID(n), 100) // exchanged body pages
+	}
+
+	for it := 0; it < iters; it++ {
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			// Tree walk: every node sweeps the hot tree twice, densely.
+			b.sweep(n, hot, b.bpp, 2, false, 14)
+			// The sweep's hottest tail is re-referenced immediately: a
+			// primary working set that fits a 32-KB block cache but not a
+			// 1-KB one (Figure 7's block-cache sensitivity).
+			b.sweepShared(n, hot[len(hot)-7:], b.bpp, 3, false, 14)
+			// Body exchange: read 6 blocks per page from both neighbors.
+			b.sweep(n, cold[b.neighbor(n, 1)], 6, 1, false, 30)
+			b.sweep(n, cold[b.neighbor(n, cfg.Nodes-1)], 6, 1, false, 30)
+			b.localCompute(n, 2200, 300)
+		}
+		b.barrier()
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			// Owners update: the tree partially (keeping most blocks
+			// valid so reuse misses stay capacity misses), bodies fully.
+			b.rewrite(n, share(hot, int(n), cfg.Nodes), 32, 8)
+			b.rewrite(n, cold[n], 6, 8)
+		}
+		b.barrier()
+	}
+	return b.finish("barnes", "Barnes-Hut: hot shared tree + exchanged bodies", "16K particles")
+}
+
+// Cholesky reproduces cholesky (tk16.O). Section 5.2: a large fraction of
+// remote pages cause block-cache misses, and the page cache holds most of
+// them, so R-NUMA and S-COMA beat CC-NUMA. Table 4: only 28% of refetches
+// are to read-write pages (panels are produced once, then read), and
+// R-NUMA retains ~15% of S-COMA's replacements. Irregular access order
+// keeps the slight page-cache overflow from degenerating into sequential
+// thrash.
+func Cholesky(cfg Config) *Workload {
+	cfg.validate()
+	b := newBuilder(cfg, 0xC401E5)
+	phases := cfg.iters(6)
+	if phases < 3 {
+		// Relocation pays off across phases; keep enough of them for the
+		// steady state to dominate even at small test scales.
+		phases = 3
+	}
+
+	panels := make([][]addr.PageNum, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		panels[n] = b.alloc(addr.NodeID(n), 43)
+		// Producers fill their panels before anyone shares them, so most
+		// pages are classified read-only (Table 4's 28%).
+		b.sweep(addr.NodeID(n), panels[n], b.bpp, 1, true, 4)
+	}
+	b.barrier()
+
+	for ph := 0; ph < phases; ph++ {
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			// Each node consumes both neighbors' panels (86 remote pages
+			// against the 80-frame page cache) in irregular order.
+			pages := append(append([]addr.PageNum{},
+				panels[b.neighbor(n, 1)]...),
+				panels[b.neighbor(n, cfg.Nodes-1)]...)
+			b.rng.Shuffle(len(pages), func(i, j int) { pages[i], pages[j] = pages[j], pages[i] })
+			b.sweep(n, pages, b.bpp, 1, false, 16)
+			// The sweep's hottest tail is re-referenced immediately: a
+			// primary working set that fits a 32-KB block cache but not a
+			// 1-KB one (Figure 7's block-cache sensitivity).
+			b.sweepShared(n, pages[len(pages)-7:], b.bpp, 3, false, 16)
+			b.localCompute(n, 1000, 300)
+		}
+		b.barrier()
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			// A quarter of each panel is updated between phases: those
+			// pages become read-write shared.
+			quarter := panels[n][:len(panels[n])/4]
+			b.rewrite(n, quarter, 13, 8)
+		}
+		b.barrier()
+	}
+	return b.finish("cholesky", "Sparse Cholesky: panel reuse nearly fitting the page cache", "tk16.O")
+}
+
+// EM3D reproduces em3d (76800 nodes, 15% remote, 5 iters). Section 5.2:
+// producer-consumer communication with a tiny reuse set — CC-NUMA performs
+// well; S-COMA cannot hold the 120 sparse remote pages per node, and the
+// graph's irregular access order makes page residency decay per access, so
+// it thrashes badly. Table 4: 100% of refetches are to read-write pages.
+func EM3D(cfg Config) *Workload {
+	cfg.validate()
+	b := newBuilder(cfg, 0xE3D)
+	iters := cfg.iters(5)
+
+	graph := make([][]addr.PageNum, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		graph[n] = b.alloc(addr.NodeID(n), 120)
+	}
+	// A small shared table of ghost-node metadata: the only reuse pages,
+	// read densely by all and partially rewritten (hence read-write).
+	table := b.allocGlobal(6)
+
+	for it := 0; it < iters; it++ {
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			// Update the boundary values this node exports (8 blocks per
+			// page, covering everything consumers read).
+			b.rewrite(n, graph[n], 8, 6)
+			// Read boundary values: 4 blocks from each of 240 remote
+			// pages, in irregular (edge-list) order — severe internal
+			// fragmentation, the page-cache poison of Section 2.2.
+			both := append(append([]addr.PageNum{},
+				graph[b.neighbor(n, 1)]...),
+				graph[b.neighbor(n, cfg.Nodes-1)]...)
+			b.scatter(n, both, 4, false, 12)
+			b.sweep(n, table, b.bpp, 1, false, 10)
+			b.localCompute(n, 150, 200)
+		}
+		b.barrier()
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			b.rewrite(n, share(table, int(n), cfg.Nodes), 64, 8)
+		}
+		b.barrier()
+	}
+	return b.finish("em3d", "3-D EM wave propagation: producer-consumer halo exchange", "76800 nodes, 15% remote, 5 iters")
+}
+
+// FFT reproduces fft (64K points). The six-step FFT's transpose reads are
+// strided — a few blocks from each of ~140 remote pages — and each datum
+// is read exactly once per pass before being rewritten by its producer, so
+// there are no capacity/conflict refetches at all (Figure 5 omits fft) and
+// CC-NUMA matches the ideal machine while S-COMA starves for page frames.
+func FFT(cfg Config) *Workload {
+	cfg.validate()
+	b := newBuilder(cfg, 0xFF7)
+	passes := cfg.iters(3)
+
+	rows := make([][]addr.PageNum, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		rows[n] = b.alloc(addr.NodeID(n), 48)
+	}
+	// Column reads of a row-major matrix: stride-32 blocks, rotated per
+	// page like every real array's alignment.
+	strided := func(p addr.PageNum) []int {
+		base := int(uint32(p)*37) & (b.bpp - 1)
+		return []int{base, (base + 32) & (b.bpp - 1), (base + 64) & (b.bpp - 1), (base + 96) & (b.bpp - 1)}
+	}
+
+	for ps := 0; ps < passes; ps++ {
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			// Local FFT over own rows: rewrites exactly the strided
+			// blocks the transpose reads, so every consumer copy is
+			// invalidated and the next pass sees coherence misses only.
+			b.sweepOffsets(n, rows[n], strided, true, 5)
+			b.rewrite(n, rows[n], 16, 5)
+			b.localCompute(n, 150, 200)
+		}
+		b.barrier()
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			// Transpose: strided reads of 20 pages from every other node.
+			for d := 1; d < cfg.Nodes; d++ {
+				victim := b.neighbor(n, d)
+				start := (int(n) * 5) % 28
+				b.sweepOffsets(n, rows[victim][start:start+20], strided, false, 15)
+			}
+			b.localCompute(n, 100, 200)
+		}
+		b.barrier()
+	}
+	return b.finish("fft", "Six-step FFT: strided all-to-all transpose", "64K points")
+}
+
+// FMM reproduces fmm (16K particles). Section 5.2: remote data is too
+// large for the page cache and sparse (fragmented), but the active window
+// fits the 32-KB block cache — CC-NUMA does well, S-COMA collapses, and
+// R-NUMA's relocated pages bounce (refetches rise to 142% of CC-NUMA's,
+// Table 4). 99% of refetches are to read-write pages.
+func FMM(cfg Config) *Workload {
+	cfg.validate()
+	b := newBuilder(cfg, 0xF33)
+	iters := cfg.iters(3)
+
+	cells := make([][]addr.PageNum, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		cells[n] = b.alloc(addr.NodeID(n), 42)
+	}
+	sparse := func(p addr.PageNum) []int { return b.rotContig(p, 10) }
+
+	for it := 0; it < iters; it++ {
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			// Interaction lists: every other node's cells, visited in
+			// windows of 110 pages; each CPU sweeps each window 4 times
+			// at 10 sparse blocks per page. 110x10 = 1100 blocks slightly
+			// overflows the 1024-block block cache, and 110 pages far
+			// exceed the 80-frame page cache.
+			var pages []addr.PageNum
+			for d := 1; d < cfg.Nodes; d++ {
+				pages = append(pages, cells[b.neighbor(n, d)]...)
+			}
+			b.windowed(n, pages, sparse, 110, 4, false, 20)
+			b.localCompute(n, 2600, 280)
+		}
+		b.barrier()
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			b.rewrite(n, cells[n], 64, 6)
+		}
+		b.barrier()
+	}
+	return b.finish("fmm", "Fast multipole: sparse windowed reuse exceeding the page cache", "16K particles")
+}
+
+// LU reproduces lu (512x512, 16x16 blocks). Section 5.2/5.5: remote pages
+// are almost all reuse pages; the blocked algorithm's inherent load
+// imbalance makes two nodes responsible for over half the replacements,
+// putting page operations on the critical path (hence lu's unique
+// sensitivity to relocation overhead, Figure 9). Table 4: 82% read-write.
+func LU(cfg Config) *Workload {
+	cfg.validate()
+	b := newBuilder(cfg, 0x1C)
+	phases := cfg.iters(6)
+
+	blocks := make([][]addr.PageNum, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		owned := 50
+		if n < 2 {
+			owned = 90 // the imbalance: nodes 0-1 serve larger panels
+		}
+		blocks[n] = b.alloc(addr.NodeID(n), owned)
+	}
+
+	for ph := 0; ph < phases; ph++ {
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			pages := append([]addr.PageNum{}, blocks[b.neighbor(n, 1)]...)
+			b.rng.Shuffle(len(pages), func(i, j int) { pages[i], pages[j] = pages[j], pages[i] })
+			b.sweep(n, pages, b.bpp, 2, false, 16)
+			// The sweep's hottest tail is re-referenced immediately: a
+			// primary working set that fits a 32-KB block cache but not a
+			// 1-KB one (Figure 7's block-cache sensitivity).
+			b.sweepShared(n, pages[len(pages)-7:], b.bpp, 3, false, 16)
+			b.localCompute(n, 1900, 300)
+		}
+		b.barrier()
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			most := blocks[n][:len(blocks[n])*85/100]
+			b.rewrite(n, most, 51, 6)
+		}
+		b.barrier()
+	}
+	return b.finish("lu", "Blocked LU: reuse pages with two-node load imbalance", "512x512 matrix, 16x16 blocks")
+}
+
+// Moldyn reproduces moldyn (2048 particles, 15 iters). Section 5.2: the
+// complete remote page set fits the page cache, so S-COMA wins big over
+// CC-NUMA, whose block cache is overwhelmed by the dense neighbor-list
+// sweeps; R-NUMA relocates everything and matches S-COMA. 98% read-write.
+func Moldyn(cfg Config) *Workload {
+	cfg.validate()
+	b := newBuilder(cfg, 0x301D)
+	iters := cfg.iters(5)
+
+	particles := make([][]addr.PageNum, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		particles[n] = b.alloc(addr.NodeID(n), 56)
+	}
+
+	for it := 0; it < iters; it++ {
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			neigh := particles[b.neighbor(n, 1)]
+			// Force computation: two passes over half of each of the
+			// neighbor's 56 pages (3584 blocks >> the 1024-block block
+			// cache), plus extra passes over a hot subset (Figure 5 skew).
+			b.sweep(n, neigh, 64, 2, false, 26)
+			b.sweep(n, neigh[:20], 64, 2, false, 26)
+			// The sweep's hottest tail is re-referenced immediately: a
+			// primary working set that fits a 32-KB block cache but not a
+			// 1-KB one (Figure 7's block-cache sensitivity).
+			b.sweepShared(n, neigh[:20][13:], 64, 3, false, 26)
+			b.localCompute(n, 10000, 300)
+		}
+		b.barrier()
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			// Position updates dirty 15 blocks of each page.
+			b.rewrite(n, particles[n], 15, 8)
+		}
+		b.barrier()
+	}
+	return b.finish("moldyn", "Molecular dynamics: dense neighbor reuse fitting the page cache", "2048 particles, 15 iters")
+}
+
+// Ocean reproduces ocean (258x258). Section 5.2/5.3: the remote working
+// set misses in every cache — too big for even a 32-KB block cache and far
+// beyond the page cache — so every protocol suffers, but R-NUMA's partial
+// relocation still wins. 96% read-write.
+func Ocean(cfg Config) *Workload {
+	cfg.validate()
+	b := newBuilder(cfg, 0x0CEA)
+	iters := cfg.iters(3)
+
+	grid := make([][]addr.PageNum, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		grid[n] = b.alloc(addr.NodeID(n), 60)
+	}
+
+	for it := 0; it < iters; it++ {
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			// Stencil sweeps over both neighbors' subgrids: 120 dense
+			// remote pages (15360 blocks), twice per iteration.
+			pages := append(append([]addr.PageNum{},
+				grid[b.neighbor(n, 1)]...),
+				grid[b.neighbor(n, cfg.Nodes-1)]...)
+			b.sweep(n, pages, b.bpp, 2, false, 18)
+			// The sweep's hottest tail is re-referenced immediately: a
+			// primary working set that fits a 32-KB block cache but not a
+			// 1-KB one (Figure 7's block-cache sensitivity).
+			b.sweepShared(n, pages[len(pages)-7:], b.bpp, 4, false, 18)
+			b.localCompute(n, 5000, 300)
+		}
+		b.barrier()
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			b.rewrite(n, grid[n], 38, 6)
+		}
+		b.barrier()
+	}
+	return b.finish("ocean", "Ocean: huge dense remote working set", "258x258 ocean")
+}
+
+// Radix reproduces radix (1M integers, radix 1024). Section 5.1/5.2: an
+// all-to-all permutation marches through many remote pages touching a few
+// blocks each — refetches are spread evenly over pages (Figure 5's
+// diagonal), the active window fits the block cache (CC-NUMA fine), the
+// page count swamps the page cache (S-COMA up to 4x worse), and R-NUMA's
+// relocated pages bounce. Only 15% of refetches touch read-write pages:
+// the key/bucket data is written before it is shared; the read-write
+// fraction comes from a small shared histogram.
+func Radix(cfg Config) *Workload {
+	cfg.validate()
+	b := newBuilder(cfg, 0x4AD1)
+	passes := cfg.iters(3)
+
+	dest := make([][]addr.PageNum, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		dest[n] = b.alloc(addr.NodeID(n), 40)
+		// Owners initialize their buckets pre-sharing (read-only class).
+		b.sweep(addr.NodeID(n), dest[n], b.bpp, 1, true, 3)
+	}
+	hist := b.allocGlobal(16) // shared histogram: the read-write traffic
+	b.barrier()
+
+	for ps := 0; ps < passes; ps++ {
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			// Each writer owns a distinct 16-block slice of every bucket
+			// page and scatters keys into 12 of those blocks, marching in
+			// windows of 84 pages each CPU sweeps 5 times (window: 1008
+			// blocks, just fitting the 1024-block block cache; 84 pages
+			// overflow the page cache, and each sweep wave refaults every
+			// page).
+			var pages []addr.PageNum
+			for d := 1; d < cfg.Nodes; d++ {
+				pages = append(pages, dest[b.neighbor(n, d)]...)
+			}
+			writer := int(n) % 8
+			slice := func(p addr.PageNum) []int {
+				base := (int(uint32(p)*37) + writer*16) & (b.bpp - 1)
+				out := make([]int, 12)
+				for j := range out {
+					out[j] = (base + j) & (b.bpp - 1)
+				}
+				return out
+			}
+			b.windowed(n, pages, slice, 84, 5, true, 16)
+			// Histogram: read all, update own share.
+			b.sweep(n, hist, 32, 1, false, 10)
+			b.sweep(n, share(hist, int(n), cfg.Nodes), 8, 1, true, 10)
+			b.localCompute(n, 5000, 250)
+		}
+		b.barrier()
+	}
+	return b.finish("radix", "Radix sort: all-to-all scatter, evenly spread refetches", "1M integers, radix 1024")
+}
+
+// Raytrace reproduces raytrace (car). Section 5.1: almost all remote data
+// is read-only scene geometry (5% read-write refetches, Table 4); rays
+// stream through a scene too large for the page cache — revisiting pages
+// as ray coherence allows — while a hot read-only core misses in the block
+// cache. R-NUMA relocates the hot core plus the most-revisited scene pages
+// and beats both; cold scene pages never accumulate enough refetches to
+// relocate.
+func Raytrace(cfg Config) *Workload {
+	cfg.validate()
+	b := newBuilder(cfg, 0x4A7)
+	frames := cfg.iters(5)
+
+	scene := b.allocGlobal(200) // read-only geometry
+	core := b.allocGlobal(12)   // hot BSP-tree core, also read-only
+	fb := b.allocGlobal(4)      // shared frame counters: the RW traffic
+	// Build the scene once (pre-sharing writes stay read-only class).
+	for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+		b.sweep(n, share(scene, int(n), cfg.Nodes), b.bpp, 1, true, 3)
+		b.sweep(n, share(core, int(n), cfg.Nodes), b.bpp, 1, true, 3)
+	}
+	b.barrier()
+
+	for f := 0; f < frames; f++ {
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			b.sweepShared(n, core, b.bpp, 2, false, 12)
+			// Ray coherence skews scene popularity (Figure 5: under 10%
+			// of pages carry most refetches): 40 popular pages are hit
+			// every frame — they accumulate refetches and relocate under
+			// R-NUMA — while the cold tail is sampled lightly and never
+			// crosses the threshold.
+			b.sweepShared(n, scene[:40], 6, 1, false, 30)
+			tail := append([]addr.PageNum{}, scene[40:]...)
+			b.rng.Shuffle(len(tail), func(i, j int) { tail[i], tail[j] = tail[j], tail[i] })
+			b.sweepShared(n, tail[:48], 6, 1, false, 30)
+			b.sweep(n, fb, 16, 1, false, 10)
+			b.sweep(n, share(fb, int(n), cfg.Nodes), 8, 1, true, 10)
+			b.localCompute(n, 2600, 300)
+		}
+		b.barrier()
+	}
+	return b.finish("raytrace", "Raytracing: read-only scene streaming + hot core", "car")
+}

@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"rnuma/internal/addr"
+	"rnuma/internal/trace"
+)
+
+// PhaseShift is an extension workload (not part of the paper's Table 3
+// catalog) built to exercise the reverse-adaptation direction the paper
+// only gestures at: "R-NUMA dynamically detects when communication pages
+// become reuse pages, and vice versa."
+//
+// Phase 1: set A (40 remote pages per node) is a dense reuse set — it
+// relocates into the page cache. Phase 2: A's owners start rewriting it
+// every iteration while consumers only skim it (A becomes a communication
+// set), and a new reuse set B (75 pages) appears. The page cache has 80
+// frames: with the paper's base design, A's frames look perpetually
+// "recently missed" to LRM (coherence misses refresh them), so B fights
+// for the remaining frames; with demotion enabled, A's pure-miss frames
+// are reclaimed and B fits.
+func PhaseShift(cfg Config) *Workload {
+	cfg.validate()
+	b := newBuilder(cfg, 0x50A5E2)
+	itersA := cfg.iters(4)
+	itersB := cfg.iters(6)
+
+	setA := make([][]addr.PageNum, cfg.Nodes)
+	setB := make([][]addr.PageNum, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		setA[n] = b.alloc(addr.NodeID(n), 40)
+		setB[n] = b.alloc(addr.NodeID(n), 75)
+	}
+
+	// Phase 1: A is a classic reuse set (dense repeated sweeps).
+	for it := 0; it < itersA; it++ {
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			b.sweep(n, setA[b.neighbor(n, 1)], b.bpp, 2, false, 20)
+			b.localCompute(n, 1500, 250)
+		}
+		b.barrier()
+	}
+
+	// Phase 2: A turns into a communication set (rewritten by its owner
+	// each iteration, skimmed by the consumer), while B becomes the reuse
+	// set. The A skims are interleaved *through* the B sweep: every A
+	// coherence miss refreshes A's frames in the LRM ordering, so when a
+	// B relocation needs a victim, A's dead frames look recently missed
+	// and B pages evict each other instead. Demotion breaks the standoff
+	// by reclaiming A's pure-coherence-miss frames outright.
+	for it := 0; it < itersB; it++ {
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			b.rewrite(n, setA[n], 16, 6)
+		}
+		b.barrier()
+		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+			bPages := setB[b.neighbor(n, 1)]
+			aPages := setA[b.neighbor(n, 1)]
+			for ci := 0; ci < cfg.CPUsPerNode; ci++ {
+				cpu := b.cpu(n, ci)
+				aPos := 0
+				for rep := 0; rep < 2; rep++ {
+					for bi, p := range share(bPages, ci, cfg.CPUsPerNode) {
+						for _, off := range b.rotContig(p, b.bpp) {
+							b.push(cpu, trace.Ref{Page: p, Off: uint16(off), Gap: 20})
+						}
+						if bi%3 == 2 {
+							ap := aPages[(ci+aPos)%len(aPages)]
+							aPos += cfg.CPUsPerNode
+							for _, off := range b.rotContig(ap, 8) {
+								b.push(cpu, trace.Ref{Page: ap, Off: uint16(off), Gap: 25})
+							}
+						}
+					}
+				}
+			}
+			b.localCompute(n, 1500, 250)
+		}
+		b.barrier()
+	}
+	return b.finish("phaseshift", "Extension: reuse set turns into a communication set mid-run", "(extension workload)")
+}
