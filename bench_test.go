@@ -9,7 +9,9 @@
 package rnuma_test
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"rnuma/internal/addr"
@@ -21,11 +23,21 @@ import (
 	"rnuma/internal/machine"
 	"rnuma/internal/model"
 	"rnuma/internal/pagecache"
+	"rnuma/internal/stats"
 	"rnuma/internal/trace"
 	"rnuma/internal/workloads"
 )
 
 const benchScale = 0.25
+
+// benchHarness builds a harness whose scheduler fans out across all
+// cores: the macro benchmarks measure the full experiment pipeline the
+// way the tools run it (concurrent plan execution + serial assembly).
+func benchHarness(scale float64) *harness.Harness {
+	h := harness.New(scale)
+	h.Workers = runtime.GOMAXPROCS(0)
+	return h
+}
 
 // BenchmarkAnalyticalModel regenerates the Section 3.2 analysis (Table 1,
 // Equations 1-3): the competitive ratios and the worst-case bound at the
@@ -64,7 +76,7 @@ func BenchmarkTable3Workloads(b *testing.B) {
 func BenchmarkFigure5(b *testing.B) {
 	var skew float64
 	for i := 0; i < b.N; i++ {
-		h := harness.New(benchScale)
+		h := benchHarness(benchScale)
 		curves, err := h.Figure5(harness.AllApps())
 		if err != nil {
 			b.Fatal(err)
@@ -82,7 +94,7 @@ func BenchmarkFigure5(b *testing.B) {
 func BenchmarkTable4(b *testing.B) {
 	var rw float64
 	for i := 0; i < b.N; i++ {
-		h := harness.New(benchScale)
+		h := benchHarness(benchScale)
 		rows, err := h.Table4(harness.AllApps())
 		if err != nil {
 			b.Fatal(err)
@@ -101,7 +113,7 @@ func BenchmarkTable4(b *testing.B) {
 func BenchmarkFigure6(b *testing.B) {
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		h := harness.New(benchScale)
+		h := benchHarness(benchScale)
 		rows, err := h.Figure6(harness.AllApps())
 		if err != nil {
 			b.Fatal(err)
@@ -120,7 +132,7 @@ func BenchmarkFigure6(b *testing.B) {
 func BenchmarkFigure7(b *testing.B) {
 	var oceanBigPC float64
 	for i := 0; i < b.N; i++ {
-		h := harness.New(benchScale)
+		h := benchHarness(benchScale)
 		rows, err := h.Figure7(harness.AllApps())
 		if err != nil {
 			b.Fatal(err)
@@ -138,7 +150,7 @@ func BenchmarkFigure7(b *testing.B) {
 func BenchmarkFigure8(b *testing.B) {
 	var lu1024 float64
 	for i := 0; i < b.N; i++ {
-		h := harness.New(benchScale)
+		h := benchHarness(benchScale)
 		rows, err := h.Figure8(harness.AllApps())
 		if err != nil {
 			b.Fatal(err)
@@ -156,7 +168,7 @@ func BenchmarkFigure8(b *testing.B) {
 func BenchmarkFigure9(b *testing.B) {
 	var scHit float64
 	for i := 0; i < b.N; i++ {
-		h := harness.New(benchScale)
+		h := benchHarness(benchScale)
 		rows, err := h.Figure9(harness.AllApps())
 		if err != nil {
 			b.Fatal(err)
@@ -177,7 +189,7 @@ func BenchmarkFigure9(b *testing.B) {
 func BenchmarkAblationCounting(b *testing.B) {
 	var slowdown float64
 	for i := 0; i < b.N; i++ {
-		h := harness.New(benchScale)
+		h := benchHarness(benchScale)
 		res, err := h.AblationCounting("em3d")
 		if err != nil {
 			b.Fatal(err)
@@ -192,7 +204,7 @@ func BenchmarkAblationCounting(b *testing.B) {
 func BenchmarkAblationPlacement(b *testing.B) {
 	var slowdown float64
 	for i := 0; i < b.N; i++ {
-		h := harness.New(benchScale)
+		h := benchHarness(benchScale)
 		res, err := h.AblationPlacement("em3d")
 		if err != nil {
 			b.Fatal(err)
@@ -200,6 +212,29 @@ func BenchmarkAblationPlacement(b *testing.B) {
 		slowdown = res.SlowdownPct
 	}
 	b.ReportMetric(slowdown, "roundrobin-slowdown%")
+}
+
+// BenchmarkFullEvaluation regenerates every figure and table from one
+// deduplicated plan, comparing serial execution against the concurrent
+// scheduler. The workers=1 case is the pre-scheduler behavior; the
+// workers=N case is what cmd/rnuma-experiments does by default.
+func BenchmarkFullEvaluation(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h := harness.New(benchScale)
+				h.Workers = workers
+				h.Prefetch(h.PlanAll(harness.AllApps()))
+				// Assembly after the fan-out is pure cache reads.
+				if _, err := h.Figure6(harness.AllApps()); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := h.Figure8(harness.AllApps()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // ---------------------------------------------------------------------
@@ -290,6 +325,25 @@ func BenchmarkPageCacheLRM(b *testing.B) {
 		}
 		c.Allocate(addr.PageNum(i), int64(i))
 	}
+}
+
+// BenchmarkPageCounter measures the dense per-(node,page) counter table
+// against the map accumulation it replaced on the refetch path.
+func BenchmarkPageCounter(b *testing.B) {
+	b.Run("dense", func(b *testing.B) {
+		c := stats.NewPageCounter(8, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Add(addr.NodeID(i&7), addr.PageNum(i&1023), 1)
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		m := make(map[stats.PageKey]int64)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m[stats.PageKey{Node: addr.NodeID(i & 7), Page: addr.PageNum(i & 1023)}]++
+		}
+	})
 }
 
 // BenchmarkTraceGeneration measures reference stream production.

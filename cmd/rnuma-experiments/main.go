@@ -3,10 +3,14 @@
 // Usage:
 //
 //	rnuma-experiments [-exp all|fig5|table4|fig6|fig7|fig8|fig9|model|lu]
-//	                  [-apps barnes,lu,...] [-scale 1.0] [-v]
+//	                  [-apps barnes,lu,...] [-scale 1.0] [-parallel N] [-v]
 //
 // Each experiment prints the corresponding rows/series of the paper's
 // evaluation (Section 5); see EXPERIMENTS.md for paper-vs-measured values.
+// The selected experiments' (application, system) grids are combined into
+// one deduplicated plan and executed across -parallel workers (default
+// GOMAXPROCS) before the figures are assembled, so shared configurations
+// (the ideal baseline, the base protocols) simulate once.
 package main
 
 import (
@@ -23,10 +27,11 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, fig5, table4, fig6, fig7, fig8, fig9, model, lu")
-		apps    = flag.String("apps", "", "comma-separated application subset (default: all ten)")
-		scale   = flag.Float64("scale", 1.0, "workload scale (iteration multiplier)")
-		verbose = flag.Bool("v", false, "log run progress")
+		exp      = flag.String("exp", "all", "experiment: all, fig5, table4, fig6, fig7, fig8, fig9, model, lu")
+		apps     = flag.String("apps", "", "comma-separated application subset (default: all ten)")
+		scale    = flag.Float64("scale", 1.0, "workload scale (iteration multiplier)")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		verbose  = flag.Bool("v", false, "log run progress")
 	)
 	flag.Parse()
 
@@ -35,6 +40,7 @@ func main() {
 		list = strings.Split(*apps, ",")
 	}
 	h := harness.New(*scale)
+	h.Workers = *parallel
 	if *verbose {
 		h.Log = os.Stderr
 	}
@@ -48,6 +54,14 @@ func main() {
 	sep := func() { fmt.Println("\n" + strings.Repeat("=", 80) + "\n") }
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	// Warm the memo cache for the whole evaluation in one deduplicated
+	// concurrent fan-out; the per-figure assembly below then reads pure
+	// cache hits. Single-figure invocations skip this: each figure's own
+	// assembly prefetches exactly its grid.
+	if *exp == "all" {
+		h.Prefetch(h.PlanAll(list))
+	}
 
 	if want("model") {
 		costs := config.BaseCosts()

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	rnuma-sim -app moldyn -protocol rnuma [-bc 128] [-pc 327680] [-T 64]
-//	          [-scale 1.0] [-nodes 8] [-cpus 4] [-soft] [-ideal] [-v]
+//	          [-scale 1.0] [-nodes 8] [-cpus 4] [-soft] [-ideal]
+//	          [-parallel N] [-v]
 //
 // Protocols: ccnuma, scoma, rnuma. -ideal runs the normalization baseline
 // (CC-NUMA with an infinite block cache) regardless of -protocol.
@@ -34,6 +35,7 @@ func main() {
 		cpus     = flag.Int("cpus", 4, "CPUs per node")
 		soft     = flag.Bool("soft", false, "use SOFT costs (10-µs traps, 5-µs software shootdowns)")
 		ideal    = flag.Bool("ideal", false, "run the infinite-block-cache baseline")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		verbose  = flag.Bool("v", false, "log progress")
 	)
 	flag.Parse()
@@ -71,9 +73,15 @@ func main() {
 	}
 
 	h := harness.New(*scale)
+	h.Workers = *parallel
 	if *verbose {
 		h.Log = os.Stderr
 	}
+	// The requested run and its normalization baseline are independent:
+	// fan them out together before assembling the report.
+	h.Prefetch(harness.NewPlan().Add(
+		harness.NewJob(*appName, sys),
+		harness.NewJob(*appName, config.Ideal())))
 	run, err := h.Run(*appName, sys)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rnuma-sim: %v\n", err)

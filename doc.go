@@ -19,8 +19,21 @@
 //     storage hierarchy
 //   - internal/workloads — synthetic versions of the paper's ten
 //     applications (Table 3)
-//   - internal/harness — drivers that regenerate every table and figure
+//   - internal/harness — the experiment-plan layer and concurrent
+//     scheduler that regenerate every table and figure
 //   - internal/model — the analytical worst-case model (Section 3.2)
+//
+// The harness declares each figure's (application, system) grid as a Plan
+// of Jobs, deduplicates shared configurations (every figure divides by the
+// same ideal baseline), and executes the plan across a worker pool bounded
+// by Harness.Workers (default GOMAXPROCS; the tools expose it as
+// -parallel). Results land in a singleflight memo cache, so concurrent
+// requests for one configuration simulate exactly once and figure assembly
+// — always serial — produces output byte-identical to a serial run. Each
+// simulation owns a fresh Machine whose per-page hot state (homes, sharing
+// flags, page tables, refetch counters) lives in dense page-indexed slices
+// sized from the workload's segment, keeping map hashing off the
+// per-reference path and mutable state off the shared heap.
 //
 // The benchmarks in bench_test.go regenerate each table/figure; see
 // EXPERIMENTS.md for paper-versus-measured results and README.md for a

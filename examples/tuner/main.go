@@ -4,6 +4,10 @@
 // observation that the best practical threshold depends on the fraction of
 // reuse pages and can sit below the worst-case-optimal one.
 //
+// The sweep is declared as a harness Plan and executed by the concurrent
+// scheduler: all thresholds run in parallel (the T=64 job deduplicates
+// with the reference run), and the table is assembled from the result map.
+//
 // Run: go run ./examples/tuner [app]
 package main
 
@@ -26,20 +30,27 @@ func main() {
 	h := harness.New(0.5)
 	fmt.Printf("Threshold sweep for %q (R-NUMA, 128-B block cache, 320-KB page cache)\n\n", app)
 
-	base, err := h.Run(app, config.Base(config.RNUMA)) // T=64 reference
+	thresholds := []int{4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	baseJob := harness.NewJob(app, config.Base(config.RNUMA)) // T=64 reference
+	plan := harness.NewPlan().Add(baseJob)
+	jobs := make(map[int]harness.Job, len(thresholds))
+	for _, T := range thresholds {
+		sys := config.Base(config.RNUMA)
+		sys.Threshold = T
+		jobs[T] = harness.NewJob(app, sys)
+		plan.Add(jobs[T])
+	}
+
+	results, err := h.RunPlan(plan)
 	if err != nil {
 		log.Fatal(err)
 	}
+	base := results[baseJob.Key()]
 
 	bestT, bestExec := 0, int64(0)
 	fmt.Printf("%6s %14s %12s %12s %12s\n", "T", "exec cycles", "vs T=64", "relocations", "replacements")
-	for _, T := range []int{4, 8, 16, 32, 64, 128, 256, 512, 1024} {
-		sys := config.Base(config.RNUMA)
-		sys.Threshold = T
-		run, err := h.Run(app, sys)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, T := range thresholds {
+		run := results[jobs[T].Key()]
 		fmt.Printf("%6d %14d %12.3f %12d %12d\n",
 			T, run.ExecCycles, float64(run.ExecCycles)/float64(base.ExecCycles),
 			run.Relocations, run.Replacements)

@@ -1,0 +1,3 @@
+module rnuma
+
+go 1.24

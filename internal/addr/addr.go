@@ -61,6 +61,12 @@ func (g Geometry) OffsetOf(b BlockNum) int {
 	return int(uint32(b) & uint32(g.BlocksPerPage()-1))
 }
 
+// BlocksFor returns the number of blocks in a segment of `pages` pages:
+// the size of a dense block-indexed table covering the segment.
+func (g Geometry) BlocksFor(pages int) int {
+	return pages << (g.PageShift - g.BlockShift)
+}
+
 // Validate reports whether the geometry is internally consistent.
 func (g Geometry) Validate() error {
 	if g.BlockShift < 2 || g.BlockShift > 12 {

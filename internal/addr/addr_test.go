@@ -60,6 +60,24 @@ func TestBlockNumbersContiguous(t *testing.T) {
 	}
 }
 
+func TestBlocksFor(t *testing.T) {
+	g := Default
+	if got := g.BlocksFor(0); got != 0 {
+		t.Errorf("BlocksFor(0) = %d, want 0", got)
+	}
+	if got := g.BlocksFor(3); got != 3*g.BlocksPerPage() {
+		t.Errorf("BlocksFor(3) = %d, want %d", got, 3*g.BlocksPerPage())
+	}
+	// A dense block table sized by BlocksFor covers every block of every
+	// page below the bound.
+	n := 5
+	limit := g.BlocksFor(n)
+	b := g.BlockOf(PageNum(n-1), g.BlocksPerPage()-1)
+	if int(b) != limit-1 {
+		t.Errorf("last block of page %d = %d, want table size %d - 1", n-1, b, limit)
+	}
+}
+
 func TestGeometryValidate(t *testing.T) {
 	bad := []Geometry{
 		{BlockShift: 1, PageShift: 12}, // block too small

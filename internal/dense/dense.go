@@ -1,0 +1,22 @@
+// Package dense provides the slice-growth helper shared by the dense,
+// index-addressed hot-path tables: the machine's per-page state, the
+// per-node page tables, and the stats counter tables all grow with the
+// same double-or-need policy.
+package dense
+
+// Grow returns s extended to length at least n, doubling the current
+// length to amortize repeated growth. The new tail is zero-valued; the
+// prefix is preserved. If s already has length n or more it is returned
+// unchanged.
+func Grow[T any](s []T, n int) []T {
+	if len(s) >= n {
+		return s
+	}
+	m := 2 * len(s)
+	if m < n {
+		m = n
+	}
+	out := make([]T, m)
+	copy(out, s)
+	return out
+}

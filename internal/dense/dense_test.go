@@ -1,0 +1,34 @@
+package dense
+
+import "testing"
+
+func TestGrow(t *testing.T) {
+	s := []int{1, 2, 3}
+	if got := Grow(s, 2); len(got) != 3 || &got[0] != &s[0] {
+		t.Error("Grow shrank or reallocated an already-large slice")
+	}
+	g := Grow(s, 4)
+	if len(g) != 6 { // doubles, not just meets
+		t.Errorf("Grow(len 3, 4) has length %d, want 6", len(g))
+	}
+	for i, v := range []int{1, 2, 3, 0, 0, 0} {
+		if g[i] != v {
+			t.Errorf("g[%d] = %d, want %d", i, g[i], v)
+		}
+	}
+	// Need far beyond double: jumps straight to need.
+	if got := Grow(s, 100); len(got) != 100 {
+		t.Errorf("Grow(len 3, 100) has length %d, want 100", len(got))
+	}
+	// Growing an empty slice.
+	if got := Grow([]byte(nil), 5); len(got) != 5 {
+		t.Errorf("Grow(nil, 5) has length %d, want 5", len(got))
+	}
+	// A multiple-of-stride length stays a multiple under doubling (the
+	// page-major counter tables rely on this to decode indices).
+	stride := 8
+	s8 := make([]int64, 4*stride)
+	if got := Grow(s8, 4*stride+1); len(got)%stride != 0 {
+		t.Errorf("doubled length %d not a multiple of stride %d", len(got), stride)
+	}
+}

@@ -1,47 +1,26 @@
 package harness
 
 import (
-	"fmt"
-
 	"rnuma/internal/config"
 	"rnuma/internal/machine"
 	"rnuma/internal/pagecache"
 	"rnuma/internal/stats"
-	"rnuma/internal/workloads"
 )
 
 // This file implements the ablation studies from DESIGN.md Section 7:
 // isolating the design decisions the paper's results rest on.
 
-// runWith executes an application with extra machine options, keyed
-// separately in the memo cache.
+// ablationJob builds a tagged job carrying extra machine options; the tag
+// keys it separately in the memo cache. The round-robin placement ablation
+// omits the workload's home map so the machine falls back to round-robin.
+func ablationJob(appName string, sys config.System, tag string, opts ...machine.Option) Job {
+	return Job{App: appName, Sys: sys, Tag: tag, opts: opts, skipHomes: tag == "roundrobin"}
+}
+
+// runWith executes an application with extra machine options through the
+// scheduler's singleflight cache.
 func (h *Harness) runWith(appName string, sys config.System, tag string, opts ...machine.Option) (*stats.Run, error) {
-	key := appName + "|" + sysKey(sys) + "|" + tag
-	if c, ok := h.cache[key]; ok {
-		return c.run, c.err
-	}
-	app, ok := workloads.ByName(appName)
-	if !ok {
-		return nil, fmt.Errorf("harness: unknown application %q", appName)
-	}
-	w := app.Build(workloads.Config{
-		Nodes:       sys.Nodes,
-		CPUsPerNode: sys.CPUsPerNode,
-		Geometry:    sys.Geometry,
-		Scale:       h.Scale,
-	})
-	if tag != "roundrobin" {
-		opts = append(opts, machine.WithHomes(w.Homes))
-	}
-	m, err := machine.New(sys, opts...)
-	if err != nil {
-		h.cache[key] = cached{nil, err}
-		return nil, err
-	}
-	h.logf("running %-9s on %-40s [%s]", appName, sys.Name, tag)
-	run, err := m.Run(w.Streams)
-	h.cache[key] = cached{run, err}
-	return run, err
+	return h.runJob(ablationJob(appName, sys, tag, opts...))
 }
 
 // CountingAblation compares R-NUMA with the paper's refetch-only counters
@@ -65,6 +44,8 @@ func (h *Harness) AblationCounting(appName string) (*CountingAblation, error) {
 	sys := config.Base(config.RNUMA)
 	sys.Threshold = 6
 	sys.Name = "R-NUMA T=6"
+	h.Prefetch(NewPlan().Add(NewJob(appName, sys),
+		ablationJob(appName, sys, "naive-counting", machine.WithNaiveCounting())))
 	base, err := h.Run(appName, sys)
 	if err != nil {
 		return nil, err
@@ -98,13 +79,15 @@ type DemotionAblation struct {
 // squeezing the new reuse set. Demotion reclaims those frames.
 func (h *Harness) AblationDemotion() (*DemotionAblation, error) {
 	sys := config.Base(config.RNUMA)
+	dsys := sys
+	dsys.DemotionThreshold = 8
+	dsys.Name = "R-NUMA +demotion"
+	h.Prefetch(NewPlan().Add(NewJob("phaseshift", sys),
+		ablationJob("phaseshift", dsys, "demotion")))
 	base, err := h.Run("phaseshift", sys)
 	if err != nil {
 		return nil, err
 	}
-	dsys := sys
-	dsys.DemotionThreshold = 8
-	dsys.Name = "R-NUMA +demotion"
 	demoting, err := h.runWith("phaseshift", dsys, "demotion")
 	if err != nil {
 		return nil, err
@@ -133,13 +116,14 @@ type PolicyAblation struct {
 // per-reference bookkeeping the paper's design avoids (Section 4).
 func (h *Harness) AblationReplacementPolicy(appName string) (*PolicyAblation, error) {
 	sys := config.Base(config.SCOMA)
+	lruSys := sys
+	lruSys.PageReplacement = pagecache.LRU
+	lruSys.Name = "S-COMA LRU"
+	h.Prefetch(NewPlan().Add(NewJob(appName, sys), ablationJob(appName, lruSys, "lru")))
 	lrm, err := h.Run(appName, sys)
 	if err != nil {
 		return nil, err
 	}
-	lruSys := sys
-	lruSys.PageReplacement = pagecache.LRU
-	lruSys.Name = "S-COMA LRU"
 	lru, err := h.runWith(appName, lruSys, "lru")
 	if err != nil {
 		return nil, err
@@ -168,13 +152,14 @@ type PlacementAblation struct {
 // remote.
 func (h *Harness) AblationPlacement(appName string) (*PlacementAblation, error) {
 	sys := config.Base(config.CCNUMA)
+	rrSys := sys
+	rrSys.FirstTouch = false // machine falls back to round-robin homes
+	rrSys.Name = "CC-NUMA round-robin placement"
+	h.Prefetch(NewPlan().Add(NewJob(appName, sys), ablationJob(appName, rrSys, "roundrobin")))
 	ft, err := h.Run(appName, sys)
 	if err != nil {
 		return nil, err
 	}
-	rrSys := sys
-	rrSys.FirstTouch = false // machine falls back to round-robin homes
-	rrSys.Name = "CC-NUMA round-robin placement"
 	rr, err := h.runWith(appName, rrSys, "roundrobin")
 	if err != nil {
 		return nil, err

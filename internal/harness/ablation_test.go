@@ -6,6 +6,7 @@ import "testing"
 // communication pages on a producer-consumer workload (em3d), costing
 // performance — the justification for Section 3.1's refetch distinction.
 func TestAblationCounting(t *testing.T) {
+	skipShapeInShort(t)
 	h := testHarness()
 	res, err := h.AblationCounting("em3d")
 	if err != nil {
@@ -31,6 +32,7 @@ func TestAblationCounting(t *testing.T) {
 // every miss is a refetch anyway) — the distinction only matters where
 // coherence misses exist.
 func TestAblationCountingReuseAppUnhurt(t *testing.T) {
+	skipShapeInShort(t)
 	h := testHarness()
 	res, err := h.AblationCounting("moldyn")
 	if err != nil {
@@ -45,6 +47,7 @@ func TestAblationCountingReuseAppUnhurt(t *testing.T) {
 // data; remote traffic and execution time climb (Section 2.1's case for
 // first-touch).
 func TestAblationPlacement(t *testing.T) {
+	skipShapeInShort(t)
 	h := testHarness()
 	// em3d has heavy producer writes to "its own" graph pages: scattering
 	// those homes sends every update remote.
@@ -65,6 +68,7 @@ func TestAblationPlacement(t *testing.T) {
 // from pages that degenerated into communication pages, speeding the
 // phase-shift workload and firing demotions.
 func TestAblationDemotion(t *testing.T) {
+	skipShapeInShort(t)
 	h := testHarness()
 	res, err := h.AblationDemotion()
 	if err != nil {
@@ -87,6 +91,7 @@ func TestAblationDemotion(t *testing.T) {
 // traffic on raytrace-like mixes; LRM is the paper's hardware-cheap
 // choice. The ablation must run both and report a finite effect.
 func TestAblationReplacementPolicy(t *testing.T) {
+	skipShapeInShort(t)
 	h := testHarness()
 	res, err := h.AblationReplacementPolicy("raytrace")
 	if err != nil {

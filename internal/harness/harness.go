@@ -1,13 +1,21 @@
 // Package harness drives the paper's experiments: it instantiates
 // machines, executes workloads, and produces the rows of every table and
-// figure in the evaluation (Section 5). Runs are memoized so figures that
-// share configurations (e.g., the ideal baseline) reuse results.
+// figure in the evaluation (Section 5).
+//
+// The experiment grid is declared as a Plan of Jobs (one per (application,
+// system) pair) and executed by a concurrent scheduler: runs are memoized
+// in a singleflight cache, so figures that share configurations (e.g., the
+// ideal baseline) reuse results and concurrent requests for the same
+// configuration run it exactly once. Workers bounds the fan-out; figure
+// assembly is serial and reads only the cache, so results are identical to
+// a serial run regardless of schedule.
 package harness
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"rnuma/internal/addr"
 	"rnuma/internal/config"
@@ -20,26 +28,39 @@ import (
 type Harness struct {
 	// Scale multiplies workload iteration counts (1.0 = evaluation size).
 	Scale float64
-	// Log, if non-nil, receives progress lines.
+	// Log, if non-nil, receives progress lines (serialized across workers).
 	Log io.Writer
+	// Workers bounds how many simulations run concurrently when a plan is
+	// prefetched: 0 means GOMAXPROCS, 1 forces serial execution. Individual
+	// Run calls are always synchronous; Workers only governs plan fan-out.
+	Workers int
 
-	cache map[string]cached
+	mu    sync.Mutex // guards cache
+	logMu sync.Mutex // serializes progress lines
+	cache map[string]*memoEntry
 }
 
-type cached struct {
-	run *stats.Run
-	err error
+// memoEntry is one singleflight cache slot: the first requester runs the
+// simulation and closes done; concurrent requesters wait on done and read
+// the shared result.
+type memoEntry struct {
+	done chan struct{}
+	run  *stats.Run
+	err  error
 }
 
 // New builds a harness.
 func New(scale float64) *Harness {
-	return &Harness{Scale: scale, cache: make(map[string]cached)}
+	return &Harness{Scale: scale, cache: make(map[string]*memoEntry)}
 }
 
 func (h *Harness) logf(format string, args ...any) {
-	if h.Log != nil {
-		fmt.Fprintf(h.Log, format+"\n", args...)
+	if h.Log == nil {
+		return
 	}
+	h.logMu.Lock()
+	fmt.Fprintf(h.Log, format+"\n", args...)
+	h.logMu.Unlock()
 }
 
 func sysKey(s config.System) string {
@@ -52,32 +73,58 @@ func sysKey(s config.System) string {
 
 // Run executes (with memoization) one application under one system.
 func (h *Harness) Run(appName string, sys config.System) (*stats.Run, error) {
-	key := appName + "|" + sysKey(sys)
-	if c, ok := h.cache[key]; ok {
-		return c.run, c.err
-	}
-	run, err := h.runOnce(appName, sys)
-	h.cache[key] = cached{run, err}
-	return run, err
+	return h.runJob(NewJob(appName, sys))
 }
 
-func (h *Harness) runOnce(appName string, sys config.System) (*stats.Run, error) {
-	app, ok := workloads.ByName(appName)
+// runJob executes a job through the singleflight cache: exactly one
+// simulation per key ever runs, even under concurrent requests.
+func (h *Harness) runJob(j Job) (*stats.Run, error) {
+	key := j.Key()
+	h.mu.Lock()
+	if e, ok := h.cache[key]; ok {
+		h.mu.Unlock()
+		<-e.done
+		return e.run, e.err
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	h.cache[key] = e
+	h.mu.Unlock()
+	e.run, e.err = h.simulate(j)
+	close(e.done)
+	return e.run, e.err
+}
+
+// simulate builds the workload and machine for a job and runs it. Each
+// call constructs a fresh Machine, so concurrent jobs share no mutable
+// state; the workload build is deterministic (fixed seeds), so results do
+// not depend on the schedule.
+func (h *Harness) simulate(j Job) (*stats.Run, error) {
+	app, ok := workloads.ByName(j.App)
 	if !ok {
-		return nil, fmt.Errorf("harness: unknown application %q", appName)
+		return nil, fmt.Errorf("harness: unknown application %q", j.App)
 	}
 	cfg := workloads.Config{
-		Nodes:       sys.Nodes,
-		CPUsPerNode: sys.CPUsPerNode,
-		Geometry:    sys.Geometry,
+		Nodes:       j.Sys.Nodes,
+		CPUsPerNode: j.Sys.CPUsPerNode,
+		Geometry:    j.Sys.Geometry,
 		Scale:       h.Scale,
 	}
 	w := app.Build(cfg)
-	m, err := machine.New(sys, machine.WithHomes(w.Homes))
+	opts := make([]machine.Option, 0, len(j.opts)+2)
+	opts = append(opts, j.opts...)
+	if !j.skipHomes {
+		opts = append(opts, machine.WithHomes(w.Homes))
+	}
+	opts = append(opts, machine.WithPages(w.SharedPages))
+	m, err := machine.New(j.Sys, opts...)
 	if err != nil {
 		return nil, err
 	}
-	h.logf("running %-9s on %-40s", appName, sys.Name)
+	if j.Tag != "" {
+		h.logf("running %-9s on %-40s [%s]", j.App, j.Sys.Name, j.Tag)
+	} else {
+		h.logf("running %-9s on %-40s", j.App, j.Sys.Name)
+	}
 	run, err := m.Run(w.Streams)
 	if err != nil {
 		return nil, err
@@ -122,6 +169,7 @@ type Fig5Curve struct {
 // Figure5 computes the refetch CDFs. Applications with no refetches (fft)
 // return an empty curve, matching the paper's omission of fft.
 func (h *Harness) Figure5(apps []string) ([]Fig5Curve, error) {
+	h.Prefetch(h.Figure5Plan(apps))
 	out := make([]Fig5Curve, 0, len(apps))
 	for _, a := range apps {
 		run, err := h.Run(a, config.Base(config.CCNUMA))
@@ -158,6 +206,7 @@ type Table4Row struct {
 
 // Table4 computes the characterization table.
 func (h *Harness) Table4(apps []string) ([]Table4Row, error) {
+	h.Prefetch(h.Table4Plan(apps))
 	out := make([]Table4Row, 0, len(apps))
 	for _, a := range apps {
 		cc, err := h.Run(a, config.Base(config.CCNUMA))
@@ -194,6 +243,7 @@ type Fig6Row struct {
 
 // Figure6 computes the base-system comparison.
 func (h *Harness) Figure6(apps []string) ([]Fig6Row, error) {
+	h.Prefetch(h.Figure6Plan(apps))
 	out := make([]Fig6Row, 0, len(apps))
 	for _, a := range apps {
 		cc, err := h.Normalized(a, config.Base(config.CCNUMA))
@@ -234,8 +284,13 @@ type Fig7Row struct {
 	R128p40M  float64 // R-NUMA, 128-B block cache, 40-MB page cache
 }
 
-// Figure7 computes the cache-size sensitivity study.
-func (h *Harness) Figure7(apps []string) ([]Fig7Row, error) {
+// fig7Systems are Figure 7's non-base configurations, shared between the
+// plan declaration and the assembly so both name identical systems.
+type fig7Sys struct {
+	cc1k, r32k, r40m config.System
+}
+
+func fig7Systems() fig7Sys {
 	cc1k := config.Base(config.CCNUMA)
 	cc1k.Name = "CC-NUMA b=1K"
 	cc1k.BlockCacheBytes = 1 << 10
@@ -247,12 +302,18 @@ func (h *Harness) Figure7(apps []string) ([]Fig7Row, error) {
 	r40m := config.Base(config.RNUMA)
 	r40m.Name = "R-NUMA b=128 p=40M"
 	r40m.PageCacheBytes = 40 << 20
+	return fig7Sys{cc1k: cc1k, r32k: r32k, r40m: r40m}
+}
 
+// Figure7 computes the cache-size sensitivity study.
+func (h *Harness) Figure7(apps []string) ([]Fig7Row, error) {
+	h.Prefetch(h.Figure7Plan(apps))
+	s := fig7Systems()
 	out := make([]Fig7Row, 0, len(apps))
 	for _, a := range apps {
 		row := Fig7Row{App: a}
 		var err error
-		if row.CC1K, err = h.Normalized(a, cc1k); err != nil {
+		if row.CC1K, err = h.Normalized(a, s.cc1k); err != nil {
 			return nil, err
 		}
 		if row.CC32K, err = h.Normalized(a, config.Base(config.CCNUMA)); err != nil {
@@ -261,10 +322,10 @@ func (h *Harness) Figure7(apps []string) ([]Fig7Row, error) {
 		if row.R128p320K, err = h.Normalized(a, config.Base(config.RNUMA)); err != nil {
 			return nil, err
 		}
-		if row.R32Kp320K, err = h.Normalized(a, r32k); err != nil {
+		if row.R32Kp320K, err = h.Normalized(a, s.r32k); err != nil {
 			return nil, err
 		}
-		if row.R128p40M, err = h.Normalized(a, r40m); err != nil {
+		if row.R128p40M, err = h.Normalized(a, s.r40m); err != nil {
 			return nil, err
 		}
 		out = append(out, row)
@@ -284,8 +345,18 @@ type Fig8Row struct {
 	ByT map[int]float64
 }
 
+// fig8System is R-NUMA at threshold T, as both the plan and the assembly
+// name it.
+func fig8System(T int) config.System {
+	sys := config.Base(config.RNUMA)
+	sys.Threshold = T
+	sys.Name = fmt.Sprintf("R-NUMA T=%d", T)
+	return sys
+}
+
 // Figure8 computes the threshold sensitivity study.
 func (h *Harness) Figure8(apps []string) ([]Fig8Row, error) {
+	h.Prefetch(h.Figure8Plan(apps))
 	out := make([]Fig8Row, 0, len(apps))
 	for _, a := range apps {
 		base, err := h.Run(a, config.Base(config.RNUMA)) // T=64
@@ -294,10 +365,7 @@ func (h *Harness) Figure8(apps []string) ([]Fig8Row, error) {
 		}
 		row := Fig8Row{App: a, ByT: make(map[int]float64, len(Fig8Thresholds))}
 		for _, T := range Fig8Thresholds {
-			sys := config.Base(config.RNUMA)
-			sys.Threshold = T
-			sys.Name = fmt.Sprintf("R-NUMA T=%d", T)
-			run, err := h.Run(a, sys)
+			run, err := h.Run(a, fig8System(T))
 			if err != nil {
 				return nil, err
 			}
@@ -318,9 +386,12 @@ type Fig9Row struct {
 	SCOMA, SCOMASoft, RNUMA, RNUMASoft float64
 }
 
-// Figure9 computes the overhead sensitivity study (SOFT = 10-µs traps and
-// 5-µs software TLB shootdowns).
-func (h *Harness) Figure9(apps []string) ([]Fig9Row, error) {
+// fig9Systems are the SOFT-cost variants of Figure 9.
+type fig9Sys struct {
+	scSoft, rnSoft config.System
+}
+
+func fig9Systems() fig9Sys {
 	scSoft := config.Base(config.SCOMA)
 	scSoft.Name = "S-COMA-SOFT"
 	scSoft.Costs = config.SoftCosts()
@@ -328,7 +399,14 @@ func (h *Harness) Figure9(apps []string) ([]Fig9Row, error) {
 	rnSoft := config.Base(config.RNUMA)
 	rnSoft.Name = "R-NUMA-SOFT"
 	rnSoft.Costs = config.SoftCosts()
+	return fig9Sys{scSoft: scSoft, rnSoft: rnSoft}
+}
 
+// Figure9 computes the overhead sensitivity study (SOFT = 10-µs traps and
+// 5-µs software TLB shootdowns).
+func (h *Harness) Figure9(apps []string) ([]Fig9Row, error) {
+	h.Prefetch(h.Figure9Plan(apps))
+	s := fig9Systems()
 	out := make([]Fig9Row, 0, len(apps))
 	for _, a := range apps {
 		row := Fig9Row{App: a}
@@ -336,13 +414,13 @@ func (h *Harness) Figure9(apps []string) ([]Fig9Row, error) {
 		if row.SCOMA, err = h.Normalized(a, config.Base(config.SCOMA)); err != nil {
 			return nil, err
 		}
-		if row.SCOMASoft, err = h.Normalized(a, scSoft); err != nil {
+		if row.SCOMASoft, err = h.Normalized(a, s.scSoft); err != nil {
 			return nil, err
 		}
 		if row.RNUMA, err = h.Normalized(a, config.Base(config.RNUMA)); err != nil {
 			return nil, err
 		}
-		if row.RNUMASoft, err = h.Normalized(a, rnSoft); err != nil {
+		if row.RNUMASoft, err = h.Normalized(a, s.rnSoft); err != nil {
 			return nil, err
 		}
 		out = append(out, row)

@@ -8,16 +8,62 @@ import (
 	"rnuma/internal/config"
 )
 
-// shared harness: runs are memoized, so the whole suite costs one pass per
-// (app, config) pair.
+// shared harness: runs are memoized in the concurrent cache, so the whole
+// suite costs one pass per (app, config) pair, fanned out across workers.
 var (
 	sharedOnce sync.Once
 	shared     *Harness
 )
 
 func testHarness() *Harness {
-	sharedOnce.Do(func() { shared = New(0.3) })
+	sharedOnce.Do(func() {
+		scale := 0.3
+		if testing.Short() {
+			scale = 0.12 // reduced sweeps; shape assertions skip via skipShapeInShort
+		}
+		shared = New(scale)
+	})
 	return shared
+}
+
+// skipShapeInShort skips paper-shape assertion tests under -short: their
+// numeric thresholds are calibrated at the full 0.3 test scale, and the
+// full-scale sweeps are the slow part of the suite. The smoke test below
+// still exercises every pipeline at the reduced scale.
+func skipShapeInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("paper-shape thresholds need the full test scale; run without -short")
+	}
+}
+
+// TestSmoke runs a reduced two-app slice of every figure pipeline. Under
+// -short this is the harness's main coverage; with full tests it rides the
+// shared cache for free.
+func TestSmoke(t *testing.T) {
+	h := testHarness()
+	apps := []string{"fft", "lu"}
+	if _, err := h.Figure5(apps); err != nil {
+		t.Fatal(err)
+	}
+	rows6, err := h.Figure6(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows6 {
+		if r.CCNUMA <= 0 || r.SCOMA <= 0 || r.RNUMA <= 0 {
+			t.Errorf("%s: non-positive normalized times %+v", r.App, r)
+		}
+	}
+	rows8, err := h.Figure8(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows8 {
+		if r.ByT[64] != 1.0 {
+			t.Errorf("%s: T=64 not normalized to itself (%.2f)", r.App, r.ByT[64])
+		}
+	}
 }
 
 func TestUnknownApp(t *testing.T) {
@@ -59,6 +105,7 @@ func TestMemoization(t *testing.T) {
 // (Section 5.2): R-NUMA is never the worst protocol, usually best or close
 // to best, and each application's winner matches the paper's.
 func TestFigure6PaperShape(t *testing.T) {
+	skipShapeInShort(t)
 	h := testHarness()
 	rows, err := h.Figure6(AllApps())
 	if err != nil {
@@ -124,6 +171,7 @@ func TestFigure6PaperShape(t *testing.T) {
 // TestFigure5PaperShape: fft has no refetches (the paper omits it); the
 // tree/scene codes are strongly skewed; radix is spread evenly.
 func TestFigure5PaperShape(t *testing.T) {
+	skipShapeInShort(t)
 	h := testHarness()
 	curves, err := h.Figure5(AllApps())
 	if err != nil {
@@ -149,6 +197,7 @@ func TestFigure5PaperShape(t *testing.T) {
 
 // TestTable4PaperShape: read-write page fractions per the paper's Table 4.
 func TestTable4PaperShape(t *testing.T) {
+	skipShapeInShort(t)
 	h := testHarness()
 	rows, err := h.Table4(AllApps())
 	if err != nil {
@@ -197,6 +246,7 @@ func TestTable4PaperShape(t *testing.T) {
 // TestFigure7PaperShape: CC-NUMA is highly sensitive to block cache size;
 // R-NUMA barely cares unless the reuse set misses the page cache.
 func TestFigure7PaperShape(t *testing.T) {
+	skipShapeInShort(t)
 	h := testHarness()
 	rows, err := h.Figure7(AllApps())
 	if err != nil {
@@ -229,6 +279,7 @@ func TestFigure7PaperShape(t *testing.T) {
 // TestFigure8PaperShape: threshold sensitivity is modest (paper: within
 // 27% for all but three apps), and reuse-heavy apps prefer low thresholds.
 func TestFigure8PaperShape(t *testing.T) {
+	skipShapeInShort(t)
 	h := testHarness()
 	rows, err := h.Figure8(AllApps())
 	if err != nil {
@@ -282,6 +333,7 @@ func TestFigure8PaperShape(t *testing.T) {
 // TestFigure9PaperShape: S-COMA is highly sensitive to page-operation
 // overheads; R-NUMA is not (paper Section 5.5).
 func TestFigure9PaperShape(t *testing.T) {
+	skipShapeInShort(t)
 	h := testHarness()
 	rows, err := h.Figure9(AllApps())
 	if err != nil {
@@ -313,6 +365,7 @@ func TestFigure9PaperShape(t *testing.T) {
 // TestLuImbalance: two nodes perform the majority of lu's page
 // replacements (Section 5.5).
 func TestLuImbalance(t *testing.T) {
+	skipShapeInShort(t)
 	h := testHarness()
 	share, err := h.LuImbalance()
 	if err != nil {
@@ -327,6 +380,7 @@ func TestLuImbalance(t *testing.T) {
 // qualitatively — CC-NUMA can be far worse than S-COMA (lu), S-COMA far
 // worse than CC-NUMA (radix/fmm), while R-NUMA stays near the best.
 func TestWorstCaseQuotes(t *testing.T) {
+	skipShapeInShort(t)
 	h := testHarness()
 	rows, err := h.Figure6(AllApps())
 	if err != nil {

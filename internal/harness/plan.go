@@ -1,0 +1,211 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"rnuma/internal/config"
+	"rnuma/internal/machine"
+	"rnuma/internal/stats"
+)
+
+// Job identifies one simulation: an application under a system
+// configuration, optionally tagged with ablation machine options. Jobs are
+// the unit the scheduler deduplicates and fans out; two jobs with the same
+// Key share one simulation through the memo cache.
+type Job struct {
+	App string
+	Sys config.System
+
+	// Tag distinguishes ablation variants that share (App, Sys) but run
+	// with different machine options; empty for plain runs.
+	Tag string
+
+	opts      []machine.Option
+	skipHomes bool // round-robin ablation: omit the workload's home map
+}
+
+// NewJob builds a plain (untagged) job.
+func NewJob(app string, sys config.System) Job {
+	return Job{App: app, Sys: sys}
+}
+
+// Key is the job's memo-cache identity.
+func (j Job) Key() string {
+	k := j.App + "|" + sysKey(j.Sys)
+	if j.Tag != "" {
+		k += "|" + j.Tag
+	}
+	return k
+}
+
+// Plan is a deduplicated set of jobs: each figure/table declares its
+// (application, system) pairs into a plan, and shared configurations (for
+// example the ideal normalization baseline every figure divides by) appear
+// once no matter how many figures request them.
+type Plan struct {
+	jobs []Job
+	seen map[string]struct{}
+}
+
+// NewPlan builds an empty plan.
+func NewPlan() *Plan {
+	return &Plan{seen: make(map[string]struct{})}
+}
+
+// Add appends jobs, skipping any already planned.
+func (p *Plan) Add(jobs ...Job) *Plan {
+	for _, j := range jobs {
+		k := j.Key()
+		if _, dup := p.seen[k]; dup {
+			continue
+		}
+		p.seen[k] = struct{}{}
+		p.jobs = append(p.jobs, j)
+	}
+	return p
+}
+
+// AddRuns appends one job per (app, sys) pair.
+func (p *Plan) AddRuns(apps []string, systems ...config.System) *Plan {
+	for _, a := range apps {
+		for _, s := range systems {
+			p.Add(NewJob(a, s))
+		}
+	}
+	return p
+}
+
+// Jobs returns the planned jobs in insertion order.
+func (p *Plan) Jobs() []Job { return p.jobs }
+
+// Len reports how many distinct jobs are planned.
+func (p *Plan) Len() int { return len(p.jobs) }
+
+// ---------------------------------------------------------------------
+// Per-figure plans. Each declares exactly the (app, system) grid its
+// figure consumes, so callers can batch several figures into one plan and
+// execute the union concurrently before serial assembly.
+
+// Figure5Plan declares Figure 5's grid: every app under base CC-NUMA.
+func (h *Harness) Figure5Plan(apps []string) *Plan {
+	return NewPlan().AddRuns(apps, config.Base(config.CCNUMA))
+}
+
+// Table4Plan declares Table 4's grid: every app under all three base
+// protocols.
+func (h *Harness) Table4Plan(apps []string) *Plan {
+	return NewPlan().AddRuns(apps,
+		config.Base(config.CCNUMA), config.Base(config.SCOMA), config.Base(config.RNUMA))
+}
+
+// Figure6Plan declares Figure 6's grid: the three base protocols plus the
+// ideal normalization baseline.
+func (h *Harness) Figure6Plan(apps []string) *Plan {
+	return NewPlan().AddRuns(apps,
+		config.Ideal(), config.Base(config.CCNUMA), config.Base(config.SCOMA), config.Base(config.RNUMA))
+}
+
+// Figure7Plan declares Figure 7's grid: the five cache-size
+// configurations plus the ideal baseline.
+func (h *Harness) Figure7Plan(apps []string) *Plan {
+	s := fig7Systems()
+	return NewPlan().AddRuns(apps,
+		config.Ideal(), s.cc1k, config.Base(config.CCNUMA), config.Base(config.RNUMA), s.r32k, s.r40m)
+}
+
+// Figure8Plan declares Figure 8's grid: R-NUMA at every threshold.
+func (h *Harness) Figure8Plan(apps []string) *Plan {
+	p := NewPlan().AddRuns(apps, config.Base(config.RNUMA))
+	for _, T := range Fig8Thresholds {
+		p.AddRuns(apps, fig8System(T))
+	}
+	return p
+}
+
+// Figure9Plan declares Figure 9's grid: S-COMA and R-NUMA under base and
+// SOFT costs, plus the ideal baseline.
+func (h *Harness) Figure9Plan(apps []string) *Plan {
+	s := fig9Systems()
+	return NewPlan().AddRuns(apps,
+		config.Ideal(), config.Base(config.SCOMA), s.scSoft, config.Base(config.RNUMA), s.rnSoft)
+}
+
+// LuPlan declares the Section 5.5 lu imbalance run.
+func (h *Harness) LuPlan() *Plan {
+	return NewPlan().Add(NewJob("lu", config.Base(config.SCOMA)))
+}
+
+// PlanAll declares every figure and table of the evaluation at once.
+func (h *Harness) PlanAll(apps []string) *Plan {
+	p := NewPlan()
+	for _, sub := range []*Plan{
+		h.Figure5Plan(apps), h.Table4Plan(apps), h.Figure6Plan(apps),
+		h.Figure7Plan(apps), h.Figure8Plan(apps), h.Figure9Plan(apps), h.LuPlan(),
+	} {
+		p.Add(sub.Jobs()...)
+	}
+	return p
+}
+
+// ---------------------------------------------------------------------
+// Scheduler.
+
+// workers resolves the concurrency bound: Workers when positive, else
+// GOMAXPROCS.
+func (h *Harness) workers() int {
+	if h.Workers > 0 {
+		return h.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Prefetch executes the plan's jobs across the harness's worker pool,
+// filling the memo cache. Figures assembled afterwards read every result
+// from the cache, so their output is byte-identical to a serial run; only
+// the wall-clock order of simulations changes. Job errors are left in the
+// cache and surface from the (deterministic, serial) assembly instead, so
+// a failing configuration reports the same error no matter how the
+// schedule interleaved.
+func (h *Harness) Prefetch(p *Plan) {
+	jobs := p.Jobs()
+	w := h.workers()
+	if w > len(jobs) {
+		w = len(jobs)
+	}
+	if w <= 1 || len(jobs) < 2 {
+		return // serial mode: assembly runs each job on first use
+	}
+	ch := make(chan Job)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				h.runJob(j) //nolint:errcheck // cached; assembly reports it
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// RunPlan executes the plan and returns its results keyed by Job.Key, in
+// the plan's declaration order. Unlike Prefetch it propagates the first
+// (declaration-order) error.
+func (h *Harness) RunPlan(p *Plan) (map[string]*stats.Run, error) {
+	h.Prefetch(p)
+	out := make(map[string]*stats.Run, p.Len())
+	for _, j := range p.Jobs() {
+		run, err := h.runJob(j)
+		if err != nil {
+			return nil, err
+		}
+		out[j.Key()] = run
+	}
+	return out, nil
+}

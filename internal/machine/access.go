@@ -9,7 +9,6 @@ import (
 	"rnuma/internal/node"
 	"rnuma/internal/osmodel"
 	"rnuma/internal/pagecache"
-	"rnuma/internal/stats"
 	"rnuma/internal/trace"
 )
 
@@ -18,7 +17,7 @@ import (
 // their page-cache frame address (the local physical address the CPUs
 // actually issue).
 func (m *Machine) l1Index(nd *node.Node, page addr.PageNum, b addr.BlockNum) int {
-	if h, ok := m.homes[page]; ok && h != nd.ID {
+	if h := m.homeAt(page); h != addr.NoNode && h != nd.ID {
 		if mp := nd.PT.Lookup(page); mp.Kind == osmodel.MappedSCOMA {
 			key := uint32(mp.Frame*m.bpp + m.g.OffsetOf(b))
 			return nd.L1s[0].Index(key)
@@ -39,13 +38,12 @@ func (m *Machine) access(c *node.CPU, t int64, ref trace.Ref) int64 {
 
 	if !local {
 		if ref.Write {
-			m.pageWriteShared[ref.Page] = true
+			m.pageFlags[ref.Page] |= flagWriteShared
 		} else {
-			m.pageReadShared[ref.Page] = true
+			m.pageFlags[ref.Page] |= flagReadShared
 		}
-		key := stats.PageKey{Node: nd.ID, Page: ref.Page}
-		if _, seen := m.remoteSeen[key]; !seen {
-			m.remoteSeen[key] = struct{}{}
+		if si := int(ref.Page)*m.sys.Nodes + int(nd.ID); !m.seen[si] {
+			m.seen[si] = true
 			m.run.RemotePages++
 		}
 		if nd.PT.Lookup(ref.Page).Kind == osmodel.Unmapped {
@@ -288,7 +286,7 @@ func (m *Machine) ccFill(nd *node.Node, now int64, page addr.PageNum, b addr.Blo
 	}
 
 	if refetch {
-		m.run.AddRefetch(nd.ID, page)
+		m.addRefetch(nd.ID, page)
 	}
 	if nd.RAD.Reactive() && (refetch || m.naiveCounting) {
 		if nd.RAD.Counters.Record(page) {
@@ -354,7 +352,7 @@ func (m *Machine) scomaFill(nd *node.Node, now int64, page addr.PageNum, b addr.
 		// A page that bounced out of the page cache and back can carry
 		// previously-held state; record the refetch for statistics, but
 		// S-COMA-mapped pages have nothing further to relocate.
-		m.run.AddRefetch(nd.ID, page)
+		m.addRefetch(nd.ID, page)
 	}
 	if !write && coherenceMiss && nd.RAD.Reactive() && m.sys.DemotionThreshold > 0 &&
 		pc.FrameAt(frame).MissStreak >= m.sys.DemotionThreshold {
@@ -369,5 +367,12 @@ func (m *Machine) scomaFill(nd *node.Node, now int64, page addr.PageNum, b addr.
 }
 
 func (m *Machine) markWriteShared(page addr.PageNum) {
-	m.pageWriteShared[page] = true
+	m.pageFlags[page] |= flagWriteShared
+}
+
+// addRefetch records one refetch for the (node, page) pair in the dense
+// counter table; finalize materializes it into run.RefetchByPage.
+func (m *Machine) addRefetch(n addr.NodeID, p addr.PageNum) {
+	m.run.Refetches++
+	m.refetch.Add(n, p, 1)
 }

@@ -15,6 +15,7 @@ import (
 
 	"rnuma/internal/addr"
 	"rnuma/internal/config"
+	"rnuma/internal/dense"
 	"rnuma/internal/directory"
 	"rnuma/internal/event"
 	"rnuma/internal/node"
@@ -33,15 +34,18 @@ type Machine struct {
 	cpus  []*node.CPU // flattened, indexed by global CPU id
 	dir   *directory.Dir
 
-	homes  map[addr.PageNum]addr.NodeID
-	homeFn func(addr.PageNum) addr.NodeID
+	// Per-page state lives in dense page-indexed slices (sized up front
+	// from the workload's page count via WithPages, grown on demand past
+	// it): access() consults homes and the sharing flags on every
+	// reference, where per-access map hashing dominates the real work.
+	homes     []addr.NodeID // page -> home node; NoNode = untouched
+	pageFlags []uint8       // page -> sharing-traffic bits (Table 4)
+	seen      []bool        // page*nodes+node -> node touched this remote page
+	homeFn    func(addr.PageNum) addr.NodeID
 
-	run        *stats.Run
-	remoteSeen map[stats.PageKey]struct{}
-
-	// Sharing-traffic classification for Table 4 (read-write pages).
-	pageReadShared  map[addr.PageNum]bool
-	pageWriteShared map[addr.PageNum]bool
+	run      *stats.Run
+	refetch  *stats.PageCounter // per-(node,page) refetches, materialized at finalize
+	perNodeR []int64            // per-node replacement counts, materialized at finalize
 
 	// naiveCounting is an ablation switch: feed the R-NUMA counters on
 	// every remote fetch instead of only on refetches, deliberately
@@ -50,12 +54,18 @@ type Machine struct {
 
 	// Version model for correctness verification: every write gets a
 	// globally unique version; with verification on, each read must
-	// observe the latest version of its block.
+	// observe the latest version of its block. truth is a dense
+	// block-indexed slice (zero version = never written).
 	nextVersion uint32
 	verify      bool
-	truth       map[addr.BlockNum]uint32
+	truth       []uint32
 	verifyErr   error
 }
+
+const (
+	flagReadShared  uint8 = 1 << iota // page saw remote read traffic
+	flagWriteShared                   // page saw remote write traffic
+)
 
 // Option customizes machine construction.
 type Option func(*Machine)
@@ -74,8 +84,50 @@ func WithHomes(fn func(addr.PageNum) addr.NodeID) Option {
 func WithVerify() Option {
 	return func(m *Machine) {
 		m.verify = true
-		m.truth = make(map[addr.BlockNum]uint32)
+		m.truth = make([]uint32, m.g.BlocksFor(m.pagesHint()))
 	}
+}
+
+// WithPages pre-sizes the dense per-page state (homes, sharing flags,
+// refetch counters, page tables) for a shared segment of n pages. The
+// slices still grow on demand, so the hint is an optimization, not a
+// bound; workloads know their segment size and should always pass it.
+func WithPages(n int) Option {
+	return func(m *Machine) {
+		if n <= 0 {
+			return
+		}
+		m.growPages(addr.PageNum(n - 1))
+		m.refetch = stats.NewPageCounter(m.sys.Nodes, n)
+		if m.verify && m.g.BlocksFor(n) > len(m.truth) {
+			m.truth = append(m.truth, make([]uint32, m.g.BlocksFor(n)-len(m.truth))...)
+		}
+		for _, nd := range m.nodes {
+			nd.PT.Reserve(n)
+		}
+	}
+}
+
+// pagesHint returns the page bound the dense state is currently sized for.
+func (m *Machine) pagesHint() int { return len(m.homes) }
+
+// growPages extends every page-indexed slice to cover page p.
+func (m *Machine) growPages(p addr.PageNum) {
+	if int(p) < len(m.homes) {
+		return
+	}
+	old := len(m.homes)
+	m.homes = dense.Grow(m.homes, int(p)+1)
+	for i := old; i < len(m.homes); i++ {
+		m.homes[i] = addr.NoNode
+	}
+	m.pageFlags = dense.Grow(m.pageFlags, len(m.homes))
+	m.seen = dense.Grow(m.seen, len(m.homes)*m.sys.Nodes)
+}
+
+// ensureBlock extends the verification truth table to cover block b.
+func (m *Machine) ensureBlock(b addr.BlockNum) {
+	m.truth = dense.Grow(m.truth, int(b)+1)
 }
 
 // WithNaiveCounting is an ablation of Section 3.1: the reactive counters
@@ -93,16 +145,14 @@ func New(sys config.System, opts ...Option) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		sys:             sys,
-		g:               sys.Geometry,
-		bpp:             sys.Geometry.BlocksPerPage(),
-		costs:           sys.Costs,
-		dir:             directory.New(sys.Nodes),
-		homes:           make(map[addr.PageNum]addr.NodeID),
-		run:             stats.NewRun(),
-		remoteSeen:      make(map[stats.PageKey]struct{}),
-		pageReadShared:  make(map[addr.PageNum]bool),
-		pageWriteShared: make(map[addr.PageNum]bool),
+		sys:      sys,
+		g:        sys.Geometry,
+		bpp:      sys.Geometry.BlocksPerPage(),
+		costs:    sys.Costs,
+		dir:      directory.New(sys.Nodes),
+		run:      stats.NewRun(),
+		refetch:  stats.NewPageCounter(sys.Nodes, 0),
+		perNodeR: make([]int64, sys.Nodes),
 	}
 	for i := 0; i < sys.Nodes; i++ {
 		nd := node.New(sys, addr.NodeID(i))
@@ -129,8 +179,12 @@ func (m *Machine) Err() error { return m.verifyErr }
 
 // HomeOf returns (and on first touch, assigns) the page's home node.
 func (m *Machine) HomeOf(p addr.PageNum, toucher addr.NodeID) addr.NodeID {
-	if h, ok := m.homes[p]; ok {
-		return h
+	if int(p) < len(m.homes) {
+		if h := m.homes[p]; h != addr.NoNode {
+			return h
+		}
+	} else {
+		m.growPages(p)
 	}
 	var h addr.NodeID
 	switch {
@@ -143,6 +197,14 @@ func (m *Machine) HomeOf(p addr.PageNum, toucher addr.NodeID) addr.NodeID {
 	}
 	m.homes[p] = h
 	return h
+}
+
+// homeAt returns the page's assigned home, or NoNode if untouched.
+func (m *Machine) homeAt(p addr.PageNum) addr.NodeID {
+	if int(p) >= len(m.homes) {
+		return addr.NoNode
+	}
+	return m.homes[p]
 }
 
 // Run executes one stream per CPU to completion and returns the collected
@@ -237,9 +299,18 @@ func (m *Machine) finalize() {
 		m.run.NIWaitCycles += nd.NI.WaitCycles()
 		m.run.RADWaitCycles += nd.RAD.Ctl.WaitCycles()
 	}
-	for key, c := range m.run.RefetchByPage {
-		if m.pageReadShared[key.Page] && m.pageWriteShared[key.Page] {
+	// Materialize the dense hot-path counters into the sparse map form
+	// the stats consumers read.
+	const rw = flagReadShared | flagWriteShared
+	m.refetch.Each(func(key stats.PageKey, c int64) {
+		m.run.RefetchByPage[key] = c
+		if m.pageFlags[key.Page]&rw == rw {
 			m.run.RWRefetches += c
+		}
+	})
+	for n, c := range m.perNodeR {
+		if c != 0 {
+			m.run.PerNodeReplacements[addr.NodeID(n)] = c
 		}
 	}
 	if m.verify && m.verifyErr == nil {
@@ -251,6 +322,7 @@ func (m *Machine) finalize() {
 func (m *Machine) bumpVersion(b addr.BlockNum) uint32 {
 	m.nextVersion++
 	if m.verify {
+		m.ensureBlock(b)
 		m.truth[b] = m.nextVersion
 	}
 	return m.nextVersion
@@ -261,7 +333,11 @@ func (m *Machine) checkRead(b addr.BlockNum, got uint32, where string) {
 	if !m.verify || m.verifyErr != nil {
 		return
 	}
-	if want := m.truth[b]; got != want {
+	var want uint32
+	if int(b) < len(m.truth) {
+		want = m.truth[b]
+	}
+	if got != want {
 		m.verifyErr = fmt.Errorf("machine: stale read of block %d from %s: got version %d want %d", b, where, got, want)
 	}
 }

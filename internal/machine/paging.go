@@ -67,7 +67,7 @@ func (m *Machine) replaceVictim(nd *node.Node, now int64) int {
 		nd.RAD.Counters.Reset(victim)
 	}
 	m.run.Replacements++
-	m.run.PerNodeReplacements[nd.ID]++
+	m.perNodeR[nd.ID]++
 	return flushed
 }
 
@@ -205,8 +205,8 @@ func (m *Machine) l1Install(nd *node.Node, c *node.CPU, idx int, b addr.BlockNum
 // l1Writeback absorbs a dirty L1 eviction into the node's next level.
 func (m *Machine) l1Writeback(nd *node.Node, v cache.Line) {
 	page := m.g.PageOf(v.Block)
-	home, ok := m.homes[page]
-	if !ok {
+	home := m.homeAt(page)
+	if home == addr.NoNode {
 		panic(fmt.Sprintf("machine: writeback for untouched page %d", page))
 	}
 	if home == nd.ID {

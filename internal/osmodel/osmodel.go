@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"rnuma/internal/addr"
+	"rnuma/internal/dense"
 )
 
 // Kind is how a node currently maps a remote page.
@@ -47,45 +48,77 @@ type Mapping struct {
 	Frame int // page-cache frame when Kind == MappedSCOMA
 }
 
-// PageTable is one node's (remote-segment) page table.
+// PageTable is one node's (remote-segment) page table. Entries live in a
+// dense page-indexed slice: Lookup sits on the simulator's per-reference
+// path, where a map hash per access dominates the table's real work.
 type PageTable struct {
-	m map[addr.PageNum]Mapping
+	entries []Mapping // indexed by PageNum; zero value = Unmapped
+	mapped  int
 
 	faults int64
 }
 
 // NewPageTable builds an empty page table.
 func NewPageTable() *PageTable {
-	return &PageTable{m: make(map[addr.PageNum]Mapping)}
+	return &PageTable{}
+}
+
+// Reserve pre-sizes the table for a shared segment of n pages. The table
+// still grows on demand; the hint avoids repeated growth during warmup.
+func (t *PageTable) Reserve(n int) {
+	t.entries = dense.Grow(t.entries, n)
+}
+
+func (t *PageTable) grow(p addr.PageNum) {
+	t.entries = dense.Grow(t.entries, int(p)+1)
 }
 
 // Lookup returns the page's mapping (zero value = Unmapped).
-func (t *PageTable) Lookup(p addr.PageNum) Mapping { return t.m[p] }
+func (t *PageTable) Lookup(p addr.PageNum) Mapping {
+	if int(p) >= len(t.entries) {
+		return Mapping{}
+	}
+	return t.entries[p]
+}
 
 // MapCC installs a CC-NUMA mapping. The page must be unmapped.
 func (t *PageTable) MapCC(p addr.PageNum) {
-	if t.m[p].Kind != Unmapped {
+	if int(p) >= len(t.entries) {
+		t.grow(p)
+	}
+	if t.entries[p].Kind != Unmapped {
 		panic(fmt.Sprintf("osmodel: MapCC over existing mapping for page %d", p))
 	}
-	t.m[p] = Mapping{Kind: MappedCC}
+	t.entries[p] = Mapping{Kind: MappedCC}
+	t.mapped++
 	t.faults++
 }
 
 // MapSCOMA installs an S-COMA mapping to a page-cache frame. Remapping
 // from CC (relocation) is allowed; the caller must have flushed first.
 func (t *PageTable) MapSCOMA(p addr.PageNum, frame int) {
-	t.m[p] = Mapping{Kind: MappedSCOMA, Frame: frame}
+	if int(p) >= len(t.entries) {
+		t.grow(p)
+	}
+	if t.entries[p].Kind == Unmapped {
+		t.mapped++
+	}
+	t.entries[p] = Mapping{Kind: MappedSCOMA, Frame: frame}
 	t.faults++
 }
 
 // Unmap tears the mapping down (page-cache replacement, or the unmap step
 // of a relocation).
 func (t *PageTable) Unmap(p addr.PageNum) {
-	delete(t.m, p)
+	if int(p) >= len(t.entries) || t.entries[p].Kind == Unmapped {
+		return
+	}
+	t.entries[p] = Mapping{}
+	t.mapped--
 }
 
 // Mapped reports how many remote pages are currently mapped.
-func (t *PageTable) Mapped() int { return len(t.m) }
+func (t *PageTable) Mapped() int { return t.mapped }
 
 // Faults reports how many mapping installs occurred.
 func (t *PageTable) Faults() int64 { return t.faults }

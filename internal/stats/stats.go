@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"rnuma/internal/addr"
+	"rnuma/internal/dense"
 )
 
 // PageKey identifies a (node, page) pair: refetch counting in the paper is
@@ -81,6 +82,73 @@ func NewRun() *Run {
 func (r *Run) AddRefetch(n addr.NodeID, p addr.PageNum) {
 	r.Refetches++
 	r.RefetchByPage[PageKey{n, p}]++
+}
+
+// PageCounter is a dense per-(node, page) counter table for hot-path
+// accumulation. The simulator knows its node count and page bound up
+// front, so indexed increments replace the per-event map hashing that
+// RefetchByPage-style accumulation would cost; Materialize converts the
+// table into the sparse map form the reports consume.
+type PageCounter struct {
+	nodes  int
+	counts []int64 // page-major: counts[int(page)*nodes + int(node)]
+}
+
+// NewPageCounter builds a counter table for `nodes` nodes, pre-sized for
+// `pagesHint` pages. The table grows on demand past the hint.
+func NewPageCounter(nodes, pagesHint int) *PageCounter {
+	if nodes < 1 {
+		nodes = 1
+	}
+	if pagesHint < 0 {
+		pagesHint = 0
+	}
+	return &PageCounter{nodes: nodes, counts: make([]int64, nodes*pagesHint)}
+}
+
+// ensure grows the table to cover page p. The length stays a multiple of
+// nodes (it starts as one, and dense.Grow doubles or jumps to the need,
+// itself a multiple), which Each's index decode relies on.
+func (c *PageCounter) ensure(p addr.PageNum) {
+	c.counts = dense.Grow(c.counts, (int(p)+1)*c.nodes)
+}
+
+// Add accumulates delta for the (node, page) pair.
+func (c *PageCounter) Add(n addr.NodeID, p addr.PageNum, delta int64) {
+	c.ensure(p)
+	c.counts[int(p)*c.nodes+int(n)] += delta
+}
+
+// Get returns the pair's current count.
+func (c *PageCounter) Get(n addr.NodeID, p addr.PageNum) int64 {
+	i := int(p)*c.nodes + int(n)
+	if i >= len(c.counts) {
+		return 0
+	}
+	return c.counts[i]
+}
+
+// Each calls fn for every pair with a nonzero count, in page-major order.
+func (c *PageCounter) Each(fn func(PageKey, int64)) {
+	for i, v := range c.counts {
+		if v != 0 {
+			fn(PageKey{Node: addr.NodeID(i % c.nodes), Page: addr.PageNum(i / c.nodes)}, v)
+		}
+	}
+}
+
+// Total sums every count in the table.
+func (c *PageCounter) Total() int64 {
+	var t int64
+	for _, v := range c.counts {
+		t += v
+	}
+	return t
+}
+
+// Materialize copies the nonzero entries into the sparse map form.
+func (c *PageCounter) Materialize(into map[PageKey]int64) {
+	c.Each(func(k PageKey, v int64) { into[k] = v })
 }
 
 // TotalPageOps returns allocations+replacements+relocations, the page

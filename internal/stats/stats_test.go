@@ -25,6 +25,66 @@ func TestAddRefetch(t *testing.T) {
 	}
 }
 
+func TestPageCounter(t *testing.T) {
+	c := NewPageCounter(4, 2)
+	c.Add(1, 0, 2)
+	c.Add(3, 0, 1)
+	c.Add(0, 100, 5) // beyond the hint: grows on demand
+	if got := c.Get(1, 0); got != 2 {
+		t.Errorf("Get(1,0) = %d, want 2", got)
+	}
+	if got := c.Get(2, 50); got != 0 {
+		t.Errorf("Get on untouched pair = %d, want 0", got)
+	}
+	if got := c.Total(); got != 8 {
+		t.Errorf("Total = %d, want 8", got)
+	}
+	m := make(map[PageKey]int64)
+	c.Materialize(m)
+	want := map[PageKey]int64{
+		{Node: 1, Page: 0}:   2,
+		{Node: 3, Page: 0}:   1,
+		{Node: 0, Page: 100}: 5,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("materialized %d entries, want %d: %v", len(m), len(want), m)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("materialized[%v] = %d, want %d", k, m[k], v)
+		}
+	}
+}
+
+// TestPageCounterMatchesMap: dense accumulation materializes to exactly
+// what per-event map accumulation produces.
+func TestPageCounterMatchesMap(t *testing.T) {
+	f := func(events []uint16) bool {
+		run := NewRun()
+		pc := NewPageCounter(8, 4)
+		for _, e := range events {
+			n := addr.NodeID(e % 8)
+			p := addr.PageNum(e / 8 % 64)
+			run.AddRefetch(n, p)
+			pc.Add(n, p, 1)
+		}
+		m := make(map[PageKey]int64)
+		pc.Materialize(m)
+		if len(m) != len(run.RefetchByPage) || pc.Total() != run.Refetches {
+			return false
+		}
+		for k, v := range run.RefetchByPage {
+			if m[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestRefetchCDFSkewed(t *testing.T) {
 	r := NewRun()
 	// One page with 90 refetches, nine pages with 1 or 2.
