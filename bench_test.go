@@ -9,6 +9,7 @@
 package rnuma_test
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -25,6 +26,7 @@ import (
 	"rnuma/internal/pagecache"
 	"rnuma/internal/stats"
 	"rnuma/internal/trace"
+	"rnuma/internal/tracefile"
 	"rnuma/internal/workloads"
 )
 
@@ -343,6 +345,114 @@ func BenchmarkPageCounter(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			m[stats.PageKey{Node: addr.NodeID(i & 7), Page: addr.PageNum(i & 1023)}]++
 		}
+	})
+}
+
+// BenchmarkTraceEncodeDecode measures the trace-file hot paths: encoding
+// a workload's streams to the binary format and decoding them back. The
+// bytes/ref metric tracks the format's density (the paper-shaped sweeps
+// should stay in the 2-4 byte range against 12-byte in-memory refs).
+func BenchmarkTraceEncodeDecode(b *testing.B) {
+	cfg := workloads.DefaultConfig()
+	cfg.Scale = benchScale
+	app, _ := workloads.ByName("moldyn")
+
+	var encoded bytes.Buffer
+	refs, _, err := tracefile.WriteWorkload(&encoded, app.Build(cfg), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perRef := float64(encoded.Len()) / float64(refs)
+
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(encoded.Len()))
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			buf.Grow(encoded.Len())
+			if _, _, err := tracefile.WriteWorkload(&buf, app.Build(cfg), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(perRef, "bytes/ref")
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(encoded.Len()))
+		for i := 0; i < b.N; i++ {
+			d, err := tracefile.NewReader(bytes.NewReader(encoded.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			counts, err := d.Drain()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var total int64
+			for _, c := range counts {
+				total += c
+			}
+			if total != refs {
+				b.Fatalf("decoded %d refs, wrote %d", total, refs)
+			}
+		}
+		b.ReportMetric(perRef, "bytes/ref")
+	})
+}
+
+// BenchmarkReplayVsGenerate compares the two ways to feed the machine:
+// building the synthetic generator live versus replaying its recorded
+// trace. Replay skips workload construction but adds decode work; the
+// pair bounds what recorded-production-traffic ingestion costs.
+func BenchmarkReplayVsGenerate(b *testing.B) {
+	cfg := workloads.DefaultConfig()
+	cfg.Scale = benchScale
+	app, _ := workloads.ByName("moldyn")
+	sys := config.Base(config.RNUMA)
+
+	var encoded bytes.Buffer
+	if _, _, err := tracefile.WriteWorkload(&encoded, app.Build(cfg), cfg); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("generate", func(b *testing.B) {
+		var refs int64
+		for i := 0; i < b.N; i++ {
+			w := app.Build(cfg)
+			m, err := machine.New(sys, machine.WithHomes(w.Homes), machine.WithPages(w.SharedPages))
+			if err != nil {
+				b.Fatal(err)
+			}
+			run, err := m.Run(w.Streams)
+			if err != nil {
+				b.Fatal(err)
+			}
+			refs = run.Refs
+		}
+		b.ReportMetric(float64(refs), "refs/run")
+	})
+	b.Run("replay", func(b *testing.B) {
+		var refs int64
+		for i := 0; i < b.N; i++ {
+			d, err := tracefile.NewReader(bytes.NewReader(encoded.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := d.Header()
+			m, err := machine.New(sys, machine.WithHomes(h.HomeFunc()), machine.WithPages(h.SharedPages))
+			if err != nil {
+				b.Fatal(err)
+			}
+			run, err := m.Run(d.Streams())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := d.Err(); err != nil {
+				b.Fatal(err)
+			}
+			refs = run.Refs
+		}
+		b.ReportMetric(float64(refs), "refs/run")
 	})
 }
 

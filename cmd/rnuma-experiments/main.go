@@ -3,7 +3,9 @@
 // Usage:
 //
 //	rnuma-experiments [-exp all|fig5|table4|fig6|fig7|fig8|fig9|model|lu]
-//	                  [-apps barnes,lu,...] [-scale 1.0] [-parallel N] [-v]
+//	                  [-apps barnes,lu,...] [-specs a.json,b.json]
+//	                  [-traces x.trace,...] [-scale 1.0] [-seed 0]
+//	                  [-parallel N] [-v]
 //
 // Each experiment prints the corresponding rows/series of the paper's
 // evaluation (Section 5); see EXPERIMENTS.md for paper-vs-measured values.
@@ -11,6 +13,11 @@
 // one deduplicated plan and executed across -parallel workers (default
 // GOMAXPROCS) before the figures are assembled, so shared configurations
 // (the ideal baseline, the base protocols) simulate once.
+//
+// -specs and -traces register declarative workload files and recorded
+// traces as additional applications: their rows appear in every selected
+// figure alongside the Table 3 catalog (memoized by file content hash).
+// Recorded traces must match the experiments' 8x4 base machine shape.
 package main
 
 import (
@@ -29,7 +36,10 @@ func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment: all, fig5, table4, fig6, fig7, fig8, fig9, model, lu")
 		apps     = flag.String("apps", "", "comma-separated application subset (default: all ten)")
+		specs    = flag.String("specs", "", "comma-separated workload spec files to add as applications")
+		traces   = flag.String("traces", "", "comma-separated recorded trace files to add as applications")
 		scale    = flag.Float64("scale", 1.0, "workload scale (iteration multiplier)")
+		seed     = flag.Int64("seed", 0, "workload RNG seed (0 = built-in fixed seeds)")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		verbose  = flag.Bool("v", false, "log run progress")
 	)
@@ -40,6 +50,7 @@ func main() {
 		list = strings.Split(*apps, ",")
 	}
 	h := harness.New(*scale)
+	h.Seed = *seed
 	h.Workers = *parallel
 	if *verbose {
 		h.Log = os.Stderr
@@ -50,6 +61,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rnuma-experiments: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	// Spec and trace files join the application list: every selected
+	// figure then carries their rows next to the catalog's.
+	for _, path := range splitList(*specs) {
+		src, err := harness.SpecFileSource(path)
+		die(err)
+		die(h.Register(src))
+		list = append(list, src.Name())
+	}
+	for _, path := range splitList(*traces) {
+		src, err := harness.TraceFileSource(path)
+		die(err)
+		die(h.Register(src))
+		list = append(list, src.Name())
 	}
 	sep := func() { fmt.Println("\n" + strings.Repeat("=", 80) + "\n") }
 
@@ -113,4 +139,18 @@ func main() {
 		fmt.Printf("LU LOAD IMBALANCE (Section 5.5) — top-2 nodes' share of S-COMA page replacements: %.0f%%\n", share*100)
 		fmt.Println("(the paper attributes lu's relocation-overhead sensitivity to two overloaded nodes)")
 	}
+}
+
+// splitList splits a comma-separated flag, dropping empty entries.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -4,39 +4,49 @@
 // Usage:
 //
 //	rnuma-sim -app moldyn -protocol rnuma [-bc 128] [-pc 327680] [-T 64]
-//	          [-scale 1.0] [-nodes 8] [-cpus 4] [-soft] [-ideal]
+//	          [-scale 1.0] [-seed 0] [-nodes 8] [-cpus 4] [-soft] [-ideal]
 //	          [-parallel N] [-v]
+//	rnuma-sim -trace file.trace [...]   (replay a recorded trace; "-" = stdin)
+//	rnuma-sim -spec file.json   [...]   (build a declarative spec workload)
 //
 // Protocols: ccnuma, scoma, rnuma. -ideal runs the normalization baseline
-// (CC-NUMA with an infinite block cache) regardless of -protocol.
+// (CC-NUMA with an infinite block cache) regardless of -protocol. With
+// -trace, the machine shape (nodes, CPUs, geometry) comes from the trace
+// header and -nodes/-cpus are ignored; -scale and -seed have no effect on
+// recorded references.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"rnuma/internal/config"
 	"rnuma/internal/harness"
 	"rnuma/internal/report"
+	"rnuma/internal/tracefile"
 	"rnuma/internal/workloads"
 )
 
 func main() {
 	var (
-		appName  = flag.String("app", "moldyn", "application: "+strings.Join(workloads.Names(), ", "))
-		protocol = flag.String("protocol", "rnuma", "protocol: ccnuma, scoma, rnuma")
-		bc       = flag.Int("bc", -2, "block cache bytes (-1 = infinite, default per protocol)")
-		pc       = flag.Int("pc", -2, "page cache bytes (default per protocol)")
-		thr      = flag.Int("T", 64, "R-NUMA relocation threshold")
-		scale    = flag.Float64("scale", 1.0, "workload scale (iteration multiplier)")
-		nodes    = flag.Int("nodes", 8, "SMP nodes")
-		cpus     = flag.Int("cpus", 4, "CPUs per node")
-		soft     = flag.Bool("soft", false, "use SOFT costs (10-µs traps, 5-µs software shootdowns)")
-		ideal    = flag.Bool("ideal", false, "run the infinite-block-cache baseline")
-		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		verbose  = flag.Bool("v", false, "log progress")
+		appName   = flag.String("app", "moldyn", "application: "+strings.Join(workloads.Names(), ", "))
+		tracePath = flag.String("trace", "", `replay a recorded trace file instead of -app ("-" = stdin)`)
+		specPath  = flag.String("spec", "", "build a declarative workload spec file instead of -app")
+		protocol  = flag.String("protocol", "rnuma", "protocol: ccnuma, scoma, rnuma")
+		bc        = flag.Int("bc", -2, "block cache bytes (-1 = infinite, default per protocol)")
+		pc        = flag.Int("pc", -2, "page cache bytes (default per protocol)")
+		thr       = flag.Int("T", 64, "R-NUMA relocation threshold")
+		scale     = flag.Float64("scale", 1.0, "workload scale (iteration multiplier)")
+		seed      = flag.Int64("seed", 0, "workload RNG seed (0 = built-in fixed seeds)")
+		nodes     = flag.Int("nodes", 8, "SMP nodes")
+		cpus      = flag.Int("cpus", 4, "CPUs per node")
+		soft      = flag.Bool("soft", false, "use SOFT costs (10-µs traps, 5-µs software shootdowns)")
+		ideal     = flag.Bool("ideal", false, "run the infinite-block-cache baseline")
+		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		verbose   = flag.Bool("v", false, "log progress")
 	)
 	flag.Parse()
 
@@ -67,33 +77,134 @@ func main() {
 	if *soft {
 		sys.Costs = config.SoftCosts()
 	}
-	if err := sys.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "rnuma-sim: %v\n", err)
-		os.Exit(2)
-	}
 
 	h := harness.New(*scale)
+	h.Seed = *seed
 	h.Workers = *parallel
 	if *verbose {
 		h.Log = os.Stderr
 	}
-	// The requested run and its normalization baseline are independent:
-	// fan them out together before assembling the report.
-	h.Prefetch(harness.NewPlan().Add(
-		harness.NewJob(*appName, sys),
-		harness.NewJob(*appName, config.Ideal())))
-	run, err := h.Run(*appName, sys)
-	if err != nil {
+
+	if err := run(h, sys, *appName, *tracePath, *specPath); err != nil {
 		fmt.Fprintf(os.Stderr, "rnuma-sim: %v\n", err)
 		os.Exit(1)
 	}
-	app, _ := workloads.ByName(*appName)
-	fmt.Printf("application: %s (%s)\n", app.Name, app.PaperInput)
+}
+
+func run(h *harness.Harness, sys config.System, appName, tracePath, specPath string) error {
+	// Resolve the workload: a registered trace/spec source or a catalog
+	// application. Sources join the harness's app namespace, so the rest
+	// of the pipeline (memoized runs, normalization) is identical.
+	name := appName
+	var descr string
+	switch {
+	case tracePath != "" && specPath != "":
+		return fmt.Errorf("-trace and -spec are mutually exclusive")
+	case tracePath != "":
+		path, cleanup, err := materialize(tracePath)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		hdr, err := readHeader(path)
+		if err != nil {
+			return err
+		}
+		if hdr.CPUs%hdr.Nodes != 0 {
+			return fmt.Errorf("trace has %d CPUs on %d nodes (not evenly divided)", hdr.CPUs, hdr.Nodes)
+		}
+		src, err := harness.TraceFileSource(path)
+		if err != nil {
+			return err
+		}
+		if err := h.Register(src); err != nil {
+			return err
+		}
+		name = src.Name()
+		// The machine must match the recorded shape; the system flags
+		// still pick the protocol and cache sizes.
+		sys.Geometry = hdr.Geometry
+		sys.Nodes = hdr.Nodes
+		sys.CPUsPerNode = hdr.CPUs / hdr.Nodes
+		descr = fmt.Sprintf("recorded trace %s", tracePath)
+	case specPath != "":
+		src, err := harness.SpecFileSource(specPath)
+		if err != nil {
+			return err
+		}
+		if err := h.Register(src); err != nil {
+			return err
+		}
+		name = src.Name()
+		descr = fmt.Sprintf("spec %s", specPath)
+	default:
+		app, ok := workloads.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown application %q", name)
+		}
+		descr = app.PaperInput
+	}
+	if err := sys.Validate(); err != nil {
+		return err
+	}
+
+	// The requested run and its normalization baseline are independent:
+	// fan them out together before assembling the report.
+	idealSys := config.Ideal()
+	idealSys.Geometry = sys.Geometry
+	idealSys.Nodes = sys.Nodes
+	idealSys.CPUsPerNode = sys.CPUsPerNode
+	h.Prefetch(harness.NewPlan().Add(
+		harness.NewJob(name, sys),
+		harness.NewJob(name, idealSys)))
+	run, err := h.Run(name, sys)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("application: %s (%s)\n", name, descr)
 	fmt.Printf("system: %s, %dx%d CPUs\n", sys.Name, sys.Nodes, sys.CPUsPerNode)
 	report.RunSummary(os.Stdout, sys.Name, run)
 
-	ideal2, err := h.Ideal(*appName)
-	if err == nil && ideal2.ExecCycles > 0 {
-		fmt.Printf("  normalized exec time:  %.3f (vs infinite block cache)\n", run.Normalized(ideal2))
+	base, err := h.Run(name, idealSys)
+	if err == nil && base.ExecCycles > 0 {
+		fmt.Printf("  normalized exec time:  %.3f (vs infinite block cache)\n", run.Normalized(base))
 	}
+	return nil
+}
+
+// materialize resolves a trace argument to a real file path: "-" spools
+// stdin to a temp file (the harness source re-opens its file once per
+// simulated system, and stdin cannot rewind).
+func materialize(path string) (string, func(), error) {
+	if path != "-" {
+		return path, func() {}, nil
+	}
+	tmp, err := os.CreateTemp("", "rnuma-trace-*.trace")
+	if err != nil {
+		return "", nil, err
+	}
+	if _, err := io.Copy(tmp, os.Stdin); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", nil, err
+	}
+	return tmp.Name(), func() { os.Remove(tmp.Name()) }, nil
+}
+
+// readHeader parses just the trace header (for the machine shape).
+func readHeader(path string) (tracefile.Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return tracefile.Header{}, err
+	}
+	defer f.Close()
+	d, err := tracefile.NewReader(f)
+	if err != nil {
+		return tracefile.Header{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return d.Header(), nil
 }

@@ -1,0 +1,334 @@
+// Command rnuma-trace captures, inspects, and replays memory-reference
+// traces in the tracefile binary format.
+//
+// Usage:
+//
+//	rnuma-trace record -app <name>  [-o out.trace] [-scale S] [-seed N] [-nodes N] [-cpus N]
+//	rnuma-trace gen    -spec <file> [-o out.trace] [-scale S] [-seed N] [-nodes N] [-cpus N]
+//	rnuma-trace info   <file>
+//	rnuma-trace replay <file> [-protocol ccnuma|scoma|rnuma] [-bc B] [-pc P] [-T N] [-soft] [-ideal]
+//
+// record captures a built-in application's reference streams; gen does
+// the same for a declarative JSON workload spec (see internal/spec). Both
+// write to stdout with -o - (the default is <name>.trace), so traces pipe
+// straight into `rnuma-sim -trace -`. info prints a trace's header and
+// per-CPU record counts; replay runs one through the simulated machine of
+// the recorded shape and prints the run's statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rnuma/internal/addr"
+	"rnuma/internal/config"
+	"rnuma/internal/machine"
+	"rnuma/internal/report"
+	"rnuma/internal/spec"
+	"rnuma/internal/stats"
+	"rnuma/internal/tracefile"
+	"rnuma/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "rnuma-trace: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rnuma-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `rnuma-trace — capture, inspect, and replay reference traces
+
+subcommands:
+  record -app <name>  [-o file] [-scale S] [-seed N] [-nodes N] [-cpus N]
+      capture a built-in application's streams (apps: %s)
+  gen    -spec <file> [-o file] [-scale S] [-seed N] [-nodes N] [-cpus N]
+      build a declarative spec workload and capture its streams
+  info   <file>
+      print a trace's header and per-CPU record counts ("-" = stdin)
+  replay <file> [-protocol P] [-bc B] [-pc P] [-T N] [-soft] [-ideal] [-v]
+      run a trace through the simulated machine of its recorded shape
+`, strings.Join(workloads.Names(), ", "))
+}
+
+// sizingFlags are the workload-shape flags shared by record and gen.
+func sizingFlags(fs *flag.FlagSet) (scale *float64, seed *int64, nodes, cpus *int, out *string) {
+	scale = fs.Float64("scale", 1.0, "workload scale (iteration multiplier)")
+	seed = fs.Int64("seed", 0, "workload RNG seed (0 = built-in fixed seeds)")
+	nodes = fs.Int("nodes", 8, "SMP nodes")
+	cpus = fs.Int("cpus", 4, "CPUs per node")
+	out = fs.String("o", "", `output file ("-" = stdout; default <name>.trace)`)
+	return
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	appName := fs.String("app", "", "application to record: "+strings.Join(workloads.Names(), ", "))
+	scale, seed, nodes, cpus, out := sizingFlags(fs)
+	fs.Parse(args)
+	app, ok := workloads.ByName(*appName)
+	if !ok {
+		return fmt.Errorf("unknown application %q", *appName)
+	}
+	cfg := workloads.Config{Nodes: *nodes, CPUsPerNode: *cpus, Geometry: addr.Default, Scale: *scale, Seed: *seed}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	return capture(app.Build(cfg), cfg, *out)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	specPath := fs.String("spec", "", `workload spec file ("-" = stdin)`)
+	scale, seed, nodes, cpus, out := sizingFlags(fs)
+	fs.Parse(args)
+	if *specPath == "" {
+		return fmt.Errorf("gen needs -spec <file>")
+	}
+	var (
+		s   *spec.Spec
+		err error
+	)
+	if *specPath == "-" {
+		data, rerr := io.ReadAll(os.Stdin)
+		if rerr != nil {
+			return rerr
+		}
+		s, err = spec.Parse(data)
+	} else {
+		s, err = spec.Load(*specPath)
+	}
+	if err != nil {
+		return err
+	}
+	cfg := workloads.Config{Nodes: *nodes, CPUsPerNode: *cpus, Geometry: addr.Default, Scale: *scale, Seed: *seed}
+	w, err := s.Build(cfg)
+	if err != nil {
+		return err
+	}
+	return capture(w, cfg, *out)
+}
+
+// capture drains the workload into a trace file and reports the encoding
+// stats on stderr (stdout may be the trace itself).
+func capture(w *workloads.Workload, cfg workloads.Config, out string) error {
+	if out == "" {
+		out = w.Name + ".trace"
+	}
+	dst := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	refs, bytes, err := tracefile.WriteWorkload(dst, w, cfg)
+	if err != nil {
+		return err
+	}
+	where := out
+	if out == "-" {
+		where = "stdout"
+	}
+	fmt.Fprintf(os.Stderr, "recorded %s: %d refs, %d pages, %d bytes to %s (%.2f bytes/ref)\n",
+		w.Name, refs, w.SharedPages, bytes, where, float64(bytes)/float64(refs))
+	return nil
+}
+
+// parseWithTarget parses a subcommand's flags while accepting the trace
+// file positionally on either side of the flags (`replay file -protocol
+// scoma` and `replay -protocol scoma file` both work — the standard flag
+// package alone would silently stop parsing at the leading positional).
+func parseWithTarget(fs *flag.FlagSet, args []string) string {
+	var target string
+	if len(args) > 0 && (args[0] == "-" || !strings.HasPrefix(args[0], "-")) {
+		target = args[0]
+		args = args[1:]
+	}
+	fs.Parse(args)
+	if target == "" {
+		target = fs.Arg(0)
+	}
+	return target
+}
+
+// openTrace resolves a trace argument: a path or "-" for stdin. The
+// positional form (info/replay) also accepts -trace for symmetry with
+// rnuma-sim.
+func openTrace(positional, tracePath string) (io.ReadCloser, string, error) {
+	path := tracePath
+	if path == "" {
+		path = positional
+	}
+	if path == "" {
+		return nil, "", fmt.Errorf("no trace file given")
+	}
+	if path == "-" {
+		return io.NopCloser(os.Stdin), "stdin", nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return f, path, nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	tracePath := fs.String("trace", "", `trace file ("-" = stdin; also accepted positionally)`)
+	target := parseWithTarget(fs, args)
+	r, name, err := openTrace(target, *tracePath)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	d, err := tracefile.NewReader(r)
+	if err != nil {
+		return err
+	}
+	h := d.Header()
+	fmt.Printf("trace: %s\n", name)
+	fmt.Printf("  workload:     %s\n", h.Name)
+	fmt.Printf("  geometry:     %s\n", h.Geometry)
+	fmt.Printf("  machine:      %d nodes, %d CPUs\n", h.Nodes, h.CPUs)
+	fmt.Printf("  shared pages: %d (%d KB)\n", h.SharedPages, h.SharedPages*h.Geometry.PageBytes()/1024)
+	counts, err := d.Drain()
+	if err != nil {
+		return err
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	fmt.Printf("  references:   %d\n", total)
+	for cpu, c := range counts {
+		fmt.Printf("    cpu %2d: %d\n", cpu, c)
+	}
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	tracePath := fs.String("trace", "", `trace file ("-" = stdin; also accepted positionally)`)
+	protocol := fs.String("protocol", "rnuma", "protocol: ccnuma, scoma, rnuma")
+	bc := fs.Int("bc", -2, "block cache bytes (-1 = infinite, default per protocol)")
+	pc := fs.Int("pc", -2, "page cache bytes (default per protocol)")
+	thr := fs.Int("T", 64, "R-NUMA relocation threshold")
+	soft := fs.Bool("soft", false, "use SOFT costs (10-µs traps, 5-µs software shootdowns)")
+	ideal := fs.Bool("ideal", false, "replay on the infinite-block-cache baseline")
+	target := parseWithTarget(fs, args)
+
+	r, name, err := openTrace(target, *tracePath)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	var sys config.System
+	switch strings.ToLower(*protocol) {
+	case "ccnuma", "cc-numa", "cc":
+		sys = config.Base(config.CCNUMA)
+	case "scoma", "s-coma", "sc":
+		sys = config.Base(config.SCOMA)
+	case "rnuma", "r-numa", "r":
+		sys = config.Base(config.RNUMA)
+	default:
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+	if *ideal {
+		sys = config.Ideal()
+	}
+	if *bc != -2 {
+		sys.BlockCacheBytes = *bc
+	}
+	if *pc != -2 {
+		sys.PageCacheBytes = *pc
+	}
+	sys.Threshold = *thr
+
+	if *soft {
+		sys.Costs = config.SoftCosts()
+	}
+	run, hdr, err := replayOn(r, sys)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %s (workload %s, %d nodes x %d CPUs)\n", name, hdr.Name, hdr.Nodes, hdr.CPUs/hdr.Nodes)
+	report.RunSummary(os.Stdout, sys.Name, run)
+
+	// A file (unlike stdin) can be replayed a second time for the
+	// ideal-machine normalization every figure uses.
+	if name != "stdin" && !*ideal {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		base, _, err := replayOn(f, config.Ideal())
+		if err != nil {
+			return err
+		}
+		if base.ExecCycles > 0 {
+			fmt.Printf("  normalized exec time:  %.3f (vs infinite block cache)\n", run.Normalized(base))
+		}
+	}
+	return nil
+}
+
+// replayOn runs one trace through a machine shaped like the recording.
+func replayOn(r io.Reader, sys config.System) (*stats.Run, tracefile.Header, error) {
+	d, err := tracefile.NewReader(r)
+	if err != nil {
+		return nil, tracefile.Header{}, err
+	}
+	h := d.Header()
+	if h.CPUs%h.Nodes != 0 {
+		return nil, h, fmt.Errorf("trace has %d CPUs on %d nodes (not evenly divided)", h.CPUs, h.Nodes)
+	}
+	sys.Geometry = h.Geometry
+	sys.Nodes = h.Nodes
+	sys.CPUsPerNode = h.CPUs / h.Nodes
+	if err := sys.Validate(); err != nil {
+		return nil, h, err
+	}
+	m, err := machine.New(sys, machine.WithHomes(h.HomeFunc()), machine.WithPages(h.SharedPages))
+	if err != nil {
+		return nil, h, err
+	}
+	run, err := m.Run(d.Streams())
+	if err != nil {
+		return nil, h, err
+	}
+	if err := d.Err(); err != nil {
+		return nil, h, err
+	}
+	return run, h, nil
+}

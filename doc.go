@@ -18,9 +18,15 @@
 //   - internal/cache, internal/blockcache, internal/pagecache — the
 //     storage hierarchy
 //   - internal/workloads — synthetic versions of the paper's ten
-//     applications (Table 3)
+//     applications (Table 3), built on exported access-pattern primitives
+//   - internal/spec — declarative JSON workload descriptions composed
+//     from the same primitives (new scenarios without code changes)
+//   - internal/tracefile — the binary trace capture/replay format
+//     (streaming writer, lazy demuxing reader, live-simulation tee)
 //   - internal/harness — the experiment-plan layer and concurrent
-//     scheduler that regenerate every table and figure
+//     scheduler that regenerate every table and figure; spec files and
+//     recorded traces register as workload sources with content-hash
+//     memo keys
 //   - internal/model — the analytical worst-case model (Section 3.2)
 //
 // The harness declares each figure's (application, system) grid as a Plan

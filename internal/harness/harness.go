@@ -28,6 +28,11 @@ import (
 type Harness struct {
 	// Scale multiplies workload iteration counts (1.0 = evaluation size).
 	Scale float64
+	// Seed perturbs the workload generators' RNGs (workloads.Config.Seed).
+	// The default 0 keeps the built-in fixed seeds, so results — and any
+	// traces recorded from them — are bit-reproducible run to run.
+	// Recorded-trace sources ignore it (their references are baked in).
+	Seed int64
 	// Log, if non-nil, receives progress lines (serialized across workers).
 	Log io.Writer
 	// Workers bounds how many simulations run concurrently when a plan is
@@ -35,9 +40,10 @@ type Harness struct {
 	// Run calls are always synchronous; Workers only governs plan fan-out.
 	Workers int
 
-	mu    sync.Mutex // guards cache
-	logMu sync.Mutex // serializes progress lines
-	cache map[string]*memoEntry
+	mu      sync.Mutex // guards cache and sources
+	logMu   sync.Mutex // serializes progress lines
+	cache   map[string]*memoEntry
+	sources map[string]Source // registered spec/trace workloads, by name
 }
 
 // memoEntry is one singleflight cache slot: the first requester runs the
@@ -79,7 +85,7 @@ func (h *Harness) Run(appName string, sys config.System) (*stats.Run, error) {
 // runJob executes a job through the singleflight cache: exactly one
 // simulation per key ever runs, even under concurrent requests.
 func (h *Harness) runJob(j Job) (*stats.Run, error) {
-	key := j.Key()
+	key := h.jobKey(j)
 	h.mu.Lock()
 	if e, ok := h.cache[key]; ok {
 		h.mu.Unlock()
@@ -97,19 +103,29 @@ func (h *Harness) runJob(j Job) (*stats.Run, error) {
 // simulate builds the workload and machine for a job and runs it. Each
 // call constructs a fresh Machine, so concurrent jobs share no mutable
 // state; the workload build is deterministic (fixed seeds), so results do
-// not depend on the schedule.
+// not depend on the schedule. Registered sources (spec files, recorded
+// traces) take precedence over the built-in catalog.
 func (h *Harness) simulate(j Job) (*stats.Run, error) {
-	app, ok := workloads.ByName(j.App)
-	if !ok {
-		return nil, fmt.Errorf("harness: unknown application %q", j.App)
-	}
 	cfg := workloads.Config{
 		Nodes:       j.Sys.Nodes,
 		CPUsPerNode: j.Sys.CPUsPerNode,
 		Geometry:    j.Sys.Geometry,
 		Scale:       h.Scale,
+		Seed:        h.Seed,
 	}
-	w := app.Build(cfg)
+	var w *workloads.Workload
+	if src := h.source(j.App); src != nil {
+		var err error
+		if w, err = src.Load(cfg); err != nil {
+			return nil, err
+		}
+	} else {
+		app, ok := workloads.ByName(j.App)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown application %q", j.App)
+		}
+		w = app.Build(cfg)
+	}
 	opts := make([]machine.Option, 0, len(j.opts)+2)
 	opts = append(opts, j.opts...)
 	if !j.skipHomes {
@@ -128,6 +144,13 @@ func (h *Harness) simulate(j Job) (*stats.Run, error) {
 	run, err := m.Run(w.Streams)
 	if err != nil {
 		return nil, err
+	}
+	if w.Check != nil {
+		// Replayed traces cannot report I/O or decode errors through
+		// trace.Stream; a failure here means the run saw truncated input.
+		if err := w.Check(); err != nil {
+			return nil, err
+		}
 	}
 	h.logf("  %s", run.Summary())
 	return run, nil

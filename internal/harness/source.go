@@ -1,0 +1,193 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+
+	"rnuma/internal/spec"
+	"rnuma/internal/tracefile"
+	"rnuma/internal/workloads"
+)
+
+// Source supplies a workload from outside the built-in catalog: a
+// declarative spec file or a recorded trace. Registered sources join the
+// harness's application namespace, so every figure, plan, and CLI flag
+// that takes an application name takes a source name too.
+type Source interface {
+	// Name is the application name the source registers under.
+	Name() string
+	// Key identifies the source's *content* for the memo cache: two
+	// files with the same name but different bytes must not share
+	// simulations, and re-registering identical content is a no-op.
+	Key() string
+	// Load builds (or opens) the workload for one simulation. It is
+	// called once per memoized job, so trace sources may hand out
+	// consume-once streams.
+	Load(cfg workloads.Config) (*workloads.Workload, error)
+}
+
+// Register adds a source to the harness's application namespace.
+// Registered names take precedence over the built-in catalog (replaying a
+// recorded "barnes" trace shadows the generator of the same name for
+// that harness). Re-registering the same content is a no-op; a name
+// collision with different content is an error.
+func (h *Harness) Register(src Source) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.sources == nil {
+		h.sources = make(map[string]Source)
+	}
+	if old, ok := h.sources[src.Name()]; ok && old.Key() != src.Key() {
+		return fmt.Errorf("harness: source %q already registered with different content", src.Name())
+	}
+	h.sources[src.Name()] = src
+	return nil
+}
+
+// source looks up a registered source by application name.
+func (h *Harness) source(name string) Source {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sources[name]
+}
+
+// Sources lists the registered source names in no particular order.
+func (h *Harness) Sources() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.sources))
+	for name := range h.sources {
+		out = append(out, name)
+	}
+	return out
+}
+
+// jobKey is the memo-cache identity of a job: Job.Key, with the
+// application-name component replaced by the source's content key when
+// the name resolves to a registered source (so memoization follows file
+// content, not file naming), and the harness seed appended when set (so
+// mutating Seed between runs cannot return a stale cached result).
+func (h *Harness) jobKey(j Job) string {
+	k := j.Key()
+	if src := h.source(j.App); src != nil {
+		k = src.Key() + "|" + sysKey(j.Sys)
+		if j.Tag != "" {
+			k += "|" + j.Tag
+		}
+	}
+	if h.Seed != 0 {
+		k += fmt.Sprintf("|seed%d", h.Seed)
+	}
+	return k
+}
+
+// ---------------------------------------------------------------------
+
+// specSource builds workloads from a parsed declarative spec.
+type specSource struct {
+	s   *spec.Spec
+	key string
+}
+
+// SpecSource wraps an in-memory spec document (CLI paths that already
+// read the bytes, e.g. stdin).
+func SpecSource(data []byte) (Source, error) {
+	s, err := spec.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(data)
+	return &specSource{s: s, key: fmt.Sprintf("spec:%s:%x", s.Name, sum[:8])}, nil
+}
+
+// SpecFileSource loads a spec file as a workload source; the memo key is
+// derived from the file's content hash.
+func SpecFileSource(path string) (Source, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	src, err := SpecSource(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return src, nil
+}
+
+func (s *specSource) Name() string { return s.s.Name }
+func (s *specSource) Key() string  { return s.key }
+func (s *specSource) Load(cfg workloads.Config) (*workloads.Workload, error) {
+	return s.s.Build(cfg)
+}
+
+// ---------------------------------------------------------------------
+
+// traceSource replays a recorded trace file. The file is opened per Load
+// and streamed, never materialized; Workload.Check closes it and surfaces
+// any decode error after the run.
+type traceSource struct {
+	path string
+	hdr  tracefile.Header
+	key  string
+}
+
+// TraceFileSource opens a recorded trace as a workload source. The memo
+// key is derived from the file's content hash; replay validates that the
+// simulated machine matches the recorded geometry and CPU count.
+func TraceFileSource(path string) (Source, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	defer f.Close()
+	hasher := sha256.New()
+	if _, err := io.Copy(hasher, f); err != nil {
+		return nil, fmt.Errorf("harness: hashing %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	d, err := tracefile.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	hdr := d.Header()
+	return &traceSource{
+		path: path,
+		hdr:  hdr,
+		key:  fmt.Sprintf("trace:%s:%x", hdr.Name, hasher.Sum(nil)[:8]),
+	}, nil
+}
+
+func (t *traceSource) Name() string { return t.hdr.Name }
+func (t *traceSource) Key() string  { return t.key }
+
+func (t *traceSource) Load(cfg workloads.Config) (*workloads.Workload, error) {
+	if cfg.Geometry != t.hdr.Geometry {
+		return nil, fmt.Errorf("harness: trace %s recorded with %v, machine uses %v", t.path, t.hdr.Geometry, cfg.Geometry)
+	}
+	if cpus := cfg.Nodes * cfg.CPUsPerNode; cpus != t.hdr.CPUs || cfg.Nodes != t.hdr.Nodes {
+		return nil, fmt.Errorf("harness: trace %s recorded on %d nodes/%d cpus, machine has %d/%d",
+			t.path, t.hdr.Nodes, t.hdr.CPUs, cfg.Nodes, cpus)
+	}
+	f, err := os.Open(t.path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	d, err := tracefile.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", t.path, err)
+	}
+	w := d.Workload()
+	w.Check = func() error {
+		cerr := d.Err()
+		if err := f.Close(); cerr == nil && err != nil {
+			cerr = err
+		}
+		return cerr
+	}
+	return w, nil
+}

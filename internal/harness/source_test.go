@@ -1,0 +1,203 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rnuma/internal/config"
+	"rnuma/internal/tracefile"
+	"rnuma/internal/workloads"
+)
+
+const testSpec = `{
+  "name": "src-test",
+  "regions": [{"name": "a", "pages": 8, "placement": "node"}],
+  "phases": [{"iters": 2, "steps": [
+    {"op": "sweep", "region": "a", "from": "neighbor:1", "density": 16, "gap": 10},
+    {"op": "barrier"}
+  ]}]
+}`
+
+func TestSpecSourceThroughHarness(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.json")
+	if err := os.WriteFile(path, []byte(testSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := SpecFileSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Name() != "src-test" {
+		t.Fatalf("source name = %q", src.Name())
+	}
+	if !strings.HasPrefix(src.Key(), "spec:src-test:") {
+		t.Fatalf("source key %q not content-derived", src.Key())
+	}
+	h := New(0.1)
+	if err := h.Register(src); err != nil {
+		t.Fatal(err)
+	}
+	run, err := h.Run("src-test", config.Base(config.RNUMA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Refs == 0 {
+		t.Error("spec workload simulated zero references")
+	}
+	// The memo key must follow content, not the (app, sys) name pair.
+	if key := h.jobKey(NewJob("src-test", config.Base(config.RNUMA))); !strings.Contains(key, "spec:src-test:") {
+		t.Errorf("job key %q not derived from the source key", key)
+	}
+}
+
+func TestRegisterConflicts(t *testing.T) {
+	h := New(0.1)
+	a, err := SpecSource([]byte(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	// Identical content re-registers cleanly.
+	b, _ := SpecSource([]byte(testSpec))
+	if err := h.Register(b); err != nil {
+		t.Errorf("identical re-register: %v", err)
+	}
+	// Same name, different content: rejected.
+	c, _ := SpecSource([]byte(strings.Replace(testSpec, `"gap": 10`, `"gap": 11`, 1)))
+	if err := h.Register(c); err == nil {
+		t.Error("conflicting register accepted")
+	}
+	if got := h.Sources(); len(got) != 1 || got[0] != "src-test" {
+		t.Errorf("sources = %v", got)
+	}
+}
+
+func TestTraceSourceShapeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	cfg := workloads.Config{Nodes: 4, CPUsPerNode: 2, Geometry: workloads.DefaultConfig().Geometry, Scale: 0.05}
+	app, _ := workloads.ByName("fft")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tracefile.WriteWorkload(f, app.Build(cfg), cfg); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	src, err := TraceFileSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(0.05)
+	if err := h.Register(src); err != nil {
+		t.Fatal(err)
+	}
+	// The base system is 8x4; the trace was recorded on 4x2.
+	if _, err := h.Run(src.Name(), config.Base(config.RNUMA)); err == nil {
+		t.Error("shape mismatch not rejected")
+	}
+}
+
+// TestRecordReplayIdentity is the round-trip acceptance invariant: for
+// every catalog application at test scale, recording the generator's
+// streams and replaying the file through the machine produces a stats.Run
+// identical to simulating the live generator — the trace path changes the
+// input transport, never the simulation.
+func TestRecordReplayIdentity(t *testing.T) {
+	apps := workloads.Names()
+	systems := []config.System{config.Base(config.RNUMA), config.Base(config.SCOMA)}
+	if testing.Short() {
+		apps = []string{"barnes", "fft", "moldyn"}
+		systems = systems[:1]
+	}
+	const scale = 0.05
+	dir := t.TempDir()
+
+	live := New(scale)
+	replay := New(scale)
+	base := config.Base(config.RNUMA)
+	cfg := workloads.Config{
+		Nodes:       base.Nodes,
+		CPUsPerNode: base.CPUsPerNode,
+		Geometry:    base.Geometry,
+		Scale:       scale,
+	}
+	for _, name := range apps {
+		app, _ := workloads.ByName(name)
+		path := filepath.Join(dir, name+".trace")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := tracefile.WriteWorkload(f, app.Build(cfg), cfg); err != nil {
+			t.Fatalf("%s: record: %v", name, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		src, err := TraceFileSource(path)
+		if err != nil {
+			t.Fatalf("%s: open: %v", name, err)
+		}
+		if err := replay.Register(src); err != nil {
+			t.Fatalf("%s: register: %v", name, err)
+		}
+		for _, sys := range systems {
+			want, err := live.Run(name, sys)
+			if err != nil {
+				t.Fatalf("%s on %s: live: %v", name, sys.Name, err)
+			}
+			got, err := replay.Run(src.Name(), sys)
+			if err != nil {
+				t.Fatalf("%s on %s: replay: %v", name, sys.Name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s on %s: replayed run differs from live run\n live:   %s\n replay: %s",
+					name, sys.Name, want.Summary(), got.Summary())
+			}
+		}
+	}
+}
+
+// TestSeedReproducibility pins the -seed contract: the same seed yields
+// identical runs, a different seed changes shuffle-sensitive workloads.
+func TestSeedReproducibility(t *testing.T) {
+	run := func(seed int64) int64 {
+		h := New(0.05)
+		h.Seed = seed
+		r, err := h.Run("em3d", config.Base(config.RNUMA)) // em3d scatters, so it is seed-sensitive
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.ExecCycles
+	}
+	if a, b := run(7), run(7); a != b {
+		t.Errorf("same seed: exec %d vs %d", a, b)
+	}
+	if a, b := run(0), run(12345); a == b {
+		t.Errorf("different seeds produced identical exec time %d (scatter order should differ)", a)
+	}
+	// Mutating Seed on one harness must not serve stale cached results:
+	// the memo key carries the seed.
+	h := New(0.05)
+	h.Seed = 7
+	a, err := h.Run("em3d", config.Base(config.RNUMA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Seed = 12345
+	b, err := h.Run("em3d", config.Base(config.RNUMA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExecCycles == b.ExecCycles {
+		t.Error("seed change on one harness returned the cached run")
+	}
+}

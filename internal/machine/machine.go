@@ -99,8 +99,8 @@ func WithPages(n int) Option {
 		}
 		m.growPages(addr.PageNum(n - 1))
 		m.refetch = stats.NewPageCounter(m.sys.Nodes, n)
-		if m.verify && m.g.BlocksFor(n) > len(m.truth) {
-			m.truth = append(m.truth, make([]uint32, m.g.BlocksFor(n)-len(m.truth))...)
+		if m.verify {
+			m.truth = dense.Grow(m.truth, m.g.BlocksFor(n))
 		}
 		for _, nd := range m.nodes {
 			nd.PT.Reserve(n)

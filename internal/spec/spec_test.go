@@ -1,0 +1,249 @@
+package spec
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rnuma/internal/trace"
+	"rnuma/internal/workloads"
+)
+
+const minimal = `{
+  "name": "mini",
+  "regions": [
+    {"name": "a", "pages": 4, "placement": "node"},
+    {"name": "g", "pages": 6, "placement": "global"}
+  ],
+  "phases": [
+    {"iters": 2, "steps": [
+      {"op": "sweep", "region": "a", "from": "neighbor:1", "density": 4, "gap": 10},
+      {"op": "scatter", "region": "a", "from": "all-remote", "density": 2},
+      {"op": "stride", "region": "g", "stride": 32, "count": 4},
+      {"op": "windowed", "region": "g", "window": 3, "sweeps": 2, "density": 8},
+      {"op": "shared", "region": "g", "repeats": 2, "write": true},
+      {"op": "rewrite", "region": "a", "density": 2, "gap": 5},
+      {"op": "compute", "refs": 20, "gap": 100},
+      {"op": "barrier"}
+    ]}
+  ]
+}`
+
+func testCfg() workloads.Config {
+	cfg := workloads.DefaultConfig()
+	cfg.Nodes, cfg.CPUsPerNode, cfg.Scale = 4, 2, 0.1
+	return cfg
+}
+
+func drain(w *workloads.Workload) [][]trace.Ref {
+	out := make([][]trace.Ref, len(w.Streams))
+	for i, s := range w.Streams {
+		for {
+			r, ok := s.Next()
+			if !ok {
+				break
+			}
+			out[i] = append(out[i], r)
+		}
+	}
+	return out
+}
+
+func TestParseAndBuild(t *testing.T) {
+	s, err := Parse([]byte(minimal))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cfg := testCfg()
+	w, err := s.Build(cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if w.Name != "mini" {
+		t.Errorf("name = %q", w.Name)
+	}
+	if got, want := len(w.Streams), cfg.Nodes*cfg.CPUsPerNode; got != want {
+		t.Fatalf("streams = %d, want %d", got, want)
+	}
+	// 2 local pages per CPU + 4 pages x 4 nodes + 6 global.
+	if want := 2*cfg.Nodes*cfg.CPUsPerNode + 4*cfg.Nodes + 6; w.SharedPages != want {
+		t.Errorf("shared pages = %d, want %d", w.SharedPages, want)
+	}
+	refs := drain(w)
+	bpp := cfg.Geometry.BlocksPerPage()
+	for c, rs := range refs {
+		if len(rs) == 0 {
+			t.Fatalf("cpu %d: empty stream", c)
+		}
+		barriers := 0
+		for _, r := range rs {
+			if r.Barrier {
+				barriers++
+				continue
+			}
+			if int(r.Page) >= w.SharedPages {
+				t.Fatalf("cpu %d: page %d outside %d-page segment", c, r.Page, w.SharedPages)
+			}
+			if int(r.Off) >= bpp {
+				t.Fatalf("cpu %d: offset %d outside page", c, r.Off)
+			}
+		}
+		if barriers != 2 {
+			t.Errorf("cpu %d: %d barriers, want 2", c, barriers)
+		}
+	}
+}
+
+func TestBuildDeterminismAndSeed(t *testing.T) {
+	s, err := Parse([]byte(minimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+	a, err := s.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := drain(a), drain(b)
+	for c := range ra {
+		if len(ra[c]) != len(rb[c]) {
+			t.Fatalf("cpu %d: lengths differ across identical builds", c)
+		}
+		for i := range ra[c] {
+			if ra[c][i] != rb[c][i] {
+				t.Fatalf("cpu %d ref %d differs across identical builds", c, i)
+			}
+		}
+	}
+	// A different config seed must change the scatter order somewhere.
+	cfg2 := cfg
+	cfg2.Seed = 12345
+	c2, err := s.Build(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := drain(c2)
+	same := true
+	for c := range ra {
+		for i := range ra[c] {
+			if ra[c][i] != rc[c][i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seed produced identical streams (scatter order should change)")
+	}
+}
+
+func TestScaledIters(t *testing.T) {
+	tpl := `{"name":"s","regions":[{"name":"a","pages":2,"placement":"node"}],
+	         "phases":[{"iters":10,"scaled":%v,"steps":[{"op":"barrier"}]}]}`
+	count := func(scaled bool, scale float64) int {
+		s, err := Parse([]byte(fmt.Sprintf(tpl, scaled)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testCfg()
+		cfg.Scale = scale
+		w, err := s.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, r := range drain(w)[0] {
+			if r.Barrier {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(false, 0.1); got != 10 {
+		t.Errorf("unscaled: %d iters, want 10", got)
+	}
+	if got := count(true, 0.5); got != 5 {
+		t.Errorf("scaled 0.5: %d iters, want 5", got)
+	}
+	if got := count(true, 0.01); got != 2 {
+		t.Errorf("scaled floor: %d iters, want 2", got)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"missing name", `{"regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"barrier"}]}]}`, "missing name"},
+		{"no regions", `{"name":"x","phases":[{"steps":[{"op":"barrier"}]}]}`, "no regions"},
+		{"no phases", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}]}`, "no phases"},
+		{"dup region", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"},{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"barrier"}]}]}`, "duplicate region"},
+		{"bad placement", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"left"}],"phases":[{"steps":[{"op":"barrier"}]}]}`, "placement"},
+		{"zero pages", `{"name":"x","regions":[{"name":"a","pages":0,"placement":"node"}],"phases":[{"steps":[{"op":"barrier"}]}]}`, "at least 1 page"},
+		{"unknown op", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"jog"}]}]}`, "unknown op"},
+		{"unknown region", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"sweep","region":"b"}]}]}`, "unknown region"},
+		{"bad from", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"sweep","region":"a","from":"sideways"}]}]}`, "bad from"},
+		{"neighbor zero", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"sweep","region":"a","from":"neighbor:0"}]}]}`, "neighbor"},
+		{"global from own", `{"name":"x","regions":[{"name":"g","pages":1,"placement":"global"}],"phases":[{"steps":[{"op":"sweep","region":"g","from":"own"}]}]}`, "global region"},
+		{"gap overflow", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"sweep","region":"a","gap":70000}]}]}`, "overflows"},
+		{"stride missing", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"stride","region":"a"}]}]}`, "stride"},
+		{"windowed missing", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"windowed","region":"a"}]}]}`, "window"},
+		{"compute missing refs", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"compute"}]}]}`, "refs"},
+		{"empty phase", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[]}]}`, "no steps"},
+		{"unknown field", `{"name":"x","regionz":[],"regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"barrier"}]}]}`, "unknown field"},
+		{"not json", `{"name":`, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.json))
+			if err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestExampleSpecs keeps the checked-in example files building against
+// the default machine shape.
+func TestExampleSpecs(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/specs/*.json")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no example specs found: %v", err)
+	}
+	for _, p := range paths {
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			s, err := Load(p)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			cfg := workloads.DefaultConfig()
+			cfg.Scale = 0.05
+			w, err := s.Build(cfg)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			total := 0
+			for _, rs := range drain(w) {
+				total += len(rs)
+				for _, r := range rs {
+					if !r.Barrier && int(r.Page) >= w.SharedPages {
+						t.Fatalf("page %d outside segment", r.Page)
+					}
+				}
+			}
+			if total == 0 {
+				t.Fatal("example spec generates no references")
+			}
+		})
+	}
+}

@@ -59,13 +59,16 @@ type FuncStream func() (Ref, bool)
 // Next implements Stream.
 func (f FuncStream) Next() (Ref, bool) { return f() }
 
-// Concat chains streams back to back.
+// Concat chains streams back to back. Nil entries are skipped, so
+// callers can assemble the list conditionally without guarding each slot.
 func Concat(streams ...Stream) Stream {
 	i := 0
 	return FuncStream(func() (Ref, bool) {
 		for i < len(streams) {
-			if r, ok := streams[i].Next(); ok {
-				return r, true
+			if s := streams[i]; s != nil {
+				if r, ok := s.Next(); ok {
+					return r, true
+				}
 			}
 			i++
 		}
@@ -73,22 +76,25 @@ func Concat(streams ...Stream) Stream {
 	})
 }
 
-// Repeat replays the slice n times (phases/iterations).
+// Repeat replays the slice n times (phases/iterations). n <= 0 and an
+// empty slice both yield an immediately-exhausted stream. The slice is
+// aliased, not copied: mutating it between pulls changes what replays.
 func Repeat(refs []Ref, n int) Stream {
+	if n <= 0 || len(refs) == 0 {
+		return Empty()
+	}
 	iter, pos := 0, 0
 	return FuncStream(func() (Ref, bool) {
-		for {
-			if iter >= n {
-				return Ref{}, false
-			}
-			if pos < len(refs) {
-				r := refs[pos]
-				pos++
-				return r, true
-			}
+		if iter >= n {
+			return Ref{}, false
+		}
+		r := refs[pos]
+		pos++
+		if pos == len(refs) {
 			iter++
 			pos = 0
 		}
+		return r, true
 	})
 }
 

@@ -34,33 +34,71 @@ func TestSliceStream(t *testing.T) {
 }
 
 func TestConcat(t *testing.T) {
-	s := Concat(FromSlice(refs(2)), Empty(), FromSlice(refs(3)))
-	if got := Count(s); got != 5 {
-		t.Errorf("concat length = %d, want 5", got)
+	cases := []struct {
+		name    string
+		streams []Stream
+		want    int
+	}{
+		{"three streams", []Stream{FromSlice(refs(2)), Empty(), FromSlice(refs(3))}, 5},
+		{"no streams", nil, 0},
+		{"all empty", []Stream{Empty(), Empty()}, 0},
+		{"leading empties", []Stream{Empty(), Empty(), FromSlice(refs(4))}, 4},
+		{"trailing empty", []Stream{FromSlice(refs(1)), Empty()}, 1},
+		{"nil stream skipped", []Stream{FromSlice(refs(2)), nil, FromSlice(refs(1))}, 3},
+		{"only nils", []Stream{nil, nil}, 0},
+		{"nested concat", []Stream{Concat(FromSlice(refs(2)), FromSlice(refs(2))), FromSlice(refs(1))}, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Concat(tc.streams...)
+			if got := Count(s); got != tc.want {
+				t.Errorf("concat length = %d, want %d", got, tc.want)
+			}
+			if _, ok := s.Next(); ok {
+				t.Error("exhausted concat restarted")
+			}
+		})
 	}
 }
 
 func TestRepeat(t *testing.T) {
-	base := refs(4)
-	s := Repeat(base, 3)
-	var seen []addr.PageNum
-	for {
-		r, ok := s.Next()
-		if !ok {
-			break
-		}
-		seen = append(seen, r.Page)
+	cases := []struct {
+		name string
+		refs []Ref
+		n    int
+		want int
+	}{
+		{"three times", refs(4), 3, 12},
+		{"once", refs(4), 1, 4},
+		{"zero times", refs(4), 0, 0},
+		{"negative times", refs(4), -2, 0},
+		{"empty slice", nil, 3, 0},
+		{"empty slice zero times", nil, 0, 0},
+		{"single ref many times", refs(1), 5, 5},
 	}
-	if len(seen) != 12 {
-		t.Fatalf("repeat emitted %d refs, want 12", len(seen))
-	}
-	for i, p := range seen {
-		if p != addr.PageNum(i%4) {
-			t.Fatalf("ref %d = page %d, want %d", i, p, i%4)
-		}
-	}
-	if got := Count(Repeat(base, 0)); got != 0 {
-		t.Errorf("repeat 0 emitted %d refs", got)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Repeat(tc.refs, tc.n)
+			var seen []addr.PageNum
+			for {
+				r, ok := s.Next()
+				if !ok {
+					break
+				}
+				seen = append(seen, r.Page)
+			}
+			if len(seen) != tc.want {
+				t.Fatalf("repeat emitted %d refs, want %d", len(seen), tc.want)
+			}
+			for i, p := range seen {
+				if p != addr.PageNum(i%len(tc.refs)) {
+					t.Fatalf("ref %d = page %d, want %d", i, p, i%len(tc.refs))
+				}
+			}
+			if _, ok := s.Next(); ok {
+				t.Error("exhausted repeat restarted")
+			}
+		})
 	}
 }
 

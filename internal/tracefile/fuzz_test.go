@@ -1,0 +1,75 @@
+package tracefile
+
+import (
+	"bytes"
+	"testing"
+
+	"rnuma/internal/addr"
+	"rnuma/internal/trace"
+)
+
+// FuzzReader asserts the decoder's contract on untrusted input: malformed
+// headers, corrupt chunks, and truncated files must surface as errors —
+// never as panics, hangs, or unbounded allocations. CI runs this for a
+// short smoke window (`go test -fuzz=FuzzReader -fuzztime=10s`); the
+// unit-test mode replays the seed corpus on every `go test`.
+func FuzzReader(f *testing.F) {
+	// Seed corpus: a small valid trace (kept small so each fuzz exec is
+	// cheap), its truncations, and single-byte corruptions — enough
+	// structure that the fuzzer starts from deep inside the format.
+	h := Header{
+		Name:        "fuzz",
+		Geometry:    addr.Default,
+		CPUs:        2,
+		Nodes:       2,
+		SharedPages: 8,
+		Homes:       []addr.NodeID{0, 0, 0, 0, 1, 1, 1, 1},
+	}
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, h)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		r := trace.Ref{Page: addr.PageNum(i % 8), Off: uint16(i % 128), Write: i%3 == 0, Gap: uint16(i * 7 % 300)}
+		if i%17 == 0 {
+			r = trace.BarrierRef()
+		}
+		if err := tw.Append(i%2, r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for _, cut := range []int{0, 3, 4, 7, len(valid) / 2, len(valid) - 1} {
+		f.Add(append([]byte(nil), valid[:cut]...))
+	}
+	for _, i := range []int{0, 4, 5, 8, len(valid) / 2} {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0xA5
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Drain everything; decode work and queue growth are both bounded
+		// by the input length (each decoded record consumes >= 1 byte).
+		counts, err := d.Drain()
+		if err != nil {
+			return
+		}
+		var total int64
+		for _, c := range counts {
+			total += c
+		}
+		if total > int64(len(data)) {
+			t.Fatalf("decoded %d records from %d bytes: records must cost >= 1 byte each", total, len(data))
+		}
+	})
+}

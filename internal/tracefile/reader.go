@@ -1,0 +1,336 @@
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"rnuma/internal/addr"
+	"rnuma/internal/trace"
+	"rnuma/internal/workloads"
+)
+
+// Reader decodes a trace file into one lazy trace.Stream per CPU. Chunks
+// are read from the underlying reader on demand: when a CPU's stream is
+// pulled and its queue is empty, the reader consumes chunks (buffering
+// records that belong to other CPUs) until one arrives for that CPU or
+// the file ends. Because the Writer interleaves chunks in near-replay
+// order, the demux queues stay small — the full trace is never
+// materialized.
+//
+// trace.Stream cannot carry an error, so a malformed or truncated file
+// makes the affected streams end early and records a sticky error; check
+// Err after the run (Workload wires this into workloads.Workload.Check).
+type Reader struct {
+	br  *bufio.Reader
+	h   Header
+	err error
+
+	queues   [][]trace.Ref // decoded records awaiting delivery, per CPU
+	heads    []int         // pop position within each queue
+	lastPage []int64       // per-CPU delta-decoding state
+	total    uint64        // records decoded across all chunks
+	done     bool          // end marker consumed
+	streams  []trace.Stream
+}
+
+// NewReader parses the header and prepares per-CPU streams. Chunk data is
+// read lazily as the streams are pulled.
+func NewReader(r io.Reader) (*Reader, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	d := &Reader{br: br}
+	if err := d.readHeader(); err != nil {
+		return nil, err
+	}
+	d.queues = make([][]trace.Ref, d.h.CPUs)
+	d.heads = make([]int, d.h.CPUs)
+	d.lastPage = make([]int64, d.h.CPUs)
+	d.streams = make([]trace.Stream, d.h.CPUs)
+	for i := range d.streams {
+		cpu := i
+		d.streams[i] = trace.FuncStream(func() (trace.Ref, bool) { return d.next(cpu) })
+	}
+	return d, nil
+}
+
+func (d *Reader) readHeader() error {
+	var m [4]byte
+	if _, err := io.ReadFull(d.br, m[:]); err != nil {
+		return fmt.Errorf("tracefile: reading magic: %w", err)
+	}
+	if string(m[:]) != magic {
+		return fmt.Errorf("tracefile: bad magic %q", m[:])
+	}
+	var fixed [3]byte
+	if _, err := io.ReadFull(d.br, fixed[:]); err != nil {
+		return fmt.Errorf("tracefile: reading version/geometry: %w", err)
+	}
+	if fixed[0] != version {
+		return fmt.Errorf("tracefile: unsupported version %d (want %d)", fixed[0], version)
+	}
+	d.h.Geometry = addr.Geometry{BlockShift: uint(fixed[1]), PageShift: uint(fixed[2])}
+	cpus, err := d.uvarint("cpu count", maxCPUs)
+	if err != nil {
+		return err
+	}
+	nodes, err := d.uvarint("node count", maxNodes)
+	if err != nil {
+		return err
+	}
+	pages, err := d.uvarint("page count", maxPages)
+	if err != nil {
+		return err
+	}
+	nameLen, err := d.uvarint("name length", maxNameLen)
+	if err != nil {
+		return err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(d.br, name); err != nil {
+		return fmt.Errorf("tracefile: reading name: %w", eofIsUnexpected(err))
+	}
+	d.h.CPUs, d.h.Nodes, d.h.SharedPages, d.h.Name = int(cpus), int(nodes), int(pages), string(name)
+
+	runs, err := d.uvarint("home run count", maxPages)
+	if err != nil {
+		return err
+	}
+	d.h.Homes = make([]addr.NodeID, 0, pages)
+	for i := uint64(0); i < runs; i++ {
+		runLen, err := d.uvarint("home run length", maxPages)
+		if err != nil {
+			return err
+		}
+		node, err := d.uvarint("home node", uint64(nodes))
+		if err != nil {
+			return err
+		}
+		if uint64(len(d.h.Homes))+runLen > pages {
+			return fmt.Errorf("tracefile: home runs cover more than %d pages", pages)
+		}
+		for j := uint64(0); j < runLen; j++ {
+			d.h.Homes = append(d.h.Homes, addr.NodeID(node))
+		}
+	}
+	return d.h.Validate()
+}
+
+// uvarint reads one header varint and bounds-checks it (limit is
+// inclusive for counts whose domain is [0,limit], exclusive only where
+// the caller passes the exclusive bound, e.g. node < nodes is enforced by
+// Header.Validate afterwards).
+func (d *Reader) uvarint(what string, limit uint64) (uint64, error) {
+	v, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return 0, fmt.Errorf("tracefile: reading %s: %w", what, eofIsUnexpected(err))
+	}
+	if v > limit {
+		return 0, fmt.Errorf("tracefile: %s %d exceeds limit %d", what, v, limit)
+	}
+	return v, nil
+}
+
+// eofIsUnexpected maps a bare EOF mid-structure to ErrUnexpectedEOF so
+// truncation always reports as an error, never as clean end-of-input.
+func eofIsUnexpected(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Header returns the parsed file header.
+func (d *Reader) Header() Header { return d.h }
+
+// Streams returns the per-CPU replay streams. Each stream may be pulled
+// independently; pulling triggers chunk reads as needed.
+func (d *Reader) Streams() []trace.Stream { return d.streams }
+
+// Err returns the sticky decode error, or nil. A truncated or corrupt
+// file ends the streams early and parks the error here.
+func (d *Reader) Err() error { return d.err }
+
+// next delivers the CPU's next record, demuxing chunks on demand.
+func (d *Reader) next(cpu int) (trace.Ref, bool) {
+	for d.heads[cpu] >= len(d.queues[cpu]) {
+		d.queues[cpu] = d.queues[cpu][:0]
+		d.heads[cpu] = 0
+		if d.done || d.err != nil {
+			return trace.Ref{}, false
+		}
+		d.readChunk()
+	}
+	r := d.queues[cpu][d.heads[cpu]]
+	d.heads[cpu]++
+	return r, true
+}
+
+// readChunk consumes one chunk (or the end marker) from the file,
+// appending its records to the owning CPU's queue.
+func (d *Reader) readChunk() {
+	fail := func(err error) { d.err = err }
+
+	cpu, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		// EOF here means the end marker is missing: the file was cut off
+		// at a chunk boundary.
+		fail(fmt.Errorf("tracefile: reading chunk header: %w", eofIsUnexpected(err)))
+		return
+	}
+	if cpu == uint64(d.h.CPUs) {
+		// End marker: verify the record-count checksum and clean EOF.
+		total, err := binary.ReadUvarint(d.br)
+		if err != nil {
+			fail(fmt.Errorf("tracefile: reading end marker: %w", eofIsUnexpected(err)))
+			return
+		}
+		if total != d.total {
+			fail(fmt.Errorf("tracefile: end marker counts %d records, decoded %d", total, d.total))
+			return
+		}
+		if _, err := d.br.ReadByte(); err != io.EOF {
+			fail(fmt.Errorf("tracefile: trailing data after end marker"))
+			return
+		}
+		d.done = true
+		return
+	}
+	if cpu > uint64(d.h.CPUs) {
+		fail(fmt.Errorf("tracefile: chunk for cpu %d, trace has %d cpus", cpu, d.h.CPUs))
+		return
+	}
+	count, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		fail(fmt.Errorf("tracefile: reading chunk count: %w", eofIsUnexpected(err)))
+		return
+	}
+	byteLen, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		fail(fmt.Errorf("tracefile: reading chunk length: %w", eofIsUnexpected(err)))
+		return
+	}
+	if byteLen > maxChunkLen {
+		fail(fmt.Errorf("tracefile: chunk length %d exceeds limit %d", byteLen, maxChunkLen))
+		return
+	}
+	// Every record is at least one byte, so count > byteLen cannot be
+	// satisfied by the payload; reject before buffering anything.
+	if count == 0 || count > byteLen {
+		fail(fmt.Errorf("tracefile: chunk count %d inconsistent with %d payload bytes", count, byteLen))
+		return
+	}
+	cr := &byteCounter{r: d.br}
+	for i := uint64(0); i < count; i++ {
+		r, err := d.decodeRecord(cr, int(cpu))
+		if err != nil {
+			fail(err)
+			return
+		}
+		d.queues[cpu] = append(d.queues[cpu], r)
+		d.total++
+	}
+	if cr.n != int64(byteLen) {
+		fail(fmt.Errorf("tracefile: chunk decoded %d bytes, header declared %d", cr.n, byteLen))
+	}
+}
+
+// decodeRecord decodes one record, updating the CPU's page-delta state.
+func (d *Reader) decodeRecord(cr *byteCounter, cpu int) (trace.Ref, error) {
+	flags, err := cr.ReadByte()
+	if err != nil {
+		return trace.Ref{}, fmt.Errorf("tracefile: reading record flags: %w", eofIsUnexpected(err))
+	}
+	if flags&^byte(flagsKnown) != 0 {
+		return trace.Ref{}, fmt.Errorf("tracefile: unknown record flags %#x", flags)
+	}
+	var r trace.Ref
+	r.Write = flags&flagWrite != 0
+	r.Barrier = flags&flagBarrier != 0
+	if flags&flagDelta != 0 {
+		delta, err := binary.ReadVarint(cr)
+		if err != nil {
+			return trace.Ref{}, fmt.Errorf("tracefile: reading page delta: %w", eofIsUnexpected(err))
+		}
+		d.lastPage[cpu] += delta
+		// Keep the running page inside a sane window even across barrier
+		// records (whose pages are never dereferenced), so repeated
+		// deltas cannot overflow the accumulator.
+		if d.lastPage[cpu] < -(1<<40) || d.lastPage[cpu] > 1<<40 {
+			return trace.Ref{}, fmt.Errorf("tracefile: page delta walked to %d, out of range", d.lastPage[cpu])
+		}
+	}
+	p := d.lastPage[cpu]
+	if !r.Barrier {
+		if p < 0 || p >= int64(d.h.SharedPages) {
+			return trace.Ref{}, fmt.Errorf("tracefile: page %d outside the %d-page segment", p, d.h.SharedPages)
+		}
+		r.Page = addr.PageNum(p)
+	}
+	if flags&flagOff != 0 {
+		off, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return trace.Ref{}, fmt.Errorf("tracefile: reading block offset: %w", eofIsUnexpected(err))
+		}
+		if off >= uint64(d.h.Geometry.BlocksPerPage()) {
+			return trace.Ref{}, fmt.Errorf("tracefile: block offset %d outside the %d-block page", off, d.h.Geometry.BlocksPerPage())
+		}
+		r.Off = uint16(off)
+	}
+	if flags&flagGap != 0 {
+		gap, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return trace.Ref{}, fmt.Errorf("tracefile: reading gap: %w", eofIsUnexpected(err))
+		}
+		if gap > 0xFFFF {
+			return trace.Ref{}, fmt.Errorf("tracefile: gap %d overflows 16 bits", gap)
+		}
+		r.Gap = uint16(gap)
+	}
+	return r, nil
+}
+
+// Drain decodes the remaining records without delivering them, returning
+// the per-CPU counts (the info command and tests). It consumes the
+// streams, pulling them round-robin so the demux queues stay bounded —
+// draining one CPU to exhaustion first would buffer every other CPU's
+// records for the whole trace.
+func (d *Reader) Drain() ([]int64, error) {
+	counts := make([]int64, d.h.CPUs)
+	live := make([]trace.Stream, len(d.streams))
+	copy(live, d.streams)
+	for remaining := len(live); remaining > 0; {
+		remaining = 0
+		for cpu, s := range live {
+			if s == nil {
+				continue
+			}
+			if _, ok := s.Next(); !ok {
+				live[cpu] = nil
+				continue
+			}
+			remaining++
+			counts[cpu]++
+		}
+	}
+	return counts, d.err
+}
+
+// Workload wraps the reader's streams and header as a replayable
+// workload: home placement and segment size come from the header, and
+// Check surfaces any decode error after the run.
+func (d *Reader) Workload() *workloads.Workload {
+	return &workloads.Workload{
+		Name:        d.h.Name,
+		Description: fmt.Sprintf("recorded trace (%d cpus, %d pages)", d.h.CPUs, d.h.SharedPages),
+		PaperInput:  "(recorded trace)",
+		Streams:     d.streams,
+		Homes:       d.h.HomeFunc(),
+		SharedPages: d.h.SharedPages,
+		Check:       d.Err,
+	}
+}

@@ -17,38 +17,38 @@ import (
 // over 80% of refetches.
 func Barnes(cfg Config) *Workload {
 	cfg.validate()
-	b := newBuilder(cfg, 0xBA27E5)
+	b := NewBuilder(cfg, 0xBA27E5)
 	iters := cfg.iters(6)
 
-	hot := b.allocGlobal(20) // the tree: read by all, partially rewritten
+	hot := b.AllocGlobal(20) // the tree: read by all, partially rewritten
 	cold := make([][]addr.PageNum, cfg.Nodes)
 	for n := 0; n < cfg.Nodes; n++ {
-		cold[n] = b.alloc(addr.NodeID(n), 100) // exchanged body pages
+		cold[n] = b.Alloc(addr.NodeID(n), 100) // exchanged body pages
 	}
 
 	for it := 0; it < iters; it++ {
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
 			// Tree walk: every node sweeps the hot tree twice, densely.
-			b.sweep(n, hot, b.bpp, 2, false, 14)
+			b.Sweep(n, hot, b.BlocksPerPage(), 2, false, 14)
 			// The sweep's hottest tail is re-referenced immediately: a
 			// primary working set that fits a 32-KB block cache but not a
 			// 1-KB one (Figure 7's block-cache sensitivity).
-			b.sweepShared(n, hot[len(hot)-7:], b.bpp, 3, false, 14)
+			b.SweepShared(n, hot[len(hot)-7:], b.BlocksPerPage(), 3, false, 14)
 			// Body exchange: read 6 blocks per page from both neighbors.
-			b.sweep(n, cold[b.neighbor(n, 1)], 6, 1, false, 30)
-			b.sweep(n, cold[b.neighbor(n, cfg.Nodes-1)], 6, 1, false, 30)
-			b.localCompute(n, 2200, 300)
+			b.Sweep(n, cold[b.Neighbor(n, 1)], 6, 1, false, 30)
+			b.Sweep(n, cold[b.Neighbor(n, cfg.Nodes-1)], 6, 1, false, 30)
+			b.LocalCompute(n, 2200, 300)
 		}
-		b.barrier()
+		b.Barrier()
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
 			// Owners update: the tree partially (keeping most blocks
 			// valid so reuse misses stay capacity misses), bodies fully.
-			b.rewrite(n, share(hot, int(n), cfg.Nodes), 32, 8)
-			b.rewrite(n, cold[n], 6, 8)
+			b.Rewrite(n, Share(hot, int(n), cfg.Nodes), 32, 8)
+			b.Rewrite(n, cold[n], 6, 8)
 		}
-		b.barrier()
+		b.Barrier()
 	}
-	return b.finish("barnes", "Barnes-Hut: hot shared tree + exchanged bodies", "16K particles")
+	return b.Finish("barnes", "Barnes-Hut: hot shared tree + exchanged bodies", "16K particles")
 }
 
 // Cholesky reproduces cholesky (tk16.O). Section 5.2: a large fraction of
@@ -60,7 +60,7 @@ func Barnes(cfg Config) *Workload {
 // thrash.
 func Cholesky(cfg Config) *Workload {
 	cfg.validate()
-	b := newBuilder(cfg, 0xC401E5)
+	b := NewBuilder(cfg, 0xC401E5)
 	phases := cfg.iters(6)
 	if phases < 3 {
 		// Relocation pays off across phases; keep enough of them for the
@@ -70,38 +70,38 @@ func Cholesky(cfg Config) *Workload {
 
 	panels := make([][]addr.PageNum, cfg.Nodes)
 	for n := 0; n < cfg.Nodes; n++ {
-		panels[n] = b.alloc(addr.NodeID(n), 43)
+		panels[n] = b.Alloc(addr.NodeID(n), 43)
 		// Producers fill their panels before anyone shares them, so most
 		// pages are classified read-only (Table 4's 28%).
-		b.sweep(addr.NodeID(n), panels[n], b.bpp, 1, true, 4)
+		b.Sweep(addr.NodeID(n), panels[n], b.BlocksPerPage(), 1, true, 4)
 	}
-	b.barrier()
+	b.Barrier()
 
 	for ph := 0; ph < phases; ph++ {
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
 			// Each node consumes both neighbors' panels (86 remote pages
 			// against the 80-frame page cache) in irregular order.
 			pages := append(append([]addr.PageNum{},
-				panels[b.neighbor(n, 1)]...),
-				panels[b.neighbor(n, cfg.Nodes-1)]...)
-			b.rng.Shuffle(len(pages), func(i, j int) { pages[i], pages[j] = pages[j], pages[i] })
-			b.sweep(n, pages, b.bpp, 1, false, 16)
+				panels[b.Neighbor(n, 1)]...),
+				panels[b.Neighbor(n, cfg.Nodes-1)]...)
+			b.Rand().Shuffle(len(pages), func(i, j int) { pages[i], pages[j] = pages[j], pages[i] })
+			b.Sweep(n, pages, b.BlocksPerPage(), 1, false, 16)
 			// The sweep's hottest tail is re-referenced immediately: a
 			// primary working set that fits a 32-KB block cache but not a
 			// 1-KB one (Figure 7's block-cache sensitivity).
-			b.sweepShared(n, pages[len(pages)-7:], b.bpp, 3, false, 16)
-			b.localCompute(n, 1000, 300)
+			b.SweepShared(n, pages[len(pages)-7:], b.BlocksPerPage(), 3, false, 16)
+			b.LocalCompute(n, 1000, 300)
 		}
-		b.barrier()
+		b.Barrier()
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
 			// A quarter of each panel is updated between phases: those
 			// pages become read-write shared.
 			quarter := panels[n][:len(panels[n])/4]
-			b.rewrite(n, quarter, 13, 8)
+			b.Rewrite(n, quarter, 13, 8)
 		}
-		b.barrier()
+		b.Barrier()
 	}
-	return b.finish("cholesky", "Sparse Cholesky: panel reuse nearly fitting the page cache", "tk16.O")
+	return b.Finish("cholesky", "Sparse Cholesky: panel reuse nearly fitting the page cache", "tk16.O")
 }
 
 // EM3D reproduces em3d (76800 nodes, 15% remote, 5 iters). Section 5.2:
@@ -111,39 +111,39 @@ func Cholesky(cfg Config) *Workload {
 // it thrashes badly. Table 4: 100% of refetches are to read-write pages.
 func EM3D(cfg Config) *Workload {
 	cfg.validate()
-	b := newBuilder(cfg, 0xE3D)
+	b := NewBuilder(cfg, 0xE3D)
 	iters := cfg.iters(5)
 
 	graph := make([][]addr.PageNum, cfg.Nodes)
 	for n := 0; n < cfg.Nodes; n++ {
-		graph[n] = b.alloc(addr.NodeID(n), 120)
+		graph[n] = b.Alloc(addr.NodeID(n), 120)
 	}
 	// A small shared table of ghost-node metadata: the only reuse pages,
 	// read densely by all and partially rewritten (hence read-write).
-	table := b.allocGlobal(6)
+	table := b.AllocGlobal(6)
 
 	for it := 0; it < iters; it++ {
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
 			// Update the boundary values this node exports (8 blocks per
 			// page, covering everything consumers read).
-			b.rewrite(n, graph[n], 8, 6)
+			b.Rewrite(n, graph[n], 8, 6)
 			// Read boundary values: 4 blocks from each of 240 remote
 			// pages, in irregular (edge-list) order — severe internal
 			// fragmentation, the page-cache poison of Section 2.2.
 			both := append(append([]addr.PageNum{},
-				graph[b.neighbor(n, 1)]...),
-				graph[b.neighbor(n, cfg.Nodes-1)]...)
-			b.scatter(n, both, 4, false, 12)
-			b.sweep(n, table, b.bpp, 1, false, 10)
-			b.localCompute(n, 150, 200)
+				graph[b.Neighbor(n, 1)]...),
+				graph[b.Neighbor(n, cfg.Nodes-1)]...)
+			b.Scatter(n, both, 4, false, 12)
+			b.Sweep(n, table, b.BlocksPerPage(), 1, false, 10)
+			b.LocalCompute(n, 150, 200)
 		}
-		b.barrier()
+		b.Barrier()
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
-			b.rewrite(n, share(table, int(n), cfg.Nodes), 64, 8)
+			b.Rewrite(n, Share(table, int(n), cfg.Nodes), 64, 8)
 		}
-		b.barrier()
+		b.Barrier()
 	}
-	return b.finish("em3d", "3-D EM wave propagation: producer-consumer halo exchange", "76800 nodes, 15% remote, 5 iters")
+	return b.Finish("em3d", "3-D EM wave propagation: producer-consumer halo exchange", "76800 nodes, 15% remote, 5 iters")
 }
 
 // FFT reproduces fft (64K points). The six-step FFT's transpose reads are
@@ -153,18 +153,18 @@ func EM3D(cfg Config) *Workload {
 // CC-NUMA matches the ideal machine while S-COMA starves for page frames.
 func FFT(cfg Config) *Workload {
 	cfg.validate()
-	b := newBuilder(cfg, 0xFF7)
+	b := NewBuilder(cfg, 0xFF7)
 	passes := cfg.iters(3)
 
 	rows := make([][]addr.PageNum, cfg.Nodes)
 	for n := 0; n < cfg.Nodes; n++ {
-		rows[n] = b.alloc(addr.NodeID(n), 48)
+		rows[n] = b.Alloc(addr.NodeID(n), 48)
 	}
 	// Column reads of a row-major matrix: stride-32 blocks, rotated per
 	// page like every real array's alignment.
 	strided := func(p addr.PageNum) []int {
-		base := int(uint32(p)*37) & (b.bpp - 1)
-		return []int{base, (base + 32) & (b.bpp - 1), (base + 64) & (b.bpp - 1), (base + 96) & (b.bpp - 1)}
+		base := int(uint32(p)*37) & (b.BlocksPerPage() - 1)
+		return []int{base, (base + 32) & (b.BlocksPerPage() - 1), (base + 64) & (b.BlocksPerPage() - 1), (base + 96) & (b.BlocksPerPage() - 1)}
 	}
 
 	for ps := 0; ps < passes; ps++ {
@@ -172,23 +172,23 @@ func FFT(cfg Config) *Workload {
 			// Local FFT over own rows: rewrites exactly the strided
 			// blocks the transpose reads, so every consumer copy is
 			// invalidated and the next pass sees coherence misses only.
-			b.sweepOffsets(n, rows[n], strided, true, 5)
-			b.rewrite(n, rows[n], 16, 5)
-			b.localCompute(n, 150, 200)
+			b.SweepOffsets(n, rows[n], strided, true, 5)
+			b.Rewrite(n, rows[n], 16, 5)
+			b.LocalCompute(n, 150, 200)
 		}
-		b.barrier()
+		b.Barrier()
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
 			// Transpose: strided reads of 20 pages from every other node.
 			for d := 1; d < cfg.Nodes; d++ {
-				victim := b.neighbor(n, d)
+				victim := b.Neighbor(n, d)
 				start := (int(n) * 5) % 28
-				b.sweepOffsets(n, rows[victim][start:start+20], strided, false, 15)
+				b.SweepOffsets(n, rows[victim][start:start+20], strided, false, 15)
 			}
-			b.localCompute(n, 100, 200)
+			b.LocalCompute(n, 100, 200)
 		}
-		b.barrier()
+		b.Barrier()
 	}
-	return b.finish("fft", "Six-step FFT: strided all-to-all transpose", "64K points")
+	return b.Finish("fft", "Six-step FFT: strided all-to-all transpose", "64K points")
 }
 
 // FMM reproduces fmm (16K particles). Section 5.2: remote data is too
@@ -198,14 +198,14 @@ func FFT(cfg Config) *Workload {
 // Table 4). 99% of refetches are to read-write pages.
 func FMM(cfg Config) *Workload {
 	cfg.validate()
-	b := newBuilder(cfg, 0xF33)
+	b := NewBuilder(cfg, 0xF33)
 	iters := cfg.iters(3)
 
 	cells := make([][]addr.PageNum, cfg.Nodes)
 	for n := 0; n < cfg.Nodes; n++ {
-		cells[n] = b.alloc(addr.NodeID(n), 42)
+		cells[n] = b.Alloc(addr.NodeID(n), 42)
 	}
-	sparse := func(p addr.PageNum) []int { return b.rotContig(p, 10) }
+	sparse := func(p addr.PageNum) []int { return b.RotContig(p, 10) }
 
 	for it := 0; it < iters; it++ {
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
@@ -216,18 +216,18 @@ func FMM(cfg Config) *Workload {
 			// exceed the 80-frame page cache.
 			var pages []addr.PageNum
 			for d := 1; d < cfg.Nodes; d++ {
-				pages = append(pages, cells[b.neighbor(n, d)]...)
+				pages = append(pages, cells[b.Neighbor(n, d)]...)
 			}
-			b.windowed(n, pages, sparse, 110, 4, false, 20)
-			b.localCompute(n, 2600, 280)
+			b.Windowed(n, pages, sparse, 110, 4, false, 20)
+			b.LocalCompute(n, 2600, 280)
 		}
-		b.barrier()
+		b.Barrier()
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
-			b.rewrite(n, cells[n], 64, 6)
+			b.Rewrite(n, cells[n], 64, 6)
 		}
-		b.barrier()
+		b.Barrier()
 	}
-	return b.finish("fmm", "Fast multipole: sparse windowed reuse exceeding the page cache", "16K particles")
+	return b.Finish("fmm", "Fast multipole: sparse windowed reuse exceeding the page cache", "16K particles")
 }
 
 // LU reproduces lu (512x512, 16x16 blocks). Section 5.2/5.5: remote pages
@@ -237,7 +237,7 @@ func FMM(cfg Config) *Workload {
 // sensitivity to relocation overhead, Figure 9). Table 4: 82% read-write.
 func LU(cfg Config) *Workload {
 	cfg.validate()
-	b := newBuilder(cfg, 0x1C)
+	b := NewBuilder(cfg, 0x1C)
 	phases := cfg.iters(6)
 
 	blocks := make([][]addr.PageNum, cfg.Nodes)
@@ -246,28 +246,28 @@ func LU(cfg Config) *Workload {
 		if n < 2 {
 			owned = 90 // the imbalance: nodes 0-1 serve larger panels
 		}
-		blocks[n] = b.alloc(addr.NodeID(n), owned)
+		blocks[n] = b.Alloc(addr.NodeID(n), owned)
 	}
 
 	for ph := 0; ph < phases; ph++ {
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
-			pages := append([]addr.PageNum{}, blocks[b.neighbor(n, 1)]...)
-			b.rng.Shuffle(len(pages), func(i, j int) { pages[i], pages[j] = pages[j], pages[i] })
-			b.sweep(n, pages, b.bpp, 2, false, 16)
+			pages := append([]addr.PageNum{}, blocks[b.Neighbor(n, 1)]...)
+			b.Rand().Shuffle(len(pages), func(i, j int) { pages[i], pages[j] = pages[j], pages[i] })
+			b.Sweep(n, pages, b.BlocksPerPage(), 2, false, 16)
 			// The sweep's hottest tail is re-referenced immediately: a
 			// primary working set that fits a 32-KB block cache but not a
 			// 1-KB one (Figure 7's block-cache sensitivity).
-			b.sweepShared(n, pages[len(pages)-7:], b.bpp, 3, false, 16)
-			b.localCompute(n, 1900, 300)
+			b.SweepShared(n, pages[len(pages)-7:], b.BlocksPerPage(), 3, false, 16)
+			b.LocalCompute(n, 1900, 300)
 		}
-		b.barrier()
+		b.Barrier()
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
 			most := blocks[n][:len(blocks[n])*85/100]
-			b.rewrite(n, most, 51, 6)
+			b.Rewrite(n, most, 51, 6)
 		}
-		b.barrier()
+		b.Barrier()
 	}
-	return b.finish("lu", "Blocked LU: reuse pages with two-node load imbalance", "512x512 matrix, 16x16 blocks")
+	return b.Finish("lu", "Blocked LU: reuse pages with two-node load imbalance", "512x512 matrix, 16x16 blocks")
 }
 
 // Moldyn reproduces moldyn (2048 particles, 15 iters). Section 5.2: the
@@ -276,36 +276,36 @@ func LU(cfg Config) *Workload {
 // sweeps; R-NUMA relocates everything and matches S-COMA. 98% read-write.
 func Moldyn(cfg Config) *Workload {
 	cfg.validate()
-	b := newBuilder(cfg, 0x301D)
+	b := NewBuilder(cfg, 0x301D)
 	iters := cfg.iters(5)
 
 	particles := make([][]addr.PageNum, cfg.Nodes)
 	for n := 0; n < cfg.Nodes; n++ {
-		particles[n] = b.alloc(addr.NodeID(n), 56)
+		particles[n] = b.Alloc(addr.NodeID(n), 56)
 	}
 
 	for it := 0; it < iters; it++ {
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
-			neigh := particles[b.neighbor(n, 1)]
+			neigh := particles[b.Neighbor(n, 1)]
 			// Force computation: two passes over half of each of the
 			// neighbor's 56 pages (3584 blocks >> the 1024-block block
 			// cache), plus extra passes over a hot subset (Figure 5 skew).
-			b.sweep(n, neigh, 64, 2, false, 26)
-			b.sweep(n, neigh[:20], 64, 2, false, 26)
+			b.Sweep(n, neigh, 64, 2, false, 26)
+			b.Sweep(n, neigh[:20], 64, 2, false, 26)
 			// The sweep's hottest tail is re-referenced immediately: a
 			// primary working set that fits a 32-KB block cache but not a
 			// 1-KB one (Figure 7's block-cache sensitivity).
-			b.sweepShared(n, neigh[:20][13:], 64, 3, false, 26)
-			b.localCompute(n, 10000, 300)
+			b.SweepShared(n, neigh[:20][13:], 64, 3, false, 26)
+			b.LocalCompute(n, 10000, 300)
 		}
-		b.barrier()
+		b.Barrier()
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
 			// Position updates dirty 15 blocks of each page.
-			b.rewrite(n, particles[n], 15, 8)
+			b.Rewrite(n, particles[n], 15, 8)
 		}
-		b.barrier()
+		b.Barrier()
 	}
-	return b.finish("moldyn", "Molecular dynamics: dense neighbor reuse fitting the page cache", "2048 particles, 15 iters")
+	return b.Finish("moldyn", "Molecular dynamics: dense neighbor reuse fitting the page cache", "2048 particles, 15 iters")
 }
 
 // Ocean reproduces ocean (258x258). Section 5.2/5.3: the remote working
@@ -314,12 +314,12 @@ func Moldyn(cfg Config) *Workload {
 // relocation still wins. 96% read-write.
 func Ocean(cfg Config) *Workload {
 	cfg.validate()
-	b := newBuilder(cfg, 0x0CEA)
+	b := NewBuilder(cfg, 0x0CEA)
 	iters := cfg.iters(3)
 
 	grid := make([][]addr.PageNum, cfg.Nodes)
 	for n := 0; n < cfg.Nodes; n++ {
-		grid[n] = b.alloc(addr.NodeID(n), 60)
+		grid[n] = b.Alloc(addr.NodeID(n), 60)
 	}
 
 	for it := 0; it < iters; it++ {
@@ -327,22 +327,22 @@ func Ocean(cfg Config) *Workload {
 			// Stencil sweeps over both neighbors' subgrids: 120 dense
 			// remote pages (15360 blocks), twice per iteration.
 			pages := append(append([]addr.PageNum{},
-				grid[b.neighbor(n, 1)]...),
-				grid[b.neighbor(n, cfg.Nodes-1)]...)
-			b.sweep(n, pages, b.bpp, 2, false, 18)
+				grid[b.Neighbor(n, 1)]...),
+				grid[b.Neighbor(n, cfg.Nodes-1)]...)
+			b.Sweep(n, pages, b.BlocksPerPage(), 2, false, 18)
 			// The sweep's hottest tail is re-referenced immediately: a
 			// primary working set that fits a 32-KB block cache but not a
 			// 1-KB one (Figure 7's block-cache sensitivity).
-			b.sweepShared(n, pages[len(pages)-7:], b.bpp, 4, false, 18)
-			b.localCompute(n, 5000, 300)
+			b.SweepShared(n, pages[len(pages)-7:], b.BlocksPerPage(), 4, false, 18)
+			b.LocalCompute(n, 5000, 300)
 		}
-		b.barrier()
+		b.Barrier()
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
-			b.rewrite(n, grid[n], 38, 6)
+			b.Rewrite(n, grid[n], 38, 6)
 		}
-		b.barrier()
+		b.Barrier()
 	}
-	return b.finish("ocean", "Ocean: huge dense remote working set", "258x258 ocean")
+	return b.Finish("ocean", "Ocean: huge dense remote working set", "258x258 ocean")
 }
 
 // Radix reproduces radix (1M integers, radix 1024). Section 5.1/5.2: an
@@ -355,17 +355,17 @@ func Ocean(cfg Config) *Workload {
 // fraction comes from a small shared histogram.
 func Radix(cfg Config) *Workload {
 	cfg.validate()
-	b := newBuilder(cfg, 0x4AD1)
+	b := NewBuilder(cfg, 0x4AD1)
 	passes := cfg.iters(3)
 
 	dest := make([][]addr.PageNum, cfg.Nodes)
 	for n := 0; n < cfg.Nodes; n++ {
-		dest[n] = b.alloc(addr.NodeID(n), 40)
+		dest[n] = b.Alloc(addr.NodeID(n), 40)
 		// Owners initialize their buckets pre-sharing (read-only class).
-		b.sweep(addr.NodeID(n), dest[n], b.bpp, 1, true, 3)
+		b.Sweep(addr.NodeID(n), dest[n], b.BlocksPerPage(), 1, true, 3)
 	}
-	hist := b.allocGlobal(16) // shared histogram: the read-write traffic
-	b.barrier()
+	hist := b.AllocGlobal(16) // shared histogram: the read-write traffic
+	b.Barrier()
 
 	for ps := 0; ps < passes; ps++ {
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
@@ -377,26 +377,26 @@ func Radix(cfg Config) *Workload {
 			// page).
 			var pages []addr.PageNum
 			for d := 1; d < cfg.Nodes; d++ {
-				pages = append(pages, dest[b.neighbor(n, d)]...)
+				pages = append(pages, dest[b.Neighbor(n, d)]...)
 			}
 			writer := int(n) % 8
 			slice := func(p addr.PageNum) []int {
-				base := (int(uint32(p)*37) + writer*16) & (b.bpp - 1)
+				base := (int(uint32(p)*37) + writer*16) & (b.BlocksPerPage() - 1)
 				out := make([]int, 12)
 				for j := range out {
-					out[j] = (base + j) & (b.bpp - 1)
+					out[j] = (base + j) & (b.BlocksPerPage() - 1)
 				}
 				return out
 			}
-			b.windowed(n, pages, slice, 84, 5, true, 16)
+			b.Windowed(n, pages, slice, 84, 5, true, 16)
 			// Histogram: read all, update own share.
-			b.sweep(n, hist, 32, 1, false, 10)
-			b.sweep(n, share(hist, int(n), cfg.Nodes), 8, 1, true, 10)
-			b.localCompute(n, 5000, 250)
+			b.Sweep(n, hist, 32, 1, false, 10)
+			b.Sweep(n, Share(hist, int(n), cfg.Nodes), 8, 1, true, 10)
+			b.LocalCompute(n, 5000, 250)
 		}
-		b.barrier()
+		b.Barrier()
 	}
-	return b.finish("radix", "Radix sort: all-to-all scatter, evenly spread refetches", "1M integers, radix 1024")
+	return b.Finish("radix", "Radix sort: all-to-all scatter, evenly spread refetches", "1M integers, radix 1024")
 }
 
 // Raytrace reproduces raytrace (car). Section 5.1: almost all remote data
@@ -408,36 +408,36 @@ func Radix(cfg Config) *Workload {
 // relocate.
 func Raytrace(cfg Config) *Workload {
 	cfg.validate()
-	b := newBuilder(cfg, 0x4A7)
+	b := NewBuilder(cfg, 0x4A7)
 	frames := cfg.iters(5)
 
-	scene := b.allocGlobal(200) // read-only geometry
-	core := b.allocGlobal(12)   // hot BSP-tree core, also read-only
-	fb := b.allocGlobal(4)      // shared frame counters: the RW traffic
+	scene := b.AllocGlobal(200) // read-only geometry
+	core := b.AllocGlobal(12)   // hot BSP-tree core, also read-only
+	fb := b.AllocGlobal(4)      // shared frame counters: the RW traffic
 	// Build the scene once (pre-sharing writes stay read-only class).
 	for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
-		b.sweep(n, share(scene, int(n), cfg.Nodes), b.bpp, 1, true, 3)
-		b.sweep(n, share(core, int(n), cfg.Nodes), b.bpp, 1, true, 3)
+		b.Sweep(n, Share(scene, int(n), cfg.Nodes), b.BlocksPerPage(), 1, true, 3)
+		b.Sweep(n, Share(core, int(n), cfg.Nodes), b.BlocksPerPage(), 1, true, 3)
 	}
-	b.barrier()
+	b.Barrier()
 
 	for f := 0; f < frames; f++ {
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
-			b.sweepShared(n, core, b.bpp, 2, false, 12)
+			b.SweepShared(n, core, b.BlocksPerPage(), 2, false, 12)
 			// Ray coherence skews scene popularity (Figure 5: under 10%
 			// of pages carry most refetches): 40 popular pages are hit
 			// every frame — they accumulate refetches and relocate under
 			// R-NUMA — while the cold tail is sampled lightly and never
 			// crosses the threshold.
-			b.sweepShared(n, scene[:40], 6, 1, false, 30)
+			b.SweepShared(n, scene[:40], 6, 1, false, 30)
 			tail := append([]addr.PageNum{}, scene[40:]...)
-			b.rng.Shuffle(len(tail), func(i, j int) { tail[i], tail[j] = tail[j], tail[i] })
-			b.sweepShared(n, tail[:48], 6, 1, false, 30)
-			b.sweep(n, fb, 16, 1, false, 10)
-			b.sweep(n, share(fb, int(n), cfg.Nodes), 8, 1, true, 10)
-			b.localCompute(n, 2600, 300)
+			b.Rand().Shuffle(len(tail), func(i, j int) { tail[i], tail[j] = tail[j], tail[i] })
+			b.SweepShared(n, tail[:48], 6, 1, false, 30)
+			b.Sweep(n, fb, 16, 1, false, 10)
+			b.Sweep(n, Share(fb, int(n), cfg.Nodes), 8, 1, true, 10)
+			b.LocalCompute(n, 2600, 300)
 		}
-		b.barrier()
+		b.Barrier()
 	}
-	return b.finish("raytrace", "Raytracing: read-only scene streaming + hot core", "car")
+	return b.Finish("raytrace", "Raytracing: read-only scene streaming + hot core", "car")
 }

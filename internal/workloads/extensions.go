@@ -20,24 +20,24 @@ import (
 // are reclaimed and B fits.
 func PhaseShift(cfg Config) *Workload {
 	cfg.validate()
-	b := newBuilder(cfg, 0x50A5E2)
+	b := NewBuilder(cfg, 0x50A5E2)
 	itersA := cfg.iters(4)
 	itersB := cfg.iters(6)
 
 	setA := make([][]addr.PageNum, cfg.Nodes)
 	setB := make([][]addr.PageNum, cfg.Nodes)
 	for n := 0; n < cfg.Nodes; n++ {
-		setA[n] = b.alloc(addr.NodeID(n), 40)
-		setB[n] = b.alloc(addr.NodeID(n), 75)
+		setA[n] = b.Alloc(addr.NodeID(n), 40)
+		setB[n] = b.Alloc(addr.NodeID(n), 75)
 	}
 
 	// Phase 1: A is a classic reuse set (dense repeated sweeps).
 	for it := 0; it < itersA; it++ {
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
-			b.sweep(n, setA[b.neighbor(n, 1)], b.bpp, 2, false, 20)
-			b.localCompute(n, 1500, 250)
+			b.Sweep(n, setA[b.Neighbor(n, 1)], b.BlocksPerPage(), 2, false, 20)
+			b.LocalCompute(n, 1500, 250)
 		}
-		b.barrier()
+		b.Barrier()
 	}
 
 	// Phase 2: A turns into a communication set (rewritten by its owner
@@ -49,33 +49,33 @@ func PhaseShift(cfg Config) *Workload {
 	// by reclaiming A's pure-coherence-miss frames outright.
 	for it := 0; it < itersB; it++ {
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
-			b.rewrite(n, setA[n], 16, 6)
+			b.Rewrite(n, setA[n], 16, 6)
 		}
-		b.barrier()
+		b.Barrier()
 		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
-			bPages := setB[b.neighbor(n, 1)]
-			aPages := setA[b.neighbor(n, 1)]
+			bPages := setB[b.Neighbor(n, 1)]
+			aPages := setA[b.Neighbor(n, 1)]
 			for ci := 0; ci < cfg.CPUsPerNode; ci++ {
-				cpu := b.cpu(n, ci)
+				cpu := b.CPU(n, ci)
 				aPos := 0
 				for rep := 0; rep < 2; rep++ {
-					for bi, p := range share(bPages, ci, cfg.CPUsPerNode) {
-						for _, off := range b.rotContig(p, b.bpp) {
-							b.push(cpu, trace.Ref{Page: p, Off: uint16(off), Gap: 20})
+					for bi, p := range Share(bPages, ci, cfg.CPUsPerNode) {
+						for _, off := range b.RotContig(p, b.BlocksPerPage()) {
+							b.Push(cpu, trace.Ref{Page: p, Off: uint16(off), Gap: 20})
 						}
 						if bi%3 == 2 {
 							ap := aPages[(ci+aPos)%len(aPages)]
 							aPos += cfg.CPUsPerNode
-							for _, off := range b.rotContig(ap, 8) {
-								b.push(cpu, trace.Ref{Page: ap, Off: uint16(off), Gap: 25})
+							for _, off := range b.RotContig(ap, 8) {
+								b.Push(cpu, trace.Ref{Page: ap, Off: uint16(off), Gap: 25})
 							}
 						}
 					}
 				}
 			}
-			b.localCompute(n, 1500, 250)
+			b.LocalCompute(n, 1500, 250)
 		}
-		b.barrier()
+		b.Barrier()
 	}
-	return b.finish("phaseshift", "Extension: reuse set turns into a communication set mid-run", "(extension workload)")
+	return b.Finish("phaseshift", "Extension: reuse set turns into a communication set mid-run", "(extension workload)")
 }

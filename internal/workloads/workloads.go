@@ -12,6 +12,11 @@
 // cache, Section 2.2), and per-node load imbalance (lu, Section 5.5). The
 // per-application constants are documented with the paper passage they
 // encode. See DESIGN.md Section 3 for the substitution rationale.
+//
+// The Builder type and its access-pattern primitives (Sweep, Scatter,
+// Windowed, ...) are exported so other packages — notably internal/spec's
+// declarative workload descriptions — can compose the same primitives
+// without a code change here.
 package workloads
 
 import (
@@ -32,6 +37,13 @@ type Config struct {
 	// determine cache fit, the heart of every result). Scale 1.0 is the
 	// evaluation size; tests use smaller values. Values <= 0 mean 1.0.
 	Scale float64
+
+	// Seed perturbs the generators' RNG streams. The default 0 keeps each
+	// generator's fixed built-in seed, so workloads — and therefore
+	// recorded traces — are bit-reproducible across runs by default. A
+	// nonzero value is XORed into the built-in seed, producing a
+	// different but equally reproducible variant.
+	Seed int64
 }
 
 // DefaultConfig is the paper's 8-node, 4-CPU base machine.
@@ -39,7 +51,9 @@ func DefaultConfig() Config {
 	return Config{Nodes: 8, CPUsPerNode: 4, Geometry: addr.Default, Scale: 1.0}
 }
 
-func (c Config) iters(n int) int {
+// Iters scales an iteration count by the config's Scale (minimum 2, so
+// every workload keeps its steady-state structure at test scales).
+func (c Config) Iters(n int) int {
 	s := c.Scale
 	if s <= 0 {
 		s = 1
@@ -51,6 +65,8 @@ func (c Config) iters(n int) int {
 	return v
 }
 
+func (c Config) iters(n int) int { return c.Iters(n) }
+
 // Workload is a fully generated run: one stream per CPU plus page homes.
 type Workload struct {
 	Name        string
@@ -59,6 +75,23 @@ type Workload struct {
 	Streams     []trace.Stream
 	Homes       func(addr.PageNum) addr.NodeID
 	SharedPages int // total pages in the shared segment
+
+	// Check, if non-nil, reports whether the streams were delivered
+	// intact; replayed traces use it to surface I/O or decode errors that
+	// a trace.Stream (which cannot return an error) would otherwise
+	// silently truncate into a shorter run.
+	Check func() error
+}
+
+// ResolveHomes materializes the workload's home function into a dense
+// per-page slice covering the shared segment (trace recording needs the
+// placement as data, not code).
+func (w *Workload) ResolveHomes() []addr.NodeID {
+	out := make([]addr.NodeID, w.SharedPages)
+	for p := range out {
+		out[p] = w.Homes(addr.PageNum(p))
+	}
+	return out
 }
 
 // App is a workload generator.
@@ -119,8 +152,10 @@ func Names() []string {
 	return out
 }
 
-// builder accumulates per-CPU references and the page-home map.
-type builder struct {
+// Builder accumulates per-CPU references and the page-home map. Each
+// generator (and each spec-built workload) drives one Builder through the
+// access-pattern primitives below, then calls Finish.
+type Builder struct {
 	cfg  Config
 	g    addr.Geometry
 	bpp  int
@@ -134,31 +169,44 @@ type builder struct {
 	localPos   []int
 }
 
-func newBuilder(cfg Config, seed int64) *builder {
+// NewBuilder starts a builder. seed is the generator's built-in RNG seed;
+// the config's Seed (default 0) is XORed in, so identical (config, seed)
+// pairs always produce bit-identical streams.
+func NewBuilder(cfg Config, seed int64) *Builder {
 	cpus := cfg.Nodes * cfg.CPUsPerNode
-	b := &builder{
+	b := &Builder{
 		cfg:        cfg,
 		g:          cfg.Geometry,
 		bpp:        cfg.Geometry.BlocksPerPage(),
 		refs:       make([][]trace.Ref, cpus),
 		home:       make(map[addr.PageNum]addr.NodeID),
-		rng:        rand.New(rand.NewSource(seed)),
+		rng:        rand.New(rand.NewSource(seed ^ cfg.Seed)),
 		localPages: make([][]addr.PageNum, cpus),
 		localPos:   make([]int, cpus),
 	}
 	for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
 		for i := 0; i < cfg.CPUsPerNode; i++ {
-			b.localPages[b.cpu(n, i)] = b.alloc(n, 2)
+			b.localPages[b.CPU(n, i)] = b.Alloc(n, 2)
 		}
 	}
 	return b
 }
 
-// cpu maps (node, local index) to the global CPU id.
-func (b *builder) cpu(n addr.NodeID, i int) int { return int(n)*b.cfg.CPUsPerNode + i }
+// Config returns the sizing configuration the builder was started with.
+func (b *Builder) Config() Config { return b.cfg }
 
-// alloc reserves n fresh pages homed at the owner.
-func (b *builder) alloc(owner addr.NodeID, n int) []addr.PageNum {
+// BlocksPerPage returns the geometry's blocks-per-page count (the maximum
+// per-page density).
+func (b *Builder) BlocksPerPage() int { return b.bpp }
+
+// Rand exposes the builder's deterministic RNG (shuffles, sampling).
+func (b *Builder) Rand() *rand.Rand { return b.rng }
+
+// CPU maps (node, local index) to the global CPU id.
+func (b *Builder) CPU(n addr.NodeID, i int) int { return int(n)*b.cfg.CPUsPerNode + i }
+
+// Alloc reserves n fresh pages homed at the owner.
+func (b *Builder) Alloc(owner addr.NodeID, n int) []addr.PageNum {
 	out := make([]addr.PageNum, n)
 	for i := range out {
 		out[i] = b.next
@@ -168,8 +216,8 @@ func (b *builder) alloc(owner addr.NodeID, n int) []addr.PageNum {
 	return out
 }
 
-// allocGlobal reserves n pages with round-robin homes (shared structures).
-func (b *builder) allocGlobal(n int) []addr.PageNum {
+// AllocGlobal reserves n pages with round-robin homes (shared structures).
+func (b *Builder) AllocGlobal(n int) []addr.PageNum {
 	out := make([]addr.PageNum, n)
 	for i := range out {
 		out[i] = b.next
@@ -179,19 +227,19 @@ func (b *builder) allocGlobal(n int) []addr.PageNum {
 	return out
 }
 
-// push appends a reference to a CPU's stream.
-func (b *builder) push(cpu int, r trace.Ref) { b.refs[cpu] = append(b.refs[cpu], r) }
+// Push appends a reference to a CPU's stream.
+func (b *Builder) Push(cpu int, r trace.Ref) { b.refs[cpu] = append(b.refs[cpu], r) }
 
-// barrier appends a global barrier to every CPU (the bulk-synchronous
+// Barrier appends a global barrier to every CPU (the bulk-synchronous
 // phase structure of the SPLASH-2 codes).
-func (b *builder) barrier() {
+func (b *Builder) Barrier() {
 	for c := range b.refs {
 		b.refs[c] = append(b.refs[c], trace.BarrierRef())
 	}
 }
 
-// share partitions a page list among the node's CPUs; ci selects the share.
-func share(pages []addr.PageNum, ci, cpus int) []addr.PageNum {
+// Share partitions a page list among the node's CPUs; ci selects the share.
+func Share(pages []addr.PageNum, ci, cpus int) []addr.PageNum {
 	var out []addr.PageNum
 	for i := ci; i < len(pages); i += cpus {
 		out = append(out, pages[i])
@@ -199,8 +247,8 @@ func share(pages []addr.PageNum, ci, cpus int) []addr.PageNum {
 	return out
 }
 
-// finish wraps the accumulated references into a Workload.
-func (b *builder) finish(name, desc, input string) *Workload {
+// Finish wraps the accumulated references into a Workload.
+func (b *Builder) Finish(name, desc, input string) *Workload {
 	streams := make([]trace.Stream, len(b.refs))
 	for i, r := range b.refs {
 		streams[i] = trace.FromSlice(r)
@@ -222,13 +270,13 @@ func (b *builder) finish(name, desc, input string) *Workload {
 	}
 }
 
-// rotContig returns `count` contiguous block offsets within a page,
+// RotContig returns `count` contiguous block offsets within a page,
 // starting at a per-page rotation. The rotation spreads different pages'
 // touched blocks across direct-mapped cache indices — real data structures
 // are not aligned to page boundaries the way naive strided synthetic
 // patterns would be, and without it sparse patterns collapse the
 // direct-mapped block cache onto a handful of sets.
-func (b *builder) rotContig(p addr.PageNum, count int) []int {
+func (b *Builder) RotContig(p addr.PageNum, count int) []int {
 	if count > b.bpp {
 		count = b.bpp
 	}
@@ -240,89 +288,89 @@ func (b *builder) rotContig(p addr.PageNum, count int) []int {
 	return out
 }
 
-// sweep makes each CPU of the node walk its share of the pages `repeats`
+// Sweep makes each CPU of the node walk its share of the pages `repeats`
 // times, touching `density` rotated-contiguous blocks per page. gap is the
 // compute time preceding each reference (the non-memory work of the loop
 // body, which also sets the ideal-machine baseline the paper normalizes
 // against).
-func (b *builder) sweep(n addr.NodeID, pages []addr.PageNum, density, repeats int, write bool, gap int) {
+func (b *Builder) Sweep(n addr.NodeID, pages []addr.PageNum, density, repeats int, write bool, gap int) {
 	for ci := 0; ci < b.cfg.CPUsPerNode; ci++ {
-		cpu := b.cpu(n, ci)
-		mine := share(pages, ci, b.cfg.CPUsPerNode)
+		cpu := b.CPU(n, ci)
+		mine := Share(pages, ci, b.cfg.CPUsPerNode)
 		for r := 0; r < repeats; r++ {
 			for _, p := range mine {
-				for _, off := range b.rotContig(p, density) {
-					b.push(cpu, trace.Ref{Page: p, Off: uint16(off), Write: write, Gap: uint16(gap)})
+				for _, off := range b.RotContig(p, density) {
+					b.Push(cpu, trace.Ref{Page: p, Off: uint16(off), Write: write, Gap: uint16(gap)})
 				}
 			}
 		}
 	}
 }
 
-// sweepShared makes EVERY CPU of the node walk the full page list (no
+// SweepShared makes EVERY CPU of the node walk the full page list (no
 // partitioning): the pattern of shared read-mostly structures (trees,
 // cells, scene geometry) that all processors traverse. Because the MBus
 // protocol supplies no cache-to-cache transfers for clean blocks, peer
 // copies do not help, and the node-level reuse lands on the RAD — the
 // regime where a working set misses the per-CPU L1s but fits the 32-KB
 // block cache.
-func (b *builder) sweepShared(n addr.NodeID, pages []addr.PageNum, density, repeats int, write bool, gap int) {
+func (b *Builder) SweepShared(n addr.NodeID, pages []addr.PageNum, density, repeats int, write bool, gap int) {
 	for ci := 0; ci < b.cfg.CPUsPerNode; ci++ {
-		cpu := b.cpu(n, ci)
+		cpu := b.CPU(n, ci)
 		for r := 0; r < repeats; r++ {
 			for _, p := range pages {
-				for _, off := range b.rotContig(p, density) {
-					b.push(cpu, trace.Ref{Page: p, Off: uint16(off), Write: write, Gap: uint16(gap)})
+				for _, off := range b.RotContig(p, density) {
+					b.Push(cpu, trace.Ref{Page: p, Off: uint16(off), Write: write, Gap: uint16(gap)})
 				}
 			}
 		}
 	}
 }
 
-// sweepOffsets is sweep with an explicit per-page offset function
+// SweepOffsets is Sweep with an explicit per-page offset function
 // (strided and sliced patterns).
-func (b *builder) sweepOffsets(n addr.NodeID, pages []addr.PageNum, offsFor func(addr.PageNum) []int, write bool, gap int) {
+func (b *Builder) SweepOffsets(n addr.NodeID, pages []addr.PageNum, offsFor func(addr.PageNum) []int, write bool, gap int) {
 	for ci := 0; ci < b.cfg.CPUsPerNode; ci++ {
-		cpu := b.cpu(n, ci)
-		for _, p := range share(pages, ci, b.cfg.CPUsPerNode) {
+		cpu := b.CPU(n, ci)
+		for _, p := range Share(pages, ci, b.cfg.CPUsPerNode) {
 			for _, off := range offsFor(p) {
-				b.push(cpu, trace.Ref{Page: p, Off: uint16(off), Write: write, Gap: uint16(gap)})
+				b.Push(cpu, trace.Ref{Page: p, Off: uint16(off), Write: write, Gap: uint16(gap)})
 			}
 		}
 	}
 }
 
-// scatter touches `density` rotated blocks of each page in a globally
+// Scatter touches `density` rotated blocks of each page in a globally
 // shuffled order — the irregular access pattern of graph codes (em3d),
 // where consecutive references land on unrelated remote pages. Under
 // S-COMA's page-granularity cache this is the worst case: residency decays
 // per access, not per page visit.
-func (b *builder) scatter(n addr.NodeID, pages []addr.PageNum, density int, write bool, gap int) {
+func (b *Builder) Scatter(n addr.NodeID, pages []addr.PageNum, density int, write bool, gap int) {
 	type po struct {
 		p   addr.PageNum
 		off int
 	}
 	for ci := 0; ci < b.cfg.CPUsPerNode; ci++ {
-		cpu := b.cpu(n, ci)
+		cpu := b.CPU(n, ci)
 		var refs []po
-		for _, p := range share(pages, ci, b.cfg.CPUsPerNode) {
-			for _, off := range b.rotContig(p, density) {
+		for _, p := range Share(pages, ci, b.cfg.CPUsPerNode) {
+			for _, off := range b.RotContig(p, density) {
 				refs = append(refs, po{p, off})
 			}
 		}
 		b.rng.Shuffle(len(refs), func(i, j int) { refs[i], refs[j] = refs[j], refs[i] })
 		for _, r := range refs {
-			b.push(cpu, trace.Ref{Page: r.p, Off: uint16(r.off), Write: write, Gap: uint16(gap)})
+			b.Push(cpu, trace.Ref{Page: r.p, Off: uint16(r.off), Write: write, Gap: uint16(gap)})
 		}
 	}
 }
 
-// windowed visits pages in windows, with every CPU of the node sweeping
+// Windowed visits pages in windows, with every CPU of the node sweeping
 // each full window `sweeps` times at per-page offsets before moving on
 // (the marching access pattern of radix and fmm: the active window fits
 // the block cache, but the page count per window overflows the page
 // cache, and all CPUs work the same window).
-func (b *builder) windowed(n addr.NodeID, pages []addr.PageNum, offsFor func(addr.PageNum) []int, window, sweeps int, write bool, gap int) {
+func (b *Builder) Windowed(n addr.NodeID, pages []addr.PageNum, offsFor func(addr.PageNum) []int, window, sweeps int, write bool, gap int) {
 	for w := 0; w < len(pages); w += window {
 		end := w + window
 		if end > len(pages) {
@@ -330,11 +378,11 @@ func (b *builder) windowed(n addr.NodeID, pages []addr.PageNum, offsFor func(add
 		}
 		win := pages[w:end]
 		for ci := 0; ci < b.cfg.CPUsPerNode; ci++ {
-			cpu := b.cpu(n, ci)
+			cpu := b.CPU(n, ci)
 			for s := 0; s < sweeps; s++ {
 				for _, p := range win {
 					for _, off := range offsFor(p) {
-						b.push(cpu, trace.Ref{Page: p, Off: uint16(off), Write: write, Gap: uint16(gap)})
+						b.Push(cpu, trace.Ref{Page: p, Off: uint16(off), Write: write, Gap: uint16(gap)})
 					}
 				}
 			}
@@ -342,33 +390,33 @@ func (b *builder) windowed(n addr.NodeID, pages []addr.PageNum, offsFor func(add
 	}
 }
 
-// rewrite makes the owner dirty `blocks` rotated-contiguous blocks of each
-// of its pages. The rotation base matches sweep's, so the dirtied blocks
+// Rewrite makes the owner dirty `blocks` rotated-contiguous blocks of each
+// of its pages. The rotation base matches Sweep's, so the dirtied blocks
 // overlap what consumers read: their copies are invalidated, and their
 // next misses are coherence misses, not refetches.
-func (b *builder) rewrite(n addr.NodeID, pages []addr.PageNum, blocks, gap int) {
-	b.sweep(n, pages, blocks, 1, true, gap)
+func (b *Builder) Rewrite(n addr.NodeID, pages []addr.PageNum, blocks, gap int) {
+	b.Sweep(n, pages, blocks, 1, true, gap)
 }
 
-// localCompute adds per-CPU private-page references: a small footprint
+// LocalCompute adds per-CPU private-page references: a small footprint
 // that L1-hits after warmup, modeling the compute the paper's applications
 // do between shared references.
-func (b *builder) localCompute(n addr.NodeID, refsPerCPU, gap int) {
+func (b *Builder) LocalCompute(n addr.NodeID, refsPerCPU, gap int) {
 	for ci := 0; ci < b.cfg.CPUsPerNode; ci++ {
-		cpu := b.cpu(n, ci)
+		cpu := b.CPU(n, ci)
 		pages := b.localPages[cpu]
 		for k := 0; k < refsPerCPU; k++ {
 			pos := b.localPos[cpu]
 			b.localPos[cpu]++
 			p := pages[pos/16%len(pages)]
 			off := pos % 16
-			b.push(cpu, trace.Ref{Page: p, Off: uint16(off), Write: pos%4 == 0, Gap: uint16(gap)})
+			b.Push(cpu, trace.Ref{Page: p, Off: uint16(off), Write: pos%4 == 0, Gap: uint16(gap)})
 		}
 	}
 }
 
-// neighbor returns the node's ring neighbor at distance d.
-func (b *builder) neighbor(n addr.NodeID, d int) addr.NodeID {
+// Neighbor returns the node's ring neighbor at distance d.
+func (b *Builder) Neighbor(n addr.NodeID, d int) addr.NodeID {
 	return addr.NodeID((int(n) + d) % b.cfg.Nodes)
 }
 
@@ -377,4 +425,13 @@ func (c Config) validate() {
 	if c.Nodes < 1 || c.CPUsPerNode < 1 {
 		panic(fmt.Sprintf("workloads: bad config %+v", c))
 	}
+}
+
+// Validate reports malformed configs without panicking (spec building and
+// CLI paths prefer an error).
+func (c Config) Validate() error {
+	if c.Nodes < 1 || c.CPUsPerNode < 1 {
+		return fmt.Errorf("workloads: config needs at least 1 node and 1 CPU/node, got %dx%d", c.Nodes, c.CPUsPerNode)
+	}
+	return nil
 }
