@@ -64,18 +64,29 @@ func main() {
 	}
 
 	// Spec and trace files join the application list: every selected
-	// figure then carries their rows next to the catalog's.
+	// figure then carries their rows next to the catalog's. A registered
+	// source shadows a same-named catalog generator, so a name already in
+	// the list (via -apps) is not appended again — the row would be the
+	// source replay twice, never the generator-vs-trace comparison.
+	addSource := func(src harness.Source) {
+		die(h.Register(src))
+		for _, name := range list {
+			if name == src.Name() {
+				fmt.Fprintf(os.Stderr, "note: %q rows replay the registered source (it shadows the catalog generator)\n", src.Name())
+				return
+			}
+		}
+		list = append(list, src.Name())
+	}
 	for _, path := range splitList(*specs) {
 		src, err := harness.SpecFileSource(path)
 		die(err)
-		die(h.Register(src))
-		list = append(list, src.Name())
+		addSource(src)
 	}
 	for _, path := range splitList(*traces) {
 		src, err := harness.TraceFileSource(path)
 		die(err)
-		die(h.Register(src))
-		list = append(list, src.Name())
+		addSource(src)
 	}
 	sep := func() { fmt.Println("\n" + strings.Repeat("=", 80) + "\n") }
 

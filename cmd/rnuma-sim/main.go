@@ -5,7 +5,7 @@
 //
 //	rnuma-sim -app moldyn -protocol rnuma [-bc 128] [-pc 327680] [-T 64]
 //	          [-scale 1.0] [-seed 0] [-nodes 8] [-cpus 4] [-soft] [-ideal]
-//	          [-parallel N] [-v]
+//	          [-record out.rntr] [-parallel N] [-v]
 //	rnuma-sim -trace file.trace [...]   (replay a recorded trace; "-" = stdin)
 //	rnuma-sim -spec file.json   [...]   (build a declarative spec workload)
 //
@@ -14,6 +14,13 @@
 // -trace, the machine shape (nodes, CPUs, geometry) comes from the trace
 // header and -nodes/-cpus are ignored; -scale and -seed have no effect on
 // recorded references.
+//
+// -record captures the simulated run's reference streams to a trace file
+// while it executes (tracefile.Tee, one extra function call per
+// reference); the normalization baseline then replays the recorded file,
+// so the two runs are guaranteed to see identical references. Recording
+// applies to -app and -spec workloads; replaying an existing trace with
+// -trace is better served by rnuma-trace cut/cat.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 
 	"rnuma/internal/config"
 	"rnuma/internal/harness"
+	"rnuma/internal/machine"
 	"rnuma/internal/report"
 	"rnuma/internal/tracefile"
 	"rnuma/internal/workloads"
@@ -45,6 +53,7 @@ func main() {
 		cpus      = flag.Int("cpus", 4, "CPUs per node")
 		soft      = flag.Bool("soft", false, "use SOFT costs (10-µs traps, 5-µs software shootdowns)")
 		ideal     = flag.Bool("ideal", false, "run the infinite-block-cache baseline")
+		record    = flag.String("record", "", "record the live run's references to this trace file (tee)")
 		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		verbose   = flag.Bool("v", false, "log progress")
 	)
@@ -85,6 +94,13 @@ func main() {
 		h.Log = os.Stderr
 	}
 
+	if *record != "" {
+		if err := recordRun(sys, *appName, *specPath, *tracePath, *record, *scale, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "rnuma-sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(h, sys, *appName, *tracePath, *specPath); err != nil {
 		fmt.Fprintf(os.Stderr, "rnuma-sim: %v\n", err)
 		os.Exit(1)
@@ -106,16 +122,15 @@ func run(h *harness.Harness, sys config.System, appName, tracePath, specPath str
 			return err
 		}
 		defer cleanup()
-		hdr, err := readHeader(path)
-		if err != nil {
-			return err
-		}
-		if hdr.CPUs%hdr.Nodes != 0 {
-			return fmt.Errorf("trace has %d CPUs on %d nodes (not evenly divided)", hdr.CPUs, hdr.Nodes)
-		}
 		src, err := harness.TraceFileSource(path)
 		if err != nil {
 			return err
+		}
+		// The source already decoded the file once for its content key;
+		// its header carries the recorded machine shape.
+		hdr := src.(interface{ Header() tracefile.Header }).Header()
+		if hdr.CPUs%hdr.Nodes != 0 {
+			return fmt.Errorf("trace has %d CPUs on %d nodes (not evenly divided)", hdr.CPUs, hdr.Nodes)
 		}
 		if err := h.Register(src); err != nil {
 			return err
@@ -172,6 +187,110 @@ func run(h *harness.Harness, sys config.System, appName, tracePath, specPath str
 	return nil
 }
 
+// recordRun simulates the workload once with its streams teed into a
+// trace file as they are consumed. The run bypasses the harness memo
+// cache (a recording must correspond to exactly one simulation), and the
+// ideal-machine normalization replays the recorded file — the baseline
+// is therefore guaranteed to see the references the recorded run saw.
+func recordRun(sys config.System, appName, specPath, tracePath, out string, scale float64, seed int64) error {
+	if tracePath != "" {
+		return fmt.Errorf("-record re-encodes a replay; slice existing traces with rnuma-trace cut/cat instead")
+	}
+	// Validate before building: workload construction panics on malformed
+	// shapes (it treats them as programmer error), the CLI must not.
+	if err := sys.Validate(); err != nil {
+		return err
+	}
+	cfg := workloads.Config{
+		Nodes:       sys.Nodes,
+		CPUsPerNode: sys.CPUsPerNode,
+		Geometry:    sys.Geometry,
+		Scale:       scale,
+		Seed:        seed,
+	}
+	var (
+		w     *workloads.Workload
+		descr string
+		err   error
+	)
+	if specPath != "" {
+		src, serr := harness.SpecFileSource(specPath)
+		if serr != nil {
+			return serr
+		}
+		if w, err = src.Load(cfg); err != nil {
+			return err
+		}
+		descr = fmt.Sprintf("spec %s", specPath)
+	} else {
+		app, ok := workloads.ByName(appName)
+		if !ok {
+			return fmt.Errorf("unknown application %q", appName)
+		}
+		w = app.Build(cfg)
+		descr = app.PaperInput
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw, err := tracefile.NewWriter(f, tracefile.WorkloadHeader(w, cfg))
+	if err != nil {
+		return err
+	}
+	m, err := machine.New(sys, machine.WithHomes(w.Homes), machine.WithPages(w.SharedPages))
+	if err != nil {
+		return err
+	}
+	run, err := m.Run(tracefile.Tee(tw, w.Streams))
+	if err != nil {
+		return err
+	}
+	if err := tw.Close(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("application: %s (%s)\n", w.Name, descr)
+	fmt.Printf("system: %s, %dx%d CPUs\n", sys.Name, sys.Nodes, sys.CPUsPerNode)
+	report.RunSummary(os.Stdout, sys.Name, run)
+	fmt.Printf("  recorded:              %d refs, %d bytes to %s (%.2f bytes/ref)\n",
+		tw.Refs(), tw.Bytes(), out, float64(tw.Bytes())/float64(tw.Refs()))
+
+	// Normalize against the ideal machine by replaying the recording.
+	rf, err := os.Open(out)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	d, err := tracefile.NewReader(rf)
+	if err != nil {
+		return err
+	}
+	idealSys := config.Ideal()
+	idealSys.Geometry = sys.Geometry
+	idealSys.Nodes = sys.Nodes
+	idealSys.CPUsPerNode = sys.CPUsPerNode
+	im, err := machine.New(idealSys, machine.WithHomes(w.Homes), machine.WithPages(w.SharedPages))
+	if err != nil {
+		return err
+	}
+	base, err := im.Run(d.Streams())
+	if err != nil {
+		return err
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if base.ExecCycles > 0 {
+		fmt.Printf("  normalized exec time:  %.3f (vs infinite block cache, replayed from the recording)\n", run.Normalized(base))
+	}
+	return nil
+}
+
 // materialize resolves a trace argument to a real file path: "-" spools
 // stdin to a temp file (the harness source re-opens its file once per
 // simulated system, and stdin cannot rewind).
@@ -195,16 +314,3 @@ func materialize(path string) (string, func(), error) {
 	return tmp.Name(), func() { os.Remove(tmp.Name()) }, nil
 }
 
-// readHeader parses just the trace header (for the machine shape).
-func readHeader(path string) (tracefile.Header, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return tracefile.Header{}, err
-	}
-	defer f.Close()
-	d, err := tracefile.NewReader(f)
-	if err != nil {
-		return tracefile.Header{}, fmt.Errorf("%s: %w", path, err)
-	}
-	return d.Header(), nil
-}

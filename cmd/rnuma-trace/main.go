@@ -1,19 +1,27 @@
-// Command rnuma-trace captures, inspects, and replays memory-reference
-// traces in the tracefile binary format.
+// Command rnuma-trace captures, inspects, slices, and replays
+// memory-reference traces in the tracefile binary format.
 //
 // Usage:
 //
-//	rnuma-trace record -app <name>  [-o out.trace] [-scale S] [-seed N] [-nodes N] [-cpus N]
-//	rnuma-trace gen    -spec <file> [-o out.trace] [-scale S] [-seed N] [-nodes N] [-cpus N]
+//	rnuma-trace record -app <name>  [-o out.trace] [-scale S] [-seed N] [-nodes N] [-cpus N] [-v1] [-raw]
+//	rnuma-trace gen    -spec <file> [-o out.trace] [-scale S] [-seed N] [-nodes N] [-cpus N] [-v1] [-raw]
+//	rnuma-trace cut    <file> [-o out.trace] [-cpus 1,3] [-from N] [-to M] [-v1] [-raw]
+//	rnuma-trace cat    <a> <b> ... [-o out.trace] [-v1] [-raw]
 //	rnuma-trace info   <file>
 //	rnuma-trace replay <file> [-protocol ccnuma|scoma|rnuma] [-bc B] [-pc P] [-T N] [-soft] [-ideal]
 //
 // record captures a built-in application's reference streams; gen does
 // the same for a declarative JSON workload spec (see internal/spec). Both
 // write to stdout with -o - (the default is <name>.trace), so traces pipe
-// straight into `rnuma-sim -trace -`. info prints a trace's header and
-// per-CPU record counts; replay runs one through the simulated machine of
-// the recorded shape and prints the run's statistics.
+// straight into `rnuma-sim -trace -`. cut slices a trace by per-CPU
+// record range and/or CPU subset, preserving the recorded machine shape
+// (dropped CPUs become empty streams, so cuts replay on the recorded
+// machine); cat concatenates traces of identical machine shape — cutting
+// a trace into range slices and catting them back recomposes it exactly. Writers emit the compressed version-2 format by
+// default; -v1 selects the legacy format and -raw keeps version 2 but
+// stores chunks uncompressed. info prints a trace's header and per-CPU
+// record counts; replay runs one through the simulated machine of the
+// recorded shape and prints the run's statistics.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"rnuma/internal/addr"
@@ -44,6 +53,10 @@ func main() {
 		err = cmdRecord(os.Args[2:])
 	case "gen":
 		err = cmdGen(os.Args[2:])
+	case "cut":
+		err = cmdCut(os.Args[2:])
+	case "cat":
+		err = cmdCat(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
 	case "replay":
@@ -66,12 +79,16 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `rnuma-trace — capture, inspect, and replay reference traces
 
 subcommands:
-  record -app <name>  [-o file] [-scale S] [-seed N] [-nodes N] [-cpus N]
+  record -app <name>  [-o file] [-scale S] [-seed N] [-nodes N] [-cpus N] [-v1] [-raw]
       capture a built-in application's streams (apps: %s)
-  gen    -spec <file> [-o file] [-scale S] [-seed N] [-nodes N] [-cpus N]
+  gen    -spec <file> [-o file] [-scale S] [-seed N] [-nodes N] [-cpus N] [-v1] [-raw]
       build a declarative spec workload and capture its streams
+  cut    <file> [-o file] [-cpus 1,3] [-from N] [-to M] [-v1] [-raw]
+      slice a trace: keep a per-CPU record range and/or a CPU subset
+  cat    <a> <b> ... [-o file] [-v1] [-raw]
+      concatenate traces of identical machine shape
   info   <file>
-      print a trace's header and per-CPU record counts ("-" = stdin)
+      print a trace's header, format version, and per-CPU record counts
   replay <file> [-protocol P] [-bc B] [-pc P] [-T N] [-soft] [-ideal] [-v]
       run a trace through the simulated machine of its recorded shape
 `, strings.Join(workloads.Names(), ", "))
@@ -87,10 +104,28 @@ func sizingFlags(fs *flag.FlagSet) (scale *float64, seed *int64, nodes, cpus *in
 	return
 }
 
+// formatFlags are the output-encoding flags shared by every writing
+// subcommand; resolve them into writer options after fs.Parse.
+func formatFlags(fs *flag.FlagSet) func() []tracefile.WriterOption {
+	v1 := fs.Bool("v1", false, "write the legacy uncompressed version-1 format")
+	raw := fs.Bool("raw", false, "write version 2 with uncompressed chunks")
+	return func() []tracefile.WriterOption {
+		var opts []tracefile.WriterOption
+		if *v1 {
+			opts = append(opts, tracefile.FormatVersion(tracefile.VersionV1))
+		}
+		if *raw {
+			opts = append(opts, tracefile.Compression(false))
+		}
+		return opts
+	}
+}
+
 func cmdRecord(args []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	appName := fs.String("app", "", "application to record: "+strings.Join(workloads.Names(), ", "))
 	scale, seed, nodes, cpus, out := sizingFlags(fs)
+	format := formatFlags(fs)
 	fs.Parse(args)
 	app, ok := workloads.ByName(*appName)
 	if !ok {
@@ -100,13 +135,14 @@ func cmdRecord(args []string) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	return capture(app.Build(cfg), cfg, *out)
+	return capture(app.Build(cfg), cfg, *out, format()...)
 }
 
 func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	specPath := fs.String("spec", "", `workload spec file ("-" = stdin)`)
 	scale, seed, nodes, cpus, out := sizingFlags(fs)
+	format := formatFlags(fs)
 	fs.Parse(args)
 	if *specPath == "" {
 		return fmt.Errorf("gen needs -spec <file>")
@@ -132,52 +168,161 @@ func cmdGen(args []string) error {
 	if err != nil {
 		return err
 	}
-	return capture(w, cfg, *out)
+	return capture(w, cfg, *out, format()...)
 }
 
 // capture drains the workload into a trace file and reports the encoding
 // stats on stderr (stdout may be the trace itself).
-func capture(w *workloads.Workload, cfg workloads.Config, out string) error {
+func capture(w *workloads.Workload, cfg workloads.Config, out string, opts ...tracefile.WriterOption) error {
 	if out == "" {
 		out = w.Name + ".trace"
 	}
-	dst := os.Stdout
-	if out != "-" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		dst = f
-	}
-	refs, bytes, err := tracefile.WriteWorkload(dst, w, cfg)
+	dst, where, cleanup, err := openOut(out)
 	if err != nil {
 		return err
 	}
-	where := out
-	if out == "-" {
-		where = "stdout"
+	refs, bytes, err := tracefile.WriteWorkload(dst, w, cfg, opts...)
+	// A close-time write failure (ENOSPC, EIO) means the trace on disk is
+	// truncated; it must not report as a successful recording.
+	if cerr := cleanup(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "recorded %s: %d refs, %d pages, %d bytes to %s (%.2f bytes/ref)\n",
 		w.Name, refs, w.SharedPages, bytes, where, float64(bytes)/float64(refs))
 	return nil
 }
 
-// parseWithTarget parses a subcommand's flags while accepting the trace
-// file positionally on either side of the flags (`replay file -protocol
-// scoma` and `replay -protocol scoma file` both work — the standard flag
-// package alone would silently stop parsing at the leading positional).
+// openOut resolves an output argument: a path, or "-" for stdout.
+func openOut(out string) (io.Writer, string, func() error, error) {
+	if out == "-" {
+		return os.Stdout, "stdout", func() error { return nil }, nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	return f, out, f.Close, nil
+}
+
+func cmdCut(args []string) error {
+	fs := flag.NewFlagSet("cut", flag.ExitOnError)
+	tracePath := fs.String("trace", "", `trace file ("-" = stdin; also accepted positionally)`)
+	out := fs.String("o", "-", `output file ("-" = stdout)`)
+	cpuList := fs.String("cpus", "", "comma-separated source CPU indices to keep (default all)")
+	from := fs.Int64("from", 0, "first per-CPU record index to keep")
+	to := fs.Int64("to", 0, "one past the last record index to keep (0 = end)")
+	format := formatFlags(fs)
+	target := parseWithTarget(fs, args)
+
+	sel := tracefile.CutSpec{From: *from, To: *to}
+	if *cpuList != "" {
+		for _, s := range strings.Split(*cpuList, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad -cpus entry %q", s)
+			}
+			sel.CPUs = append(sel.CPUs, c)
+		}
+	}
+	r, name, err := openTrace(target, *tracePath)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	dst, where, cleanup, err := openOut(*out)
+	if err != nil {
+		return err
+	}
+	refs, err := tracefile.Cut(dst, r, sel, format()...)
+	if cerr := cleanup(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cut %s: kept %d refs to %s\n", name, refs, where)
+	return nil
+}
+
+func cmdCat(args []string) error {
+	fs := flag.NewFlagSet("cat", flag.ExitOnError)
+	out := fs.String("o", "-", `output file ("-" = stdout)`)
+	format := formatFlags(fs)
+	// Accept input files on either side of the flags (cat a b -o out);
+	// "-" names stdin, like every other subcommand.
+	inputs := parsePositionals(fs, args)
+	if len(inputs) == 0 {
+		return fmt.Errorf("cat needs at least one input trace")
+	}
+	srcs := make([]io.Reader, 0, len(inputs))
+	stdinUsed := false
+	for _, path := range inputs {
+		if path == "-" {
+			if stdinUsed {
+				return fmt.Errorf("stdin (\"-\") can appear only once")
+			}
+			stdinUsed = true
+			srcs = append(srcs, os.Stdin)
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		srcs = append(srcs, f)
+	}
+	dst, where, cleanup, err := openOut(*out)
+	if err != nil {
+		return err
+	}
+	refs, err := tracefile.Cat(dst, srcs, format()...)
+	if cerr := cleanup(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cat %s: %d refs to %s\n", strings.Join(inputs, "+"), refs, where)
+	return nil
+}
+
+// parsePositionals parses a subcommand's flags while lifting positional
+// arguments that may appear on either side of (or between) the flags —
+// the standard flag package stops at the first positional and would
+// silently drop everything after it, including flags like -o. "-"
+// (stdin/stdout) counts as a positional.
+func parsePositionals(fs *flag.FlagSet, args []string) []string {
+	var positionals []string
+	for {
+		for len(args) > 0 && (args[0] == "-" || !strings.HasPrefix(args[0], "-")) {
+			positionals = append(positionals, args[0])
+			args = args[1:]
+		}
+		if len(args) == 0 {
+			return positionals
+		}
+		fs.Parse(args)
+		args = fs.Args()
+	}
+}
+
+// parseWithTarget is parsePositionals for subcommands that take exactly
+// one trace argument (`replay file -protocol scoma` and `replay
+// -protocol scoma file` both work); extra positionals are an error.
 func parseWithTarget(fs *flag.FlagSet, args []string) string {
-	var target string
-	if len(args) > 0 && (args[0] == "-" || !strings.HasPrefix(args[0], "-")) {
-		target = args[0]
-		args = args[1:]
+	positionals := parsePositionals(fs, args)
+	if len(positionals) > 1 {
+		fmt.Fprintf(os.Stderr, "rnuma-trace: unexpected extra arguments %v\n", positionals[1:])
+		os.Exit(2)
 	}
-	fs.Parse(args)
-	if target == "" {
-		target = fs.Arg(0)
+	if len(positionals) == 0 {
+		return ""
 	}
-	return target
+	return positionals[0]
 }
 
 // openTrace resolves a trace argument: a path or "-" for stdin. The
@@ -217,6 +362,7 @@ func cmdInfo(args []string) error {
 	h := d.Header()
 	fmt.Printf("trace: %s\n", name)
 	fmt.Printf("  workload:     %s\n", h.Name)
+	fmt.Printf("  format:       v%d\n", d.Version())
 	fmt.Printf("  geometry:     %s\n", h.Geometry)
 	fmt.Printf("  machine:      %d nodes, %d CPUs\n", h.Nodes, h.CPUs)
 	fmt.Printf("  shared pages: %d (%d KB)\n", h.SharedPages, h.SharedPages*h.Geometry.PageBytes()/1024)

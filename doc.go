@@ -20,13 +20,18 @@
 //   - internal/workloads — synthetic versions of the paper's ten
 //     applications (Table 3), built on exported access-pattern primitives
 //   - internal/spec — declarative JSON workload descriptions composed
-//     from the same primitives (new scenarios without code changes)
+//     from the same primitives (new scenarios without code changes),
+//     including per-phase node subsets and zipf/explicit page-popularity
+//     distributions
 //   - internal/tracefile — the binary trace capture/replay format
-//     (streaming writer, lazy demuxing reader, live-simulation tee)
+//     (streaming writer, lazy demuxing reader, live-simulation tee,
+//     per-chunk DEFLATE compression in format v2, and stream-level
+//     Cut/Cat splicing)
 //   - internal/harness — the experiment-plan layer and concurrent
 //     scheduler that regenerate every table and figure; spec files and
-//     recorded traces register as workload sources with content-hash
-//     memo keys
+//     recorded traces register as workload sources whose memo keys hash
+//     the decoded streams (CanonicalHash), so re-encodings of one
+//     capture share simulations
 //   - internal/model — the analytical worst-case model (Section 3.2)
 //
 // The harness declares each figure's (application, system) grid as a Plan

@@ -72,6 +72,14 @@ func (d *Dir) Peek(b addr.BlockNum) (*Entry, bool) {
 // Blocks returns how many blocks have directory state.
 func (d *Dir) Blocks() int { return len(d.entries) }
 
+// Each calls fn for every block with directory state, in no particular
+// order (invariant checkers and diagnostics).
+func (d *Dir) Each(fn func(addr.BlockNum, *Entry)) {
+	for b, e := range d.entries {
+		fn(b, e)
+	}
+}
+
 // FetchResult describes the actions a fetch triggered.
 type FetchResult struct {
 	// Refetch is true when the requester previously held the block and

@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"rnuma/internal/config"
+	"rnuma/internal/stats"
+	"rnuma/internal/workloads"
+)
+
+// update regenerates the golden fixtures instead of diffing against them:
+//
+//	go test ./internal/harness -run TestGoldenStats -update
+var update = flag.Bool("update", false, "rewrite testdata/golden fixtures")
+
+// goldenScale is the fixture scale: small enough that regenerating the
+// whole catalog takes seconds, large enough that every protocol mechanism
+// (refetches, replacements, relocations) is exercised.
+const goldenScale = 0.05
+
+// goldenRun is the JSON-serializable image of a stats.Run. stats.Run
+// itself cannot round-trip through encoding/json (RefetchByPage has a
+// struct key), so the fixture flattens the maps into sorted slices —
+// which also keeps the files diff-stable.
+type goldenRun struct {
+	ExecCycles     int64 `json:"execCycles"`
+	Refs           int64 `json:"refs"`
+	L1Hits         int64 `json:"l1Hits"`
+	LocalFills     int64 `json:"localFills"`
+	C2CTransfers   int64 `json:"c2cTransfers"`
+	BlockCacheHits int64 `json:"blockCacheHits"`
+	PageCacheHits  int64 `json:"pageCacheHits"`
+	RemoteFetches  int64 `json:"remoteFetches"`
+	Upgrades       int64 `json:"upgrades"`
+	Refetches      int64 `json:"refetches"`
+	PageFaults     int64 `json:"pageFaults"`
+	Allocations    int64 `json:"allocations"`
+	Replacements   int64 `json:"replacements"`
+	Relocations    int64 `json:"relocations"`
+	Demotions      int64 `json:"demotions"`
+	FlushedBlocks  int64 `json:"flushedBlocks"`
+	TLBShootdowns  int64 `json:"tlbShootdowns"`
+	RemotePages    int64 `json:"remotePages"`
+	InvalsSent     int64 `json:"invalsSent"`
+	ThreeHopXfers  int64 `json:"threeHopXfers"`
+	WritebacksHome int64 `json:"writebacksHome"`
+	BusWaitCycles  int64 `json:"busWaitCycles"`
+	NIWaitCycles   int64 `json:"niWaitCycles"`
+	RADWaitCycles  int64 `json:"radWaitCycles"`
+	RWRefetches    int64 `json:"rwRefetches"`
+
+	// RefetchPages counts the (node, page) pairs with refetches and
+	// RefetchDigest hashes the full sorted (node, page, count) list, so
+	// the per-page distribution is pinned exactly without committing
+	// hundreds of kilobytes of pairs per app.
+	RefetchPages        int               `json:"refetchPages"`
+	RefetchDigest       string            `json:"refetchDigest"`
+	PerNodeReplacements []goldenNodeCount `json:"perNodeReplacements,omitempty"`
+}
+
+type goldenNodeCount struct {
+	Node  int   `json:"node"`
+	Count int64 `json:"count"`
+}
+
+func goldenFrom(r *stats.Run) goldenRun {
+	g := goldenRun{
+		ExecCycles: r.ExecCycles, Refs: r.Refs, L1Hits: r.L1Hits,
+		LocalFills: r.LocalFills, C2CTransfers: r.C2CTransfers,
+		BlockCacheHits: r.BlockCacheHits, PageCacheHits: r.PageCacheHits,
+		RemoteFetches: r.RemoteFetches, Upgrades: r.Upgrades,
+		Refetches: r.Refetches, PageFaults: r.PageFaults,
+		Allocations: r.Allocations, Replacements: r.Replacements,
+		Relocations: r.Relocations, Demotions: r.Demotions,
+		FlushedBlocks: r.FlushedBlocks, TLBShootdowns: r.TLBShootdowns,
+		RemotePages: r.RemotePages, InvalsSent: r.InvalsSent,
+		ThreeHopXfers: r.ThreeHopXfers, WritebacksHome: r.WritebacksHome,
+		BusWaitCycles: r.BusWaitCycles, NIWaitCycles: r.NIWaitCycles,
+		RADWaitCycles: r.RADWaitCycles, RWRefetches: r.RWRefetches,
+	}
+	keys := make([]stats.PageKey, 0, len(r.RefetchByPage))
+	for k := range r.RefetchByPage {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Page != keys[j].Page {
+			return keys[i].Page < keys[j].Page
+		}
+		return keys[i].Node < keys[j].Node
+	})
+	hash := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintf(hash, "%d/%d:%d\n", k.Node, k.Page, r.RefetchByPage[k])
+	}
+	g.RefetchPages = len(keys)
+	g.RefetchDigest = fmt.Sprintf("%x", hash.Sum(nil)[:12])
+	for n, c := range r.PerNodeReplacements {
+		g.PerNodeReplacements = append(g.PerNodeReplacements, goldenNodeCount{Node: int(n), Count: c})
+	}
+	sort.Slice(g.PerNodeReplacements, func(i, j int) bool {
+		return g.PerNodeReplacements[i].Node < g.PerNodeReplacements[j].Node
+	})
+	return g
+}
+
+// goldenSystems are the fixture columns, keyed by the JSON field name.
+func goldenSystems() map[string]config.System {
+	return map[string]config.System{
+		"ccnuma": config.Base(config.CCNUMA),
+		"scoma":  config.Base(config.SCOMA),
+		"rnuma":  config.Base(config.RNUMA),
+	}
+}
+
+// TestGoldenStats diffs every catalog application's stats.Run under the
+// three base protocols against the committed testdata/golden fixtures.
+// The simulator is deterministic (fixed seeds, serial event loop), so any
+// divergence is a behavior change: either a bug, or an intended change
+// that must be re-baselined explicitly with -update — figures can no
+// longer shift silently under a refactor.
+func TestGoldenStats(t *testing.T) {
+	apps := workloads.Names()
+	if testing.Short() && !*update {
+		apps = []string{"barnes", "lu", "ocean"}
+	}
+	h := New(goldenScale)
+	for _, app := range apps {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			got := make(map[string]goldenRun)
+			for proto, sys := range goldenSystems() {
+				run, err := h.Run(app, sys)
+				if err != nil {
+					t.Fatalf("%s on %s: %v", app, proto, err)
+				}
+				got[proto] = goldenFrom(run)
+			}
+			path := filepath.Join("testdata", "golden", app+".json")
+			if *update {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (regenerate with -update): %v", err)
+			}
+			var want map[string]goldenRun
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("fixture: %v", err)
+			}
+			for proto := range goldenSystems() {
+				w, ok := want[proto]
+				if !ok {
+					t.Errorf("%s: fixture lacks protocol %s (regenerate with -update)", app, proto)
+					continue
+				}
+				if g := got[proto]; !reflect.DeepEqual(g, w) {
+					t.Errorf("%s on %s: stats diverged from golden fixture.\nIf this change is intended, re-baseline with:\n  go test ./internal/harness -run TestGoldenStats -update\nfirst diff: %s",
+						app, proto, firstGoldenDiff(w, g))
+				}
+			}
+		})
+	}
+}
+
+// firstGoldenDiff names the first field that differs (reflect.DeepEqual
+// says only "not equal"; the log should say where).
+func firstGoldenDiff(want, got goldenRun) string {
+	wv, gv := reflect.ValueOf(want), reflect.ValueOf(got)
+	tp := wv.Type()
+	for i := 0; i < tp.NumField(); i++ {
+		if !reflect.DeepEqual(wv.Field(i).Interface(), gv.Field(i).Interface()) {
+			return tp.Field(i).Name + ": golden=" + jsonish(wv.Field(i).Interface()) + " got=" + jsonish(gv.Field(i).Interface())
+		}
+	}
+	return "(identical?)"
+}
+
+func jsonish(v any) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

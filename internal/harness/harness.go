@@ -126,6 +126,19 @@ func (h *Harness) simulate(j Job) (*stats.Run, error) {
 		}
 		w = app.Build(cfg)
 	}
+	// Check also releases the workload's resources (trace sources hold an
+	// open file), so it must run on every path once the workload is
+	// loaded — not only after a successful simulation.
+	checked := false
+	check := func() error {
+		if w.Check == nil || checked {
+			return nil
+		}
+		checked = true
+		return w.Check()
+	}
+	defer check() //nolint:errcheck // error path below already reported one
+
 	opts := make([]machine.Option, 0, len(j.opts)+2)
 	opts = append(opts, j.opts...)
 	if !j.skipHomes {
@@ -145,12 +158,10 @@ func (h *Harness) simulate(j Job) (*stats.Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	if w.Check != nil {
-		// Replayed traces cannot report I/O or decode errors through
-		// trace.Stream; a failure here means the run saw truncated input.
-		if err := w.Check(); err != nil {
-			return nil, err
-		}
+	// Replayed traces cannot report I/O or decode errors through
+	// trace.Stream; a failure here means the run saw truncated input.
+	if err := check(); err != nil {
+		return nil, err
 	}
 	h.logf("  %s", run.Summary())
 	return run, nil

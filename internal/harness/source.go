@@ -3,7 +3,6 @@ package harness
 import (
 	"crypto/sha256"
 	"fmt"
-	"io"
 	"os"
 
 	"rnuma/internal/spec"
@@ -134,35 +133,35 @@ type traceSource struct {
 }
 
 // TraceFileSource opens a recorded trace as a workload source. The memo
-// key is derived from the file's content hash; replay validates that the
-// simulated machine matches the recorded geometry and CPU count.
+// key is derived from tracefile.CanonicalHash — the decoded reference
+// streams, not the bytes on disk — so a v1 trace, its v2 recompression,
+// and a cut+cat recomposition of the same capture all share simulations;
+// replay validates that the simulated machine matches the recorded
+// geometry and CPU count. Registration fully decodes the file, so a
+// truncated or corrupt trace is rejected here rather than mid-run.
 func TraceFileSource(path string) (Source, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
 	}
 	defer f.Close()
-	hasher := sha256.New()
-	if _, err := io.Copy(hasher, f); err != nil {
-		return nil, fmt.Errorf("harness: hashing %s: %w", path, err)
-	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, fmt.Errorf("harness: %w", err)
-	}
-	d, err := tracefile.NewReader(f)
+	sum, hdr, err := tracefile.CanonicalHash(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	hdr := d.Header()
 	return &traceSource{
 		path: path,
 		hdr:  hdr,
-		key:  fmt.Sprintf("trace:%s:%x", hdr.Name, hasher.Sum(nil)[:8]),
+		key:  fmt.Sprintf("trace:%s:%x", hdr.Name, sum[:8]),
 	}, nil
 }
 
 func (t *traceSource) Name() string { return t.hdr.Name }
 func (t *traceSource) Key() string  { return t.key }
+
+// Header returns the recorded machine shape (CLIs size the simulated
+// machine from it instead of re-parsing the file).
+func (t *traceSource) Header() tracefile.Header { return t.hdr }
 
 func (t *traceSource) Load(cfg workloads.Config) (*workloads.Workload, error) {
 	if cfg.Geometry != t.hdr.Geometry {

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -8,6 +10,8 @@ import (
 	"testing"
 
 	"rnuma/internal/config"
+	"rnuma/internal/machine"
+	"rnuma/internal/stats"
 	"rnuma/internal/tracefile"
 	"rnuma/internal/workloads"
 )
@@ -164,6 +168,163 @@ func TestRecordReplayIdentity(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestDifferentialIdentity is the trace-toolchain acceptance invariant:
+// for every catalog application, each transport of the same reference
+// streams — the v1 encoding, the default v2-compressed encoding, a
+// cut-into-halves-and-concatenated recomposition, and a live run recorded
+// through tracefile.Tee — must replay to a stats.Run identical to
+// simulating the live generator. The toolchain changes how references
+// travel, never what the machine sees.
+func TestDifferentialIdentity(t *testing.T) {
+	apps := workloads.Names()
+	if testing.Short() {
+		apps = []string{"em3d", "lu", "radix"}
+	}
+	const scale = 0.05
+	sys := config.Base(config.RNUMA)
+	cfg := workloads.Config{
+		Nodes:       sys.Nodes,
+		CPUsPerNode: sys.CPUsPerNode,
+		Geometry:    sys.Geometry,
+		Scale:       scale,
+	}
+	dir := t.TempDir()
+	live := New(scale)
+
+	for _, name := range apps {
+		app, _ := workloads.ByName(name)
+		want, err := live.Run(name, sys)
+		if err != nil {
+			t.Fatalf("%s: live: %v", name, err)
+		}
+
+		// Transport 1+2: v1 and v2 encodings of the recorded generator.
+		v1Path := filepath.Join(dir, name+".v1.trace")
+		v2Path := filepath.Join(dir, name+".v2.trace")
+		writeTraceFile(t, v1Path, app, cfg, tracefile.FormatVersion(tracefile.VersionV1))
+		writeTraceFile(t, v2Path, app, cfg)
+
+		// Transport 3: cut the v2 trace into two per-CPU record-range
+		// halves and concatenate them back.
+		catPath := filepath.Join(dir, name+".cat.trace")
+		recomposeHalves(t, v2Path, filepath.Join(dir, name), catPath)
+
+		// Transport 4: a live simulation recorded through Tee; the teed
+		// run itself must also match the live run.
+		teePath := filepath.Join(dir, name+".tee.trace")
+		teeRun := recordLiveRun(t, teePath, app, cfg, sys)
+		if !reflect.DeepEqual(teeRun, want) {
+			t.Errorf("%s: teed live run differs from plain live run", name)
+		}
+
+		keys := make(map[string]string)
+		for transport, path := range map[string]string{
+			"v1": v1Path, "v2": v2Path, "cut+cat": catPath, "tee": teePath,
+		} {
+			src, err := TraceFileSource(path)
+			if err != nil {
+				t.Fatalf("%s/%s: open: %v", name, transport, err)
+			}
+			keys[transport] = src.Key()
+			replay := New(scale)
+			if err := replay.Register(src); err != nil {
+				t.Fatalf("%s/%s: register: %v", name, transport, err)
+			}
+			got, err := replay.Run(src.Name(), sys)
+			if err != nil {
+				t.Fatalf("%s/%s: replay: %v", name, transport, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: replayed run differs from live run\n live:   %s\n replay: %s",
+					name, transport, want.Summary(), got.Summary())
+			}
+		}
+		// Every transport carries the same streams, so memoization must
+		// treat them as the same workload content.
+		for transport, key := range keys {
+			if key != keys["v2"] {
+				t.Errorf("%s: %s memo key %q differs from v2 key %q — encodings of one capture would not share simulations",
+					name, transport, key, keys["v2"])
+			}
+		}
+	}
+}
+
+// writeTraceFile records a workload build to path with the given encoding.
+func writeTraceFile(t *testing.T, path string, app workloads.App, cfg workloads.Config, opts ...tracefile.WriterOption) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tracefile.WriteWorkload(f, app.Build(cfg), cfg, opts...); err != nil {
+		t.Fatalf("record %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recomposeHalves cuts src into per-CPU record ranges [0,N) and [N,end)
+// and concatenates the pieces into dst.
+func recomposeHalves(t *testing.T, src, tmpPrefix, dst string) {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a split point that lands mid-stream for every catalog app at
+	// test scale.
+	const split = 1000
+	var head, tail bytes.Buffer
+	if _, err := tracefile.Cut(&head, bytes.NewReader(data), tracefile.CutSpec{To: split}); err != nil {
+		t.Fatalf("cut head: %v", err)
+	}
+	if _, err := tracefile.Cut(&tail, bytes.NewReader(data), tracefile.CutSpec{From: split}); err != nil {
+		t.Fatalf("cut tail: %v", err)
+	}
+	out, err := os.Create(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tracefile.Cat(out, []io.Reader{&head, &tail}); err != nil {
+		t.Fatalf("cat: %v", err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recordLiveRun simulates the workload on sys with its streams teed into
+// a trace file at path, returning the run the teed simulation produced.
+func recordLiveRun(t *testing.T, path string, app workloads.App, cfg workloads.Config, sys config.System) *stats.Run {
+	t.Helper()
+	w := app.Build(cfg)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := tracefile.NewWriter(f, tracefile.WorkloadHeader(w, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(sys, machine.WithHomes(w.Homes), machine.WithPages(w.SharedPages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := m.Run(tracefile.Tee(tw, w.Streams))
+	if err != nil {
+		t.Fatalf("teed run: %v", err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatalf("close writer: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return run
 }
 
 // TestSeedReproducibility pins the -seed contract: the same seed yields

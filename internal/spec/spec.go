@@ -5,10 +5,13 @@
 // ranges) and a sequence of phases; each phase repeats a list of steps
 // that apply the same access-pattern primitives the built-in Table 3
 // generators use (sweep, shared sweep, scatter, strided, windowed,
-// rewrite, local compute, barrier). The result is a regular
-// workloads.Workload: it runs on the simulated machine, records to a
-// trace file, and schedules through the experiment harness exactly like a
-// catalog application.
+// rewrite, weighted-popularity draws, local compute, barrier). A phase
+// may restrict its steps to a subset of nodes ("nodes": [0, 1]), and the
+// "popular" op draws pages under a zipf or explicit-weight popularity
+// distribution — the skewed reuse sets of Figure 5. The result is a
+// regular workloads.Workload: it runs on the simulated machine, records
+// to a trace file, and schedules through the experiment harness exactly
+// like a catalog application.
 //
 // Example (a producer-consumer halo exchange with a hot shared table):
 //
@@ -34,6 +37,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -81,6 +85,14 @@ type Phase struct {
 	Iters  int    `json:"iters,omitempty"`
 	Scaled bool   `json:"scaled,omitempty"`
 	Steps  []Step `json:"steps"`
+
+	// Nodes restricts the phase's steps to a subset of nodes (empty =
+	// all): producer-only phases, straggler studies, the lu-style load
+	// imbalance of Section 5.5. Barrier steps remain global — every CPU
+	// in the machine rendezvouses — so subset phases stay aligned with
+	// the rest of the run. Node ids must exist on the simulated machine
+	// (checked at build time against the config).
+	Nodes []int `json:"nodes,omitempty"`
 }
 
 // Step is one access-pattern primitive applied by every node (except
@@ -135,6 +147,17 @@ type Step struct {
 
 	// Refs is the per-CPU reference count of the "compute" op.
 	Refs int `json:"refs,omitempty"`
+
+	// Dist, Picks, Theta, and Weights shape the "popular" op: each CPU
+	// draws Picks pages from the selection under a weighted popularity
+	// distribution and touches Density blocks of each draw. Dist is
+	// "zipf" (rank-weighted 1/(rank+1)^Theta, Theta > 1; the first page
+	// of the selection is the hottest) or "explicit" (relative Weights,
+	// cycled over the selection when it is longer than the vector).
+	Dist    string    `json:"dist,omitempty"`
+	Picks   int       `json:"picks,omitempty"`
+	Theta   float64   `json:"theta,omitempty"`
+	Weights []float64 `json:"weights,omitempty"`
 }
 
 // Parse decodes and validates a spec. Unknown fields are errors, so typos
@@ -171,6 +194,55 @@ func Load(path string) (*Spec, error) {
 var validOps = map[string]bool{
 	"sweep": true, "shared": true, "scatter": true, "stride": true,
 	"windowed": true, "rewrite": true, "compute": true, "barrier": true,
+	"popular": true,
+}
+
+// stepFields lists the knobs each op consumes. Any other field set on a
+// step is a misplaced or typo'd knob: it would silently change nothing,
+// so validation rejects it (the same contract DisallowUnknownFields
+// enforces for unknown names).
+var stepFields = map[string]map[string]bool{
+	"barrier":  {},
+	"compute":  fields("refs", "gap"),
+	"sweep":    fields("region", "from", "hot", "shuffle", "density", "repeats", "write", "gap"),
+	"shared":   fields("region", "from", "hot", "shuffle", "density", "repeats", "write", "gap"),
+	"scatter":  fields("region", "from", "hot", "shuffle", "density", "write", "gap"),
+	"stride":   fields("region", "from", "hot", "shuffle", "stride", "count", "write", "gap"),
+	"windowed": fields("region", "from", "hot", "shuffle", "density", "window", "sweeps", "write", "gap"),
+	"rewrite":  fields("region", "from", "hot", "shuffle", "density", "gap"),
+	"popular":  fields("region", "from", "hot", "shuffle", "density", "dist", "picks", "theta", "weights", "write", "gap"),
+}
+
+func fields(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// checkStepFields rejects knobs the step's op does not consume.
+func checkStepFields(st Step) error {
+	allowed := stepFields[st.Op]
+	for _, f := range []struct {
+		name string
+		set  bool
+	}{
+		{"region", st.Region != ""}, {"from", st.From != ""},
+		{"hot", st.Hot != 0}, {"shuffle", st.Shuffle},
+		{"density", st.Density != 0}, {"repeats", st.Repeats != 0},
+		{"write", st.Write}, {"gap", st.Gap != 0},
+		{"stride", st.Stride != 0}, {"count", st.Count != 0},
+		{"window", st.Window != 0}, {"sweeps", st.Sweeps != 0},
+		{"refs", st.Refs != 0}, {"dist", st.Dist != ""},
+		{"picks", st.Picks != 0}, {"theta", st.Theta != 0},
+		{"weights", len(st.Weights) != 0},
+	} {
+		if f.set && !allowed[f.name] {
+			return fmt.Errorf("field %q is not used by op %q", f.name, st.Op)
+		}
+	}
+	return nil
 }
 
 // Validate checks structural consistency (machine-independent; sizing
@@ -208,10 +280,23 @@ func (s *Spec) Validate() error {
 		if len(ph.Steps) == 0 {
 			return fmt.Errorf("spec %q: phase %d has no steps", s.Name, pi)
 		}
+		seenNodes := make(map[int]bool, len(ph.Nodes))
+		for _, n := range ph.Nodes {
+			if n < 0 {
+				return fmt.Errorf("spec %q: phase %d names negative node %d", s.Name, pi, n)
+			}
+			if seenNodes[n] {
+				return fmt.Errorf("spec %q: phase %d names node %d twice", s.Name, pi, n)
+			}
+			seenNodes[n] = true
+		}
 		for si, st := range ph.Steps {
 			where := fmt.Sprintf("spec %q: phase %d step %d (%s)", s.Name, pi, si, st.Op)
 			if !validOps[st.Op] {
 				return fmt.Errorf("spec %q: phase %d step %d: unknown op %q", s.Name, pi, si, st.Op)
+			}
+			if err := checkStepFields(st); err != nil {
+				return fmt.Errorf("%s: %w", where, err)
 			}
 			switch st.Op {
 			case "barrier":
@@ -241,7 +326,43 @@ func (s *Spec) Validate() error {
 			if st.Op == "windowed" && st.Window < 1 {
 				return fmt.Errorf("%s: needs window >= 1", where)
 			}
+			if st.Op == "popular" {
+				if err := validatePopular(st); err != nil {
+					return fmt.Errorf("%s: %w", where, err)
+				}
+			}
 		}
+	}
+	return nil
+}
+
+// validatePopular checks the "popular" op's distribution fields.
+func validatePopular(st Step) error {
+	if st.Picks < 1 {
+		return fmt.Errorf("needs picks >= 1")
+	}
+	switch st.Dist {
+	case "zipf":
+		if !(st.Theta > 1) {
+			return fmt.Errorf("zipf needs theta > 1, got %v", st.Theta)
+		}
+		if len(st.Weights) != 0 {
+			return fmt.Errorf("zipf takes theta, not weights")
+		}
+	case "explicit":
+		if st.Theta != 0 {
+			return fmt.Errorf("explicit takes weights, not theta")
+		}
+		if len(st.Weights) == 0 {
+			return fmt.Errorf("explicit needs at least one weight")
+		}
+		for i, w := range st.Weights {
+			if !(w > 0) || math.IsInf(w, 0) {
+				return fmt.Errorf("weight %d is %v (want finite > 0)", i, w)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown dist %q (want zipf or explicit)", st.Dist)
 	}
 	return nil
 }
@@ -309,7 +430,11 @@ func (s *Spec) Build(cfg workloads.Config) (*workloads.Workload, error) {
 		}
 		regions[r.Name] = br
 	}
-	for _, ph := range s.Phases {
+	for pi, ph := range s.Phases {
+		nodes, err := phaseNodes(ph, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("spec %q: phase %d: %w", s.Name, pi, err)
+		}
 		iters := ph.Iters
 		if iters == 0 {
 			iters = 1
@@ -319,7 +444,7 @@ func (s *Spec) Build(cfg workloads.Config) (*workloads.Workload, error) {
 		}
 		for it := 0; it < iters; it++ {
 			for _, st := range ph.Steps {
-				if err := applyStep(b, cfg, regions, st); err != nil {
+				if err := applyStep(b, cfg, regions, st, nodes); err != nil {
 					return nil, fmt.Errorf("spec %q: %w", s.Name, err)
 				}
 			}
@@ -366,14 +491,35 @@ func selection(b *workloads.Builder, cfg workloads.Config, br *builtRegion, sel 
 	return pages
 }
 
-// applyStep emits one step's references for every node.
-func applyStep(b *workloads.Builder, cfg workloads.Config, regions map[string]*builtRegion, st Step) error {
+// phaseNodes resolves a phase's node subset against the machine config
+// (empty = every node).
+func phaseNodes(ph Phase, cfg workloads.Config) ([]addr.NodeID, error) {
+	if len(ph.Nodes) == 0 {
+		all := make([]addr.NodeID, cfg.Nodes)
+		for n := range all {
+			all[n] = addr.NodeID(n)
+		}
+		return all, nil
+	}
+	out := make([]addr.NodeID, 0, len(ph.Nodes))
+	for _, n := range ph.Nodes {
+		if n >= cfg.Nodes {
+			return nil, fmt.Errorf("names node %d, machine has %d nodes", n, cfg.Nodes)
+		}
+		out = append(out, addr.NodeID(n))
+	}
+	return out, nil
+}
+
+// applyStep emits one step's references for every node in the phase's
+// subset (barriers stay global).
+func applyStep(b *workloads.Builder, cfg workloads.Config, regions map[string]*builtRegion, st Step, nodes []addr.NodeID) error {
 	switch st.Op {
 	case "barrier":
 		b.Barrier()
 		return nil
 	case "compute":
-		for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+		for _, n := range nodes {
 			b.LocalCompute(n, st.Refs, st.Gap)
 		}
 		return nil
@@ -395,7 +541,7 @@ func applyStep(b *workloads.Builder, cfg workloads.Config, regions map[string]*b
 	if sweeps == 0 {
 		sweeps = 1
 	}
-	for n := addr.NodeID(0); int(n) < cfg.Nodes; n++ {
+	for _, n := range nodes {
 		pages := selection(b, cfg, br, sel, st, n)
 		switch st.Op {
 		case "sweep":
@@ -420,6 +566,14 @@ func applyStep(b *workloads.Builder, cfg workloads.Config, regions map[string]*b
 				st.Window, sweeps, st.Write, st.Gap)
 		case "rewrite":
 			b.Rewrite(n, pages, density, st.Gap)
+		case "popular":
+			var sample func() int
+			if st.Dist == "zipf" {
+				sample = b.ZipfSampler(st.Theta, len(pages))
+			} else {
+				sample = b.WeightedSampler(st.Weights, len(pages))
+			}
+			b.Popular(n, pages, sample, st.Picks, density, st.Write, st.Gap)
 		}
 	}
 	return nil

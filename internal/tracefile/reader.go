@@ -2,6 +2,8 @@ package tracefile
 
 import (
 	"bufio"
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -24,9 +26,10 @@ import (
 // makes the affected streams end early and records a sticky error; check
 // Err after the run (Workload wires this into workloads.Workload.Check).
 type Reader struct {
-	br  *bufio.Reader
-	h   Header
-	err error
+	br      *bufio.Reader
+	h       Header
+	version int
+	err     error
 
 	queues   [][]trace.Ref // decoded records awaiting delivery, per CPU
 	heads    []int         // pop position within each queue
@@ -34,6 +37,10 @@ type Reader struct {
 	total    uint64        // records decoded across all chunks
 	done     bool          // end marker consumed
 	streams  []trace.Stream
+
+	chunkBuf []byte       // v2 stored-payload staging buffer
+	rawBuf   bytes.Buffer // v2 decompressed-payload staging buffer
+	fr       io.ReadCloser
 }
 
 // NewReader parses the header and prepares per-CPU streams. Chunk data is
@@ -70,9 +77,10 @@ func (d *Reader) readHeader() error {
 	if _, err := io.ReadFull(d.br, fixed[:]); err != nil {
 		return fmt.Errorf("tracefile: reading version/geometry: %w", err)
 	}
-	if fixed[0] != version {
-		return fmt.Errorf("tracefile: unsupported version %d (want %d)", fixed[0], version)
+	if fixed[0] != VersionV1 && fixed[0] != VersionV2 {
+		return fmt.Errorf("tracefile: unsupported version %d (want %d or %d)", fixed[0], VersionV1, VersionV2)
 	}
+	d.version = int(fixed[0])
 	d.h.Geometry = addr.Geometry{BlockShift: uint(fixed[1]), PageShift: uint(fixed[2])}
 	cpus, err := d.uvarint("cpu count", maxCPUs)
 	if err != nil {
@@ -147,6 +155,10 @@ func eofIsUnexpected(err error) error {
 // Header returns the parsed file header.
 func (d *Reader) Header() Header { return d.h }
 
+// Version returns the file's on-disk format version (VersionV1 or
+// VersionV2).
+func (d *Reader) Version() int { return d.version }
+
 // Streams returns the per-CPU replay streams. Each stream may be pulled
 // independently; pulling triggers chunk reads as needed.
 func (d *Reader) Streams() []trace.Stream { return d.streams }
@@ -209,22 +221,35 @@ func (d *Reader) readChunk() {
 		fail(fmt.Errorf("tracefile: reading chunk count: %w", eofIsUnexpected(err)))
 		return
 	}
-	byteLen, err := binary.ReadUvarint(d.br)
-	if err != nil {
-		fail(fmt.Errorf("tracefile: reading chunk length: %w", eofIsUnexpected(err)))
-		return
+
+	var src io.ByteReader = d.br
+	rawLen := uint64(0) // decoded payload size the records must span
+	if d.version >= VersionV2 {
+		payload, n, err := d.chunkPayload()
+		if err != nil {
+			fail(err)
+			return
+		}
+		src, rawLen = payload, n
+	} else {
+		byteLen, err := binary.ReadUvarint(d.br)
+		if err != nil {
+			fail(fmt.Errorf("tracefile: reading chunk length: %w", eofIsUnexpected(err)))
+			return
+		}
+		if byteLen > maxChunkLen {
+			fail(fmt.Errorf("tracefile: chunk length %d exceeds limit %d", byteLen, maxChunkLen))
+			return
+		}
+		rawLen = byteLen
 	}
-	if byteLen > maxChunkLen {
-		fail(fmt.Errorf("tracefile: chunk length %d exceeds limit %d", byteLen, maxChunkLen))
-		return
-	}
-	// Every record is at least one byte, so count > byteLen cannot be
+	// Every record is at least one byte, so count > rawLen cannot be
 	// satisfied by the payload; reject before buffering anything.
-	if count == 0 || count > byteLen {
-		fail(fmt.Errorf("tracefile: chunk count %d inconsistent with %d payload bytes", count, byteLen))
+	if count == 0 || count > rawLen {
+		fail(fmt.Errorf("tracefile: chunk count %d inconsistent with %d payload bytes", count, rawLen))
 		return
 	}
-	cr := &byteCounter{r: d.br}
+	cr := &byteCounter{r: src}
 	for i := uint64(0); i < count; i++ {
 		r, err := d.decodeRecord(cr, int(cpu))
 		if err != nil {
@@ -234,9 +259,66 @@ func (d *Reader) readChunk() {
 		d.queues[cpu] = append(d.queues[cpu], r)
 		d.total++
 	}
-	if cr.n != int64(byteLen) {
-		fail(fmt.Errorf("tracefile: chunk decoded %d bytes, header declared %d", cr.n, byteLen))
+	if cr.n != int64(rawLen) {
+		fail(fmt.Errorf("tracefile: chunk decoded %d bytes, header declared %d", cr.n, rawLen))
 	}
+}
+
+// chunkPayload reads a version-2 chunk's flags and payload, decompressing
+// if needed, and returns a reader over the decoded record bytes plus
+// their length.
+func (d *Reader) chunkPayload() (*bytes.Reader, uint64, error) {
+	flags, err := d.br.ReadByte()
+	if err != nil {
+		return nil, 0, fmt.Errorf("tracefile: reading chunk flags: %w", eofIsUnexpected(err))
+	}
+	if flags&^byte(chunkFlagsKnown) != 0 {
+		return nil, 0, fmt.Errorf("tracefile: unknown chunk flags %#x", flags)
+	}
+	rawLen := uint64(0)
+	if flags&chunkDeflate != 0 {
+		rawLen, err = binary.ReadUvarint(d.br)
+		if err != nil {
+			return nil, 0, fmt.Errorf("tracefile: reading chunk raw length: %w", eofIsUnexpected(err))
+		}
+		if rawLen > maxChunkLen {
+			return nil, 0, fmt.Errorf("tracefile: chunk raw length %d exceeds limit %d", rawLen, maxChunkLen)
+		}
+	}
+	byteLen, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("tracefile: reading chunk length: %w", eofIsUnexpected(err))
+	}
+	if byteLen > maxChunkLen {
+		return nil, 0, fmt.Errorf("tracefile: chunk length %d exceeds limit %d", byteLen, maxChunkLen)
+	}
+	if cap(d.chunkBuf) < int(byteLen) {
+		d.chunkBuf = make([]byte, byteLen)
+	}
+	stored := d.chunkBuf[:byteLen]
+	if _, err := io.ReadFull(d.br, stored); err != nil {
+		return nil, 0, fmt.Errorf("tracefile: reading chunk payload: %w", eofIsUnexpected(err))
+	}
+	if flags&chunkDeflate == 0 {
+		return bytes.NewReader(stored), byteLen, nil
+	}
+
+	if d.fr == nil {
+		d.fr = flate.NewReader(bytes.NewReader(stored))
+	} else if err := d.fr.(flate.Resetter).Reset(bytes.NewReader(stored), nil); err != nil {
+		return nil, 0, fmt.Errorf("tracefile: resetting inflate: %w", err)
+	}
+	d.rawBuf.Reset()
+	// Cap the copy one past the declared size so an over-long stream is
+	// detected without unbounded buffering.
+	n, err := io.Copy(&d.rawBuf, io.LimitReader(d.fr, int64(rawLen)+1))
+	if err != nil {
+		return nil, 0, fmt.Errorf("tracefile: inflating chunk: %w", eofIsUnexpected(err))
+	}
+	if uint64(n) != rawLen {
+		return nil, 0, fmt.Errorf("tracefile: chunk inflated to %d bytes, header declared %d", n, rawLen)
+	}
+	return bytes.NewReader(d.rawBuf.Bytes()), rawLen, nil
 }
 
 // decodeRecord decodes one record, updating the CPU's page-delta state.
@@ -296,28 +378,14 @@ func (d *Reader) decodeRecord(cr *byteCounter, cpu int) (trace.Ref, error) {
 
 // Drain decodes the remaining records without delivering them, returning
 // the per-CPU counts (the info command and tests). It consumes the
-// streams, pulling them round-robin so the demux queues stay bounded —
-// draining one CPU to exhaustion first would buffer every other CPU's
-// records for the whole trace.
+// streams through eachRecord's bounded round-robin pull.
 func (d *Reader) Drain() ([]int64, error) {
 	counts := make([]int64, d.h.CPUs)
-	live := make([]trace.Stream, len(d.streams))
-	copy(live, d.streams)
-	for remaining := len(live); remaining > 0; {
-		remaining = 0
-		for cpu, s := range live {
-			if s == nil {
-				continue
-			}
-			if _, ok := s.Next(); !ok {
-				live[cpu] = nil
-				continue
-			}
-			remaining++
-			counts[cpu]++
-		}
-	}
-	return counts, d.err
+	err := eachRecord(d, func(cpu int, _ trace.Ref) error {
+		counts[cpu]++
+		return nil
+	})
+	return counts, err
 }
 
 // Workload wraps the reader's streams and header as a replayable

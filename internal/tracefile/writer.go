@@ -2,6 +2,8 @@ package tracefile
 
 import (
 	"bufio"
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -21,6 +23,9 @@ type Writer struct {
 	h   Header
 	err error
 
+	version  int  // on-disk format version (VersionV1 or VersionV2)
+	compress bool // version 2 only: DEFLATE chunk payloads
+
 	pending  [][]byte // per-CPU encoded records awaiting a chunk flush
 	counts   []int    // records pending per CPU
 	lastPage []int64  // per-CPU delta-encoding state
@@ -28,21 +33,59 @@ type Writer struct {
 	bytes    int64    // bytes emitted (header + chunks), before Close's end marker
 	scratch  []byte
 	closed   bool
+
+	fw   *flate.Writer // reused across chunk flushes
+	cbuf bytes.Buffer  // compressed-chunk staging buffer
+}
+
+// WriterOption customizes a Writer's on-disk encoding.
+type WriterOption func(*Writer) error
+
+// FormatVersion selects the on-disk format version: VersionV1 for traces
+// older tools must read, VersionV2 (the default) for compressed chunks.
+func FormatVersion(v int) WriterOption {
+	return func(tw *Writer) error {
+		if v != VersionV1 && v != VersionV2 {
+			return fmt.Errorf("tracefile: unsupported format version %d", v)
+		}
+		tw.version = v
+		return nil
+	}
+}
+
+// Compression toggles per-chunk DEFLATE (version 2 only; on by default).
+// Disabling it keeps the v2 chunk layout but stores every payload raw.
+func Compression(on bool) WriterOption {
+	return func(tw *Writer) error {
+		tw.compress = on
+		return nil
+	}
 }
 
 // NewWriter validates the header, writes it, and returns a writer ready
 // for Append. Close must be called to emit the end marker; the
-// underlying io.Writer is not closed.
-func NewWriter(w io.Writer, h Header) (*Writer, error) {
+// underlying io.Writer is not closed. With no options the writer emits
+// version 2 with compressed chunks.
+func NewWriter(w io.Writer, h Header, opts ...WriterOption) (*Writer, error) {
 	if err := h.Validate(); err != nil {
 		return nil, err
 	}
 	tw := &Writer{
 		w:        bufio.NewWriter(w),
 		h:        h,
+		version:  VersionV2,
+		compress: true,
 		pending:  make([][]byte, h.CPUs),
 		counts:   make([]int, h.CPUs),
 		lastPage: make([]int64, h.CPUs),
+	}
+	for _, o := range opts {
+		if err := o(tw); err != nil {
+			return nil, err
+		}
+	}
+	if tw.version == VersionV1 {
+		tw.compress = false // v1 chunks have no flags byte to carry it
 	}
 	tw.writeHeader()
 	if tw.err != nil {
@@ -54,7 +97,7 @@ func NewWriter(w io.Writer, h Header) (*Writer, error) {
 func (tw *Writer) writeHeader() {
 	buf := make([]byte, 0, 64+len(tw.h.Name)+2*len(tw.h.Homes))
 	buf = append(buf, magic...)
-	buf = append(buf, version, byte(tw.h.Geometry.BlockShift), byte(tw.h.Geometry.PageShift))
+	buf = append(buf, byte(tw.version), byte(tw.h.Geometry.BlockShift), byte(tw.h.Geometry.PageShift))
 	buf = binary.AppendUvarint(buf, uint64(tw.h.CPUs))
 	buf = binary.AppendUvarint(buf, uint64(tw.h.Nodes))
 	buf = binary.AppendUvarint(buf, uint64(tw.h.SharedPages))
@@ -167,14 +210,61 @@ func (tw *Writer) flushChunk(cpu int) {
 	if tw.counts[cpu] == 0 {
 		return
 	}
-	hdr := make([]byte, 0, 16)
+	raw := tw.pending[cpu]
+	hdr := make([]byte, 0, 24)
 	hdr = binary.AppendUvarint(hdr, uint64(cpu))
 	hdr = binary.AppendUvarint(hdr, uint64(tw.counts[cpu]))
-	hdr = binary.AppendUvarint(hdr, uint64(len(tw.pending[cpu])))
-	tw.write(hdr)
-	tw.write(tw.pending[cpu])
+	switch tw.version {
+	case VersionV1:
+		hdr = binary.AppendUvarint(hdr, uint64(len(raw)))
+		tw.write(hdr)
+		tw.write(raw)
+	default: // VersionV2
+		payload, flags := raw, byte(0)
+		if tw.compress {
+			if packed, ok := tw.deflate(raw); ok {
+				payload, flags = packed, chunkDeflate
+			}
+		}
+		hdr = append(hdr, flags)
+		if flags&chunkDeflate != 0 {
+			hdr = binary.AppendUvarint(hdr, uint64(len(raw)))
+		}
+		hdr = binary.AppendUvarint(hdr, uint64(len(payload)))
+		tw.write(hdr)
+		tw.write(payload)
+	}
 	tw.pending[cpu] = tw.pending[cpu][:0]
 	tw.counts[cpu] = 0
+}
+
+// deflate compresses a chunk payload, reporting ok=false when compression
+// would not shrink it (the chunk is then stored raw, so adversarial or
+// already-dense payloads never grow the file).
+func (tw *Writer) deflate(raw []byte) ([]byte, bool) {
+	tw.cbuf.Reset()
+	if tw.fw == nil {
+		fw, err := flate.NewWriter(&tw.cbuf, flate.DefaultCompression)
+		if err != nil {
+			tw.err = fmt.Errorf("tracefile: init deflate: %w", err)
+			return nil, false
+		}
+		tw.fw = fw
+	} else {
+		tw.fw.Reset(&tw.cbuf)
+	}
+	if _, err := tw.fw.Write(raw); err != nil {
+		tw.err = fmt.Errorf("tracefile: deflate: %w", err)
+		return nil, false
+	}
+	if err := tw.fw.Close(); err != nil {
+		tw.err = fmt.Errorf("tracefile: deflate: %w", err)
+		return nil, false
+	}
+	if tw.cbuf.Len() >= len(raw) {
+		return nil, false
+	}
+	return tw.cbuf.Bytes(), true
 }
 
 // Refs returns the number of records appended so far.
@@ -245,8 +335,8 @@ func WorkloadHeader(wl *workloads.Workload, cfg workloads.Config) Header {
 // WriteWorkload records a workload's full reference streams to w,
 // draining them round-robin so chunks interleave the way replay consumes
 // them. It returns the record count and encoded byte size.
-func WriteWorkload(w io.Writer, wl *workloads.Workload, cfg workloads.Config) (refs, bytes int64, err error) {
-	tw, err := NewWriter(w, WorkloadHeader(wl, cfg))
+func WriteWorkload(w io.Writer, wl *workloads.Workload, cfg workloads.Config, opts ...WriterOption) (refs, bytes int64, err error) {
+	tw, err := NewWriter(w, WorkloadHeader(wl, cfg), opts...)
 	if err != nil {
 		return 0, 0, err
 	}

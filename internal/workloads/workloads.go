@@ -390,6 +390,72 @@ func (b *Builder) Windowed(n addr.NodeID, pages []addr.PageNum, offsFor func(add
 	}
 }
 
+// Popular makes each CPU of the node issue `picks` references whose pages
+// are drawn by the sampler (an index into pages) — the weighted-popularity
+// pattern behind skewed reuse sets: a few hot pages absorb most of the
+// traffic and cross R-NUMA's relocation threshold while the long tail
+// never does. Each draw touches `density` rotated-contiguous blocks.
+// Draws consume the builder's RNG through the sampler, so identical
+// (config, seed) pairs still produce bit-identical streams.
+func (b *Builder) Popular(n addr.NodeID, pages []addr.PageNum, sample func() int, picks, density int, write bool, gap int) {
+	if len(pages) == 0 {
+		return
+	}
+	for ci := 0; ci < b.cfg.CPUsPerNode; ci++ {
+		cpu := b.CPU(n, ci)
+		for k := 0; k < picks; k++ {
+			p := pages[sample()%len(pages)]
+			for _, off := range b.RotContig(p, density) {
+				b.Push(cpu, trace.Ref{Page: p, Off: uint16(off), Write: write, Gap: uint16(gap)})
+			}
+		}
+	}
+}
+
+// ZipfSampler returns a deterministic Zipf-distributed index sampler over
+// [0, n): index 0 is the most popular, with rank weights proportional to
+// 1/(rank+1)^theta. theta must be > 1 (math/rand's Zipf domain); callers
+// with untrusted input validate first, as internal/spec does.
+func (b *Builder) ZipfSampler(theta float64, n int) func() int {
+	if n < 1 {
+		return func() int { return 0 }
+	}
+	z := rand.NewZipf(b.rng, theta, 1, uint64(n-1))
+	if z == nil {
+		panic(fmt.Sprintf("workloads: ZipfSampler needs theta > 1, got %v", theta))
+	}
+	return func() int { return int(z.Uint64()) }
+}
+
+// WeightedSampler returns a deterministic index sampler over [0, n) with
+// explicit relative weights, cycled when n exceeds len(weights) (so a
+// short weight vector describes a repeating popularity texture over a
+// machine-sized selection). Weights must be positive.
+func (b *Builder) WeightedSampler(weights []float64, n int) func() int {
+	if n < 1 || len(weights) == 0 {
+		return func() int { return 0 }
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += weights[i%len(weights)]
+		cum[i] = total
+	}
+	return func() int {
+		x := b.rng.Float64() * total
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] <= x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+}
+
 // Rewrite makes the owner dirty `blocks` rotated-contiguous blocks of each
 // of its pages. The rotation base matches Sweep's, so the dirtied blocks
 // overlap what consumers read: their copies are invalidated, and their
