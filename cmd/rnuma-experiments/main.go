@@ -2,10 +2,11 @@
 //
 // Usage:
 //
-//	rnuma-experiments [-exp all|fig5|table4|fig6|fig7|fig8|fig9|model|lu]
+//	rnuma-experiments [-exp all|fig5|table4|fig6|fig7|fig8|fig9|model|lu|sweep]
 //	                  [-apps barnes,lu,...] [-specs a.json,b.json]
 //	                  [-traces x.trace,...] [-scale 1.0] [-seed 0]
 //	                  [-parallel N] [-v]
+//	                  [-sweep-trace x.trace] [-sweep-app em3d] [-sweep-nodes 4,8,16]
 //
 // Each experiment prints the corresponding rows/series of the paper's
 // evaluation (Section 5); see EXPERIMENTS.md for paper-vs-measured values.
@@ -18,30 +19,45 @@
 // traces as additional applications: their rows appear in every selected
 // figure alongside the Table 3 catalog (memoized by file content hash).
 // Recorded traces must match the experiments' 8x4 base machine shape.
+//
+// -exp sweep replays one capture across machine sizes: the trace (from
+// -sweep-trace, or recorded from -sweep-app at the base shape) is
+// retargeted onto each -sweep-nodes count via the tracefile transform
+// layer (round-robin re-homing, CPU count preserved) and replayed under
+// all three protocols, normalized to the same-shape ideal machine. The
+// sweep needs a trace, so it runs only when selected by name, never
+// under -exp all.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"rnuma/internal/config"
 	"rnuma/internal/harness"
 	"rnuma/internal/model"
 	"rnuma/internal/report"
+	"rnuma/internal/tracefile"
+	"rnuma/internal/workloads"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, fig5, table4, fig6, fig7, fig8, fig9, model, lu")
-		apps     = flag.String("apps", "", "comma-separated application subset (default: all ten)")
-		specs    = flag.String("specs", "", "comma-separated workload spec files to add as applications")
-		traces   = flag.String("traces", "", "comma-separated recorded trace files to add as applications")
-		scale    = flag.Float64("scale", 1.0, "workload scale (iteration multiplier)")
-		seed     = flag.Int64("seed", 0, "workload RNG seed (0 = built-in fixed seeds)")
-		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		verbose  = flag.Bool("v", false, "log run progress")
+		exp        = flag.String("exp", "all", "experiment: all, fig5, table4, fig6, fig7, fig8, fig9, model, lu, sweep")
+		apps       = flag.String("apps", "", "comma-separated application subset (default: all ten)")
+		specs      = flag.String("specs", "", "comma-separated workload spec files to add as applications")
+		traces     = flag.String("traces", "", "comma-separated recorded trace files to add as applications")
+		scale      = flag.Float64("scale", 1.0, "workload scale (iteration multiplier)")
+		seed       = flag.Int64("seed", 0, "workload RNG seed (0 = built-in fixed seeds)")
+		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		verbose    = flag.Bool("v", false, "log run progress")
+		sweepTrace = flag.String("sweep-trace", "", "recorded trace to sweep (default: record -sweep-app at the 8x4 base shape)")
+		sweepApp   = flag.String("sweep-app", "em3d", "catalog application to record for the sweep when no -sweep-trace is given")
+		sweepNodes = flag.String("sweep-nodes", "4,8,16", "comma-separated node counts for -exp sweep")
 	)
 	flag.Parse()
 
@@ -149,6 +165,42 @@ func main() {
 		die(err)
 		fmt.Printf("LU LOAD IMBALANCE (Section 5.5) — top-2 nodes' share of S-COMA page replacements: %.0f%%\n", share*100)
 		fmt.Println("(the paper attributes lu's relocation-overhead sensitivity to two overloaded nodes)")
+	}
+
+	// The sweep replays one capture across machine sizes via the trace
+	// transform layer. It needs a trace (recorded here when none is
+	// given), so it runs only when asked for by name, not under "all".
+	if *exp == "sweep" {
+		var nodeCounts []int
+		for _, s := range splitList(*sweepNodes) {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				die(fmt.Errorf("bad -sweep-nodes entry %q", s))
+			}
+			nodeCounts = append(nodeCounts, n)
+		}
+		var (
+			points []harness.SweepPoint
+			name   string
+			err    error
+		)
+		if *sweepTrace != "" {
+			points, name, err = h.NodeSweepFile(*sweepTrace, nodeCounts)
+		} else {
+			app, ok := workloads.ByName(*sweepApp)
+			if !ok {
+				die(fmt.Errorf("unknown -sweep-app %q", *sweepApp))
+			}
+			cfg := workloads.DefaultConfig()
+			cfg.Scale, cfg.Seed = *scale, *seed
+			var buf bytes.Buffer
+			if _, _, err := tracefile.WriteWorkload(&buf, app.Build(cfg), cfg); err != nil {
+				die(err)
+			}
+			points, name, err = h.NodeSweep(buf.Bytes(), nodeCounts)
+		}
+		die(err)
+		report.Sweep(os.Stdout, name, points)
 	}
 }
 

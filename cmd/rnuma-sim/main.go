@@ -313,4 +313,3 @@ func materialize(path string) (string, func(), error) {
 	}
 	return tmp.Name(), func() { os.Remove(tmp.Name()) }, nil
 }
-

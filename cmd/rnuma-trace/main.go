@@ -7,8 +7,20 @@
 //	rnuma-trace gen    -spec <file> [-o out.trace] [-scale S] [-seed N] [-nodes N] [-cpus N] [-v1] [-raw]
 //	rnuma-trace cut    <file> [-o out.trace] [-cpus 1,3] [-from N] [-to M] [-v1] [-raw]
 //	rnuma-trace cat    <a> <b> ... [-o out.trace] [-v1] [-raw]
+//	rnuma-trace retarget <file> [-o out.trace] [-nodes N] [-cpus N] [-pages P]
+//	                  [-policy identity|roundrobin|modulo] [-map file.json] [-name S] [-v1] [-raw]
+//	rnuma-trace dilate <file> [-o out.trace] [-factor N/D] [-clamp N] [-v1] [-raw]
+//	rnuma-trace diff   <a> <b>
 //	rnuma-trace info   <file>
 //	rnuma-trace replay <file> [-protocol ccnuma|scoma|rnuma] [-bc B] [-pc P] [-T N] [-soft] [-ideal]
+//
+// retarget remaps a trace onto a different machine shape (nodes, CPUs,
+// pages) under a page-remapping policy, so one capture becomes a scaling
+// sweep; dilate rescales compute gaps by a rational factor to model
+// faster or slower processors; diff compares two traces record by record
+// and reports the first diverging CPU/record index plus a per-CPU
+// summary (exit status 1 when they differ). All three stream, so they
+// compose with cut/cat piping.
 //
 // record captures a built-in application's reference streams; gen does
 // the same for a declarative JSON workload spec (see internal/spec). Both
@@ -57,6 +69,12 @@ func main() {
 		err = cmdCut(os.Args[2:])
 	case "cat":
 		err = cmdCat(os.Args[2:])
+	case "retarget":
+		err = cmdRetarget(os.Args[2:])
+	case "dilate":
+		err = cmdDilate(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
 	case "replay":
@@ -87,8 +105,15 @@ subcommands:
       slice a trace: keep a per-CPU record range and/or a CPU subset
   cat    <a> <b> ... [-o file] [-v1] [-raw]
       concatenate traces of identical machine shape
+  retarget <file> [-o file] [-nodes N] [-cpus N] [-pages P] [-policy identity|roundrobin|modulo]
+           [-map file.json] [-name S] [-v1] [-raw]
+      remap a trace onto a different machine shape (0/omitted keeps the source value)
+  dilate <file> [-o file] [-factor N/D] [-clamp N] [-v1] [-raw]
+      scale every compute gap by a rational factor (model faster/slower CPUs)
+  diff   <a> <b>
+      compare two traces record by record; exits 1 when they differ
   info   <file>
-      print a trace's header, format version, and per-CPU record counts
+      print a trace's header, format version, home histogram, and per-CPU record counts
   replay <file> [-protocol P] [-bc B] [-pc P] [-T N] [-soft] [-ideal] [-v]
       run a trace through the simulated machine of its recorded shape
 `, strings.Join(workloads.Names(), ", "))
@@ -290,6 +315,142 @@ func cmdCat(args []string) error {
 	return nil
 }
 
+func cmdRetarget(args []string) error {
+	fs := flag.NewFlagSet("retarget", flag.ExitOnError)
+	tracePath := fs.String("trace", "", `trace file ("-" = stdin; also accepted positionally)`)
+	out := fs.String("o", "-", `output file ("-" = stdout)`)
+	nodes := fs.Int("nodes", 0, "target node count (0 = keep)")
+	cpus := fs.Int("cpus", 0, "target total CPU count (0 = keep)")
+	pages := fs.Int("pages", 0, "target shared page count (0 = keep)")
+	policyName := fs.String("policy", "identity", "page remap policy: identity, roundrobin, modulo")
+	mapPath := fs.String("map", "", "explicit remap file (JSON; overrides -policy)")
+	name := fs.String("name", "", "rename the retargeted workload")
+	format := formatFlags(fs)
+	target := parseWithTarget(fs, args)
+
+	var (
+		policy tracefile.RemapPolicy
+		err    error
+	)
+	if *mapPath != "" {
+		data, rerr := os.ReadFile(*mapPath)
+		if rerr != nil {
+			return rerr
+		}
+		if policy, err = tracefile.MapFilePolicy(data); err != nil {
+			return err
+		}
+	} else if policy, err = tracefile.PolicyByName(*policyName); err != nil {
+		return err
+	}
+	spec := tracefile.RetargetSpec{Nodes: *nodes, CPUs: *cpus, Pages: *pages, Policy: policy, Name: *name}
+
+	r, srcName, err := openTrace(target, *tracePath)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	dst, where, cleanup, err := openOut(*out)
+	if err != nil {
+		return err
+	}
+	refs, err := tracefile.Retarget(dst, r, spec, format()...)
+	if cerr := cleanup(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "retarget %s (%s): %d refs to %s\n", srcName, policy.Name(), refs, where)
+	return nil
+}
+
+func cmdDilate(args []string) error {
+	fs := flag.NewFlagSet("dilate", flag.ExitOnError)
+	tracePath := fs.String("trace", "", `trace file ("-" = stdin; also accepted positionally)`)
+	out := fs.String("o", "-", `output file ("-" = stdout)`)
+	factor := fs.String("factor", "1", "gap scale factor, N or N/D (e.g. 2, 1/2, 3/2)")
+	clamp := fs.Int("clamp", 0, "cap scaled gaps at this value (0 = format max 65535)")
+	format := formatFlags(fs)
+	target := parseWithTarget(fs, args)
+
+	num, den, err := tracefile.ParseRatio(*factor)
+	if err != nil {
+		return err
+	}
+	r, srcName, err := openTrace(target, *tracePath)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	dst, where, cleanup, err := openOut(*out)
+	if err != nil {
+		return err
+	}
+	refs, err := tracefile.Dilate(dst, r, tracefile.DilateSpec{Num: num, Den: den, Clamp: *clamp}, format()...)
+	if cerr := cleanup(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dilate %s x%d/%d: %d refs to %s\n", srcName, num, den, refs, where)
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "list every CPU in the summary, not just differing ones")
+	paths := parsePositionals(fs, args)
+	if len(paths) != 2 {
+		return fmt.Errorf("diff needs exactly two trace files")
+	}
+	if paths[0] == "-" && paths[1] == "-" {
+		return fmt.Errorf("stdin (\"-\") can appear only once")
+	}
+	a, _, err := openTrace(paths[0], "")
+	if err != nil {
+		return err
+	}
+	defer a.Close()
+	b, _, err := openTrace(paths[1], "")
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+
+	res, err := tracefile.Diff(a, b)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("diff %s %s\n", paths[0], paths[1])
+	if res.ShapeMismatch != nil {
+		fmt.Printf("  shape mismatch: %v\n", res.ShapeMismatch)
+		os.Exit(1)
+	}
+	if res.Identical {
+		fmt.Printf("  identical: %d records per side\n", res.ARecords)
+		return nil
+	}
+	fmt.Printf("  first divergence: %s\n", res.First)
+	fmt.Printf("  per-cpu summary (%d vs %d records total):\n", res.ARecords, res.BRecords)
+	for _, s := range res.PerCPU {
+		if s.FirstIndex < 0 && !*verbose {
+			continue
+		}
+		status := "identical"
+		if s.FirstIndex >= 0 {
+			status = fmt.Sprintf("%d differ, first at %d", s.Differing, s.FirstIndex)
+			if s.ARecords != s.BRecords {
+				status += fmt.Sprintf(", lengths %d vs %d", s.ARecords, s.BRecords)
+			}
+		}
+		fmt.Printf("    cpu %3d: %s\n", s.CPU, status)
+	}
+	os.Exit(1)
+	return nil
+}
+
 // parsePositionals parses a subcommand's flags while lifting positional
 // arguments that may appear on either side of (or between) the flags —
 // the standard flag package stops at the first positional and would
@@ -366,6 +527,21 @@ func cmdInfo(args []string) error {
 	fmt.Printf("  geometry:     %s\n", h.Geometry)
 	fmt.Printf("  machine:      %d nodes, %d CPUs\n", h.Nodes, h.CPUs)
 	fmt.Printf("  shared pages: %d (%d KB)\n", h.SharedPages, h.SharedPages*h.Geometry.PageBytes()/1024)
+	// The home histogram is the first thing to sanity-check after a
+	// retarget: a round-robin re-homing shows even node counts, a botched
+	// one piles pages onto the low nodes.
+	perNode := make([]int, h.Nodes)
+	for _, n := range h.Homes {
+		perNode[n]++
+	}
+	fmt.Printf("  home map:\n")
+	for n, c := range perNode {
+		pct := 0.0
+		if h.SharedPages > 0 {
+			pct = 100 * float64(c) / float64(h.SharedPages)
+		}
+		fmt.Printf("    node %2d: %6d pages (%5.1f%%)\n", n, c, pct)
+	}
 	counts, err := d.Drain()
 	if err != nil {
 		return err

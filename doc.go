@@ -25,13 +25,17 @@
 //     distributions
 //   - internal/tracefile — the binary trace capture/replay format
 //     (streaming writer, lazy demuxing reader, live-simulation tee,
-//     per-chunk DEFLATE compression in format v2, and stream-level
-//     Cut/Cat splicing)
+//     per-chunk DEFLATE compression in format v2, stream-level Cut/Cat
+//     splicing, and the transform layer: Retarget onto a different
+//     machine shape under pluggable page-remapping policies, Dilate of
+//     compute gaps by a rational factor, and Diff reporting the first
+//     diverging CPU/record plus a per-CPU summary)
 //   - internal/harness — the experiment-plan layer and concurrent
 //     scheduler that regenerate every table and figure; spec files and
 //     recorded traces register as workload sources whose memo keys hash
 //     the decoded streams (CanonicalHash), so re-encodings of one
-//     capture share simulations
+//     capture share simulations, and NodeSweep retargets one capture
+//     across node counts to replay it at every machine size
 //   - internal/model — the analytical worst-case model (Section 3.2)
 //
 // The harness declares each figure's (application, system) grid as a Plan

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"fmt"
 	"os"
@@ -123,11 +124,14 @@ func (s *specSource) Load(cfg workloads.Config) (*workloads.Workload, error) {
 
 // ---------------------------------------------------------------------
 
-// traceSource replays a recorded trace file. The file is opened per Load
-// and streamed, never materialized; Workload.Check closes it and surfaces
-// any decode error after the run.
+// traceSource replays a recorded trace, either from a file (opened per
+// Load and streamed, never materialized) or from an in-memory encoding
+// (retargeted traces, which exist only as transform output).
+// Workload.Check releases the input and surfaces any decode error after
+// the run.
 type traceSource struct {
-	path string
+	path string // file-backed source ("" when data-backed)
+	data []byte // in-memory source (nil when file-backed)
 	hdr  tracefile.Header
 	key  string
 }
@@ -156,6 +160,51 @@ func TraceFileSource(path string) (Source, error) {
 	}, nil
 }
 
+// TraceSource wraps an in-memory trace encoding as a workload source —
+// the transform pipeline's natural endpoint, where a retargeted or
+// dilated trace goes straight into the harness without a temp file. The
+// memo key follows the canonical content hash, like TraceFileSource.
+func TraceSource(data []byte) (Source, error) {
+	sum, hdr, err := tracefile.CanonicalHash(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	return &traceSource{
+		data: data,
+		hdr:  hdr,
+		key:  fmt.Sprintf("trace:%s:%x", hdr.Name, sum[:8]),
+	}, nil
+}
+
+// RetargetTrace applies a retarget spec to an in-memory trace encoding
+// and wraps the result as a source: one capture becomes one point of a
+// machine-shape sweep. The retargeted encoding is materialized once here
+// (compressed v2, so a few bytes per hundred references) and re-decoded
+// per Load.
+func RetargetTrace(data []byte, spec tracefile.RetargetSpec) (Source, error) {
+	var buf bytes.Buffer
+	if _, err := tracefile.Retarget(&buf, bytes.NewReader(data), spec); err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	return TraceSource(buf.Bytes())
+}
+
+// RetargetedTraceFileSource is RetargetTrace for a trace on disk: it
+// reads the file once, retargets it in memory, and registers the result.
+// A zero-valued spec (keep every dimension, identity policy) degrades to
+// a re-encoded TraceFileSource of the same canonical content.
+func RetargetedTraceFileSource(path string, spec tracefile.RetargetSpec) (Source, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	src, err := RetargetTrace(data, spec)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return src, nil
+}
+
 func (t *traceSource) Name() string { return t.hdr.Name }
 func (t *traceSource) Key() string  { return t.key }
 
@@ -163,13 +212,28 @@ func (t *traceSource) Key() string  { return t.key }
 // machine from it instead of re-parsing the file).
 func (t *traceSource) Header() tracefile.Header { return t.hdr }
 
+// what names the source in errors.
+func (t *traceSource) what() string {
+	if t.path != "" {
+		return t.path
+	}
+	return "(in-memory) " + t.hdr.Name
+}
+
 func (t *traceSource) Load(cfg workloads.Config) (*workloads.Workload, error) {
 	if cfg.Geometry != t.hdr.Geometry {
-		return nil, fmt.Errorf("harness: trace %s recorded with %v, machine uses %v", t.path, t.hdr.Geometry, cfg.Geometry)
+		return nil, fmt.Errorf("harness: trace %s recorded with %v, machine uses %v", t.what(), t.hdr.Geometry, cfg.Geometry)
 	}
 	if cpus := cfg.Nodes * cfg.CPUsPerNode; cpus != t.hdr.CPUs || cfg.Nodes != t.hdr.Nodes {
 		return nil, fmt.Errorf("harness: trace %s recorded on %d nodes/%d cpus, machine has %d/%d",
-			t.path, t.hdr.Nodes, t.hdr.CPUs, cfg.Nodes, cpus)
+			t.what(), t.hdr.Nodes, t.hdr.CPUs, cfg.Nodes, cpus)
+	}
+	if t.data != nil {
+		d, err := tracefile.NewReader(bytes.NewReader(t.data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", t.what(), err)
+		}
+		return d.Workload(), nil
 	}
 	f, err := os.Open(t.path)
 	if err != nil {

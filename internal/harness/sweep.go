@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+
+	"rnuma/internal/config"
+	"rnuma/internal/tracefile"
+)
+
+// This file implements the node-count sweep: one recorded trace
+// retargeted across machine sizes and replayed under all three designs.
+// It is the transform layer's headline consumer — the paper's per-
+// workload robustness claim (R-NUMA within a small constant of the
+// better base protocol) gets re-checked at every machine size a single
+// capture can be remapped onto.
+
+// SweepPoint is one machine size of a node-count sweep: the three base
+// protocols' execution times normalized to the ideal machine (infinite
+// block cache) of the same shape.
+type SweepPoint struct {
+	Nodes       int
+	CPUsPerNode int
+	CCNUMA      float64
+	SCOMA       float64
+	RNUMA       float64
+}
+
+// RNUMAOverBest reports R-NUMA's time relative to the better base
+// protocol at this machine size (the paper's bounded-worst-case ratio).
+func (p SweepPoint) RNUMAOverBest() float64 {
+	best := p.CCNUMA
+	if p.SCOMA < best {
+		best = p.SCOMA
+	}
+	if best == 0 {
+		return 0
+	}
+	return p.RNUMA / best
+}
+
+// sweepSystem shapes a base configuration to one sweep point.
+func sweepSystem(sys config.System, nodes, cpusPerNode int) config.System {
+	sys.Nodes = nodes
+	sys.CPUsPerNode = cpusPerNode
+	sys.Name = fmt.Sprintf("%s n=%d", sys.Name, nodes)
+	return sys
+}
+
+// NodeSweep retargets the in-memory trace encoding onto each node count
+// (round-robin re-homing, CPU count preserved) and replays every size
+// under CC-NUMA, S-COMA, and R-NUMA plus the ideal baseline. The trace's
+// CPU count must divide evenly across every requested node count. The
+// retargeted sources register under "<name>@<n>n", so repeated sweeps
+// and overlapping node lists share simulations through the memo cache.
+// Points come back sorted by node count.
+func (h *Harness) NodeSweep(data []byte, nodeCounts []int) ([]SweepPoint, string, error) {
+	if len(nodeCounts) == 0 {
+		return nil, "", fmt.Errorf("harness: node sweep over no node counts")
+	}
+	// Only the header is needed here (name + CPU count for divisibility);
+	// each retargeted source validates and hashes its own full decode.
+	d, err := tracefile.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, "", fmt.Errorf("harness: %w", err)
+	}
+	hdr := d.Header()
+
+	counts := append([]int(nil), nodeCounts...)
+	sort.Ints(counts)
+	plan := NewPlan()
+	type point struct {
+		nodes, cpusPer int
+		app            string
+	}
+	pts := make([]point, 0, len(counts))
+	for i, n := range counts {
+		if i > 0 && counts[i-1] == n {
+			continue // duplicate node count
+		}
+		if n < 1 || hdr.CPUs%n != 0 {
+			return nil, "", fmt.Errorf("harness: trace %s has %d CPUs, not divisible across %d nodes", hdr.Name, hdr.CPUs, n)
+		}
+		cpusPer := hdr.CPUs / n
+		name := fmt.Sprintf("%s@%dn", hdr.Name, n)
+		src, err := RetargetTrace(data, tracefile.RetargetSpec{
+			Nodes:  n,
+			Policy: tracefile.RoundRobin(),
+			Name:   name,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		if err := h.Register(src); err != nil {
+			return nil, "", err
+		}
+		plan.AddRuns([]string{name},
+			sweepSystem(config.Ideal(), n, cpusPer),
+			sweepSystem(config.Base(config.CCNUMA), n, cpusPer),
+			sweepSystem(config.Base(config.SCOMA), n, cpusPer),
+			sweepSystem(config.Base(config.RNUMA), n, cpusPer))
+		pts = append(pts, point{nodes: n, cpusPer: cpusPer, app: name})
+	}
+
+	h.Prefetch(plan)
+	out := make([]SweepPoint, 0, len(pts))
+	for _, p := range pts {
+		base, err := h.Run(p.app, sweepSystem(config.Ideal(), p.nodes, p.cpusPer))
+		if err != nil {
+			return nil, "", err
+		}
+		sp := SweepPoint{Nodes: p.nodes, CPUsPerNode: p.cpusPer}
+		for _, c := range []struct {
+			sys  config.System
+			into *float64
+		}{
+			{config.Base(config.CCNUMA), &sp.CCNUMA},
+			{config.Base(config.SCOMA), &sp.SCOMA},
+			{config.Base(config.RNUMA), &sp.RNUMA},
+		} {
+			run, err := h.Run(p.app, sweepSystem(c.sys, p.nodes, p.cpusPer))
+			if err != nil {
+				return nil, "", err
+			}
+			*c.into = run.Normalized(base)
+		}
+		out = append(out, sp)
+	}
+	return out, hdr.Name, nil
+}
+
+// NodeSweepFile is NodeSweep over a trace file on disk.
+func (h *Harness) NodeSweepFile(path string, nodeCounts []int) ([]SweepPoint, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("harness: %w", err)
+	}
+	pts, name, err := h.NodeSweep(data, nodeCounts)
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	return pts, name, nil
+}

@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rnuma/internal/config"
+	"rnuma/internal/tracefile"
+	"rnuma/internal/workloads"
+)
+
+// recordCatalog encodes a catalog application's streams at the base
+// shape and the given scale.
+func recordCatalog(t *testing.T, name string, scale float64) []byte {
+	t.Helper()
+	app, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("unknown app %q", name)
+	}
+	cfg := workloads.DefaultConfig()
+	cfg.Scale = scale
+	var buf bytes.Buffer
+	if _, _, err := tracefile.WriteWorkload(&buf, app.Build(cfg), cfg); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRetargetIdentityReplaysIdentically is the transform layer's
+// differential acceptance proof: retargeting a catalog trace back onto
+// its own machine shape with the identity policy must replay to a
+// stats.Run identical to replaying the original capture — the transform
+// re-encodes, it never perturbs.
+func TestRetargetIdentityReplaysIdentically(t *testing.T) {
+	apps := []string{"em3d", "lu"}
+	if testing.Short() {
+		apps = apps[:1]
+	}
+	const scale = 0.05
+	sys := config.Base(config.RNUMA)
+	for _, name := range apps {
+		data := recordCatalog(t, name, scale)
+
+		orig, err := TraceSource(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		re, err := RetargetTrace(data, tracefile.RetargetSpec{}) // identity, shape kept
+		if err != nil {
+			t.Fatalf("%s: retarget: %v", name, err)
+		}
+		if orig.Key() != re.Key() {
+			t.Errorf("%s: identity retarget changed the memo key: %s vs %s", name, orig.Key(), re.Key())
+		}
+
+		runs := make([]interface{}, 0, 2)
+		for _, src := range []Source{orig, re} {
+			h := New(scale)
+			if err := h.Register(src); err != nil {
+				t.Fatalf("%s: register: %v", name, err)
+			}
+			run, err := h.Run(src.Name(), sys)
+			if err != nil {
+				t.Fatalf("%s: run: %v", name, err)
+			}
+			runs = append(runs, run)
+		}
+		if !reflect.DeepEqual(runs[0], runs[1]) {
+			t.Errorf("%s: identity-retargeted replay differs from the original replay", name)
+		}
+	}
+}
+
+// TestNodeSweep drives a recorded catalog trace across node counts and
+// checks the points come back shaped and normalized sanely, with the
+// memo cache deduplicating a repeated sweep.
+func TestNodeSweep(t *testing.T) {
+	// The full three-point sweep is 12 simulations; the short suite
+	// keeps two points (the sweep mechanics — retarget, register,
+	// normalize, sort — are identical per point).
+	// fft is the catalog's smallest capture, so the full 12-simulation
+	// grid stays cheap even under -race.
+	const scale = 0.02
+	counts := []int{16, 4, 8}
+	shapes := []struct{ nodes, cpusPer int }{{4, 8}, {8, 4}, {16, 2}}
+	if testing.Short() {
+		counts, shapes = []int{16, 8}, shapes[1:]
+	}
+	data := recordCatalog(t, "fft", scale)
+	h := New(scale)
+	points, name, err := h.NodeSweep(data, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "fft" {
+		t.Errorf("workload name = %q", name)
+	}
+	if len(points) != len(shapes) {
+		t.Fatalf("got %d points, want %d", len(points), len(shapes))
+	}
+	for i, want := range shapes {
+		p := points[i]
+		if p.Nodes != want.nodes || p.CPUsPerNode != want.cpusPer {
+			t.Errorf("point %d: %dn x %dcpu, want %dn x %d", i, p.Nodes, p.CPUsPerNode, want.nodes, want.cpusPer)
+		}
+		// Normalized times are relative to the same-shape ideal machine:
+		// every real protocol is at least as slow.
+		for which, v := range map[string]float64{"ccnuma": p.CCNUMA, "scoma": p.SCOMA, "rnuma": p.RNUMA} {
+			if v < 1 {
+				t.Errorf("point %d: %s normalized time %.3f < 1", i, which, v)
+			}
+		}
+		if p.RNUMAOverBest() <= 0 {
+			t.Errorf("point %d: bad R/best ratio", i)
+		}
+	}
+
+	// A second sweep over a subset must reuse the registered sources and
+	// cached runs (Register would error if the content key changed).
+	again, _, err := h.NodeSweep(data, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at8 SweepPoint
+	for _, p := range points {
+		if p.Nodes == 8 {
+			at8 = p
+		}
+	}
+	if !reflect.DeepEqual(again[0], at8) {
+		t.Errorf("repeated sweep point differs: %+v vs %+v", again[0], at8)
+	}
+
+	// Node counts that do not divide the CPU count are rejected.
+	if _, _, err := h.NodeSweep(data, []int{5}); err == nil {
+		t.Error("5-node sweep of a 32-CPU trace accepted")
+	}
+	if _, _, err := h.NodeSweep(data, nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}
+
+// TestRetargetedTraceFileSource exercises the file-path entry point: a
+// trace on disk retargeted at registration replays on the new shape.
+func TestRetargetedTraceFileSource(t *testing.T) {
+	data := recordCatalog(t, "fft", 0.02)
+	path := filepath.Join(t.TempDir(), "m.trace")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := RetargetedTraceFileSource(path, tracefile.RetargetSpec{
+		Nodes:  4,
+		Policy: tracefile.RoundRobin(),
+		Name:   "fft@4n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Name() != "fft@4n" {
+		t.Errorf("name = %q", src.Name())
+	}
+	h := New(0.02)
+	if err := h.Register(src); err != nil {
+		t.Fatal(err)
+	}
+	sys := sweepSystem(config.Base(config.RNUMA), 4, 8)
+	run, err := h.Run(src.Name(), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.ExecCycles <= 0 {
+		t.Error("empty run")
+	}
+	// The retargeted source carries the new shape, so the base 8-node
+	// machine must be rejected at load time.
+	if _, err := h.Run(src.Name(), config.Base(config.RNUMA)); err == nil {
+		t.Error("8-node replay of a 4-node retarget accepted")
+	}
+
+	if _, err := RetargetedTraceFileSource(filepath.Join(t.TempDir(), "absent.trace"), tracefile.RetargetSpec{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
