@@ -2,11 +2,14 @@
 //
 // Usage:
 //
-//	rnuma-experiments [-exp all|fig5|table4|fig6|fig7|fig8|fig9|model|lu|sweep]
+//	rnuma-experiments [-exp all|fig5|table4|fig6|fig7|fig8|fig9|model|lu|sweep|dilate|geometry]
 //	                  [-apps barnes,lu,...] [-specs a.json,b.json]
 //	                  [-traces x.trace,...] [-scale 1.0] [-seed 0]
 //	                  [-parallel N] [-v]
 //	                  [-sweep-trace x.trace] [-sweep-app em3d] [-sweep-nodes 4,8,16]
+//	                  [-sweep-axis nodes|dilate|block|page|threshold] [-sweep-values ...]
+//	                  [-dilate-factors 1/2,1,2,4] [-geometry-axis block|page] [-geometry-values ...]
+//	                  [-diff a.trace,b.trace] [-diff-protocol rnuma]
 //
 // Each experiment prints the corresponding rows/series of the paper's
 // evaluation (Section 5); see EXPERIMENTS.md for paper-vs-measured values.
@@ -20,13 +23,26 @@
 // figure alongside the Table 3 catalog (memoized by file content hash).
 // Recorded traces must match the experiments' 8x4 base machine shape.
 //
-// -exp sweep replays one capture across machine sizes: the trace (from
-// -sweep-trace, or recorded from -sweep-app at the base shape) is
-// retargeted onto each -sweep-nodes count via the tracefile transform
-// layer (round-robin re-homing, CPU count preserved) and replayed under
-// all three protocols, normalized to the same-shape ideal machine. The
-// sweep needs a trace, so it runs only when selected by name, never
-// under -exp all.
+// The sensitivity experiments replay one capture — from -sweep-trace, or
+// recorded from -sweep-app at the base shape — transformed along one
+// parameter axis and normalized to the same-configuration ideal machine
+// at every point:
+//
+//   - -exp sweep sweeps the node count (-sweep-nodes), or any axis via
+//     -sweep-axis/-sweep-values (nodes, dilate, block, page, threshold);
+//   - -exp dilate sweeps compute-gap scale factors (-dilate-factors,
+//     default 1/2,1,2,4) — the "faster processors" study: x1/2 halves
+//     every compute gap, doubling the relative cost of memory;
+//   - -exp geometry sweeps the block or page size (-geometry-axis,
+//     -geometry-values) through geometry retargeting.
+//
+// These experiments need a trace, so they run only when selected by
+// name, never under -exp all.
+//
+// -diff a.trace,b.trace replays both captures under one configuration
+// (-diff-protocol) and prints the per-counter stats delta table — the
+// report form of `rnuma-trace diffstats`, without the exit-status gate —
+// then exits without running any -exp experiment.
 package main
 
 import (
@@ -41,6 +57,7 @@ import (
 	"rnuma/internal/harness"
 	"rnuma/internal/model"
 	"rnuma/internal/report"
+	"rnuma/internal/stats"
 	"rnuma/internal/tracefile"
 	"rnuma/internal/workloads"
 )
@@ -58,6 +75,13 @@ func main() {
 		sweepTrace = flag.String("sweep-trace", "", "recorded trace to sweep (default: record -sweep-app at the 8x4 base shape)")
 		sweepApp   = flag.String("sweep-app", "em3d", "catalog application to record for the sweep when no -sweep-trace is given")
 		sweepNodes = flag.String("sweep-nodes", "4,8,16", "comma-separated node counts for -exp sweep")
+		sweepAxis  = flag.String("sweep-axis", "nodes", "-exp sweep axis: nodes, dilate, block, page, threshold")
+		sweepVals  = flag.String("sweep-values", "", "comma-separated values for -sweep-axis (default per axis)")
+		dilateVals = flag.String("dilate-factors", "1/2,1,2,4", "comma-separated gap scale factors for -exp dilate")
+		geomAxis   = flag.String("geometry-axis", "block", "-exp geometry axis: block or page")
+		geomVals   = flag.String("geometry-values", "", "comma-separated sizes in bytes (default 16,32,64,128 for block; 2048,4096,8192 for page)")
+		diffPair   = flag.String("diff", "", "two traces \"a.trace,b.trace\" to replay and diff counter-by-counter")
+		diffProto  = flag.String("diff-protocol", "rnuma", "protocol for -diff: ccnuma, scoma, rnuma, ideal")
 	)
 	flag.Parse()
 
@@ -77,6 +101,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rnuma-experiments: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	// -diff is a standalone mode: replay the two captures under one
+	// configuration, print the per-counter delta table, and exit. Unlike
+	// `rnuma-trace diffstats` it always exits 0 on a successful
+	// comparison — this is the report form, not the regression gate.
+	if *diffPair != "" {
+		paths := splitList(*diffPair)
+		if len(paths) != 2 {
+			die(fmt.Errorf("-diff wants exactly two traces, got %q", *diffPair))
+		}
+		sys, err := config.SystemByName(*diffProto)
+		die(err)
+		a, _, err := harness.ReplayTraceFile(paths[0], sys)
+		die(err)
+		b, _, err := harness.ReplayTraceFile(paths[1], sys)
+		die(err)
+		fmt.Printf("diff %s vs %s (%s)\n\n", paths[0], paths[1], sys.Name)
+		report.DeltaTable(os.Stdout, paths[0], paths[1], stats.Diff(a, b), false)
+		return
 	}
 
 	// Spec and trace files join the application list: every selected
@@ -167,40 +211,88 @@ func main() {
 		fmt.Println("(the paper attributes lu's relocation-overhead sensitivity to two overloaded nodes)")
 	}
 
-	// The sweep replays one capture across machine sizes via the trace
-	// transform layer. It needs a trace (recorded here when none is
-	// given), so it runs only when asked for by name, not under "all".
-	if *exp == "sweep" {
-		var nodeCounts []int
-		for _, s := range splitList(*sweepNodes) {
-			n, err := strconv.Atoi(s)
-			if err != nil {
-				die(fmt.Errorf("bad -sweep-nodes entry %q", s))
-			}
-			nodeCounts = append(nodeCounts, n)
+	// The sensitivity experiments replay one capture transformed along a
+	// parameter axis via the trace transform layer. They need a trace
+	// (recorded here when none is given), so they run only when asked
+	// for by name, not under "all".
+	record := func() []byte {
+		app, ok := workloads.ByName(*sweepApp)
+		if !ok {
+			die(fmt.Errorf("unknown -sweep-app %q", *sweepApp))
 		}
+		cfg := workloads.DefaultConfig()
+		cfg.Scale, cfg.Seed = *scale, *seed
+		var buf bytes.Buffer
+		if _, _, err := tracefile.WriteWorkload(&buf, app.Build(cfg), cfg); err != nil {
+			die(err)
+		}
+		return buf.Bytes()
+	}
+	defaultValues := map[harness.Axis]string{
+		harness.AxisNodes:     "4,8,16",
+		harness.AxisDilate:    "1/2,1,2,4",
+		harness.AxisBlockSize: "16,32,64,128",
+		harness.AxisPageSize:  "2048,4096,8192",
+		harness.AxisThreshold: "16,64,256,1024",
+	}
+	sensitivity := func(axis harness.Axis, csv string) {
+		if csv == "" {
+			csv = defaultValues[axis]
+		}
+		values, err := harness.ParseSweepValues(axis, csv)
+		die(err)
 		var (
-			points []harness.SweepPoint
+			points []harness.AxisPoint
 			name   string
-			err    error
 		)
 		if *sweepTrace != "" {
-			points, name, err = h.NodeSweepFile(*sweepTrace, nodeCounts)
+			points, name, err = h.SweepFile(*sweepTrace, axis, values)
 		} else {
-			app, ok := workloads.ByName(*sweepApp)
-			if !ok {
-				die(fmt.Errorf("unknown -sweep-app %q", *sweepApp))
-			}
-			cfg := workloads.DefaultConfig()
-			cfg.Scale, cfg.Seed = *scale, *seed
-			var buf bytes.Buffer
-			if _, _, err := tracefile.WriteWorkload(&buf, app.Build(cfg), cfg); err != nil {
-				die(err)
-			}
-			points, name, err = h.NodeSweep(buf.Bytes(), nodeCounts)
+			points, name, err = h.Sweep(record(), axis, values)
 		}
 		die(err)
-		report.Sweep(os.Stdout, name, points)
+		report.Sensitivity(os.Stdout, name, axis, points)
+	}
+
+	if *exp == "sweep" {
+		axis, err := harness.ParseAxis(*sweepAxis)
+		die(err)
+		if axis == harness.AxisNodes && *sweepVals == "" {
+			// The original node-count sweep keeps its renderer and its
+			// -sweep-nodes spelling.
+			var nodeCounts []int
+			for _, s := range splitList(*sweepNodes) {
+				n, err := strconv.Atoi(s)
+				if err != nil {
+					die(fmt.Errorf("bad -sweep-nodes entry %q", s))
+				}
+				nodeCounts = append(nodeCounts, n)
+			}
+			var (
+				points []harness.SweepPoint
+				name   string
+			)
+			if *sweepTrace != "" {
+				points, name, err = h.NodeSweepFile(*sweepTrace, nodeCounts)
+			} else {
+				points, name, err = h.NodeSweep(record(), nodeCounts)
+			}
+			die(err)
+			report.Sweep(os.Stdout, name, points)
+		} else {
+			sensitivity(axis, *sweepVals)
+		}
+	}
+	if *exp == "dilate" {
+		sensitivity(harness.AxisDilate, *dilateVals)
+	}
+	if *exp == "geometry" {
+		axis, err := harness.ParseAxis(*geomAxis)
+		die(err)
+		if axis != harness.AxisBlockSize && axis != harness.AxisPageSize {
+			die(fmt.Errorf("-geometry-axis must be block or page, got %q", *geomAxis))
+		}
+		sensitivity(axis, *geomVals)
 	}
 }
 

@@ -59,16 +59,9 @@ func main() {
 	)
 	flag.Parse()
 
-	var sys config.System
-	switch strings.ToLower(*protocol) {
-	case "ccnuma", "cc-numa", "cc":
-		sys = config.Base(config.CCNUMA)
-	case "scoma", "s-coma", "sc":
-		sys = config.Base(config.SCOMA)
-	case "rnuma", "r-numa", "r":
-		sys = config.Base(config.RNUMA)
-	default:
-		fmt.Fprintf(os.Stderr, "rnuma-sim: unknown protocol %q\n", *protocol)
+	sys, err := config.SystemByName(*protocol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rnuma-sim: %v\n", err)
 		os.Exit(2)
 	}
 	if *ideal {

@@ -8,19 +8,26 @@
 //	rnuma-trace cut    <file> [-o out.trace] [-cpus 1,3] [-from N] [-to M] [-v1] [-raw]
 //	rnuma-trace cat    <a> <b> ... [-o out.trace] [-v1] [-raw]
 //	rnuma-trace retarget <file> [-o out.trace] [-nodes N] [-cpus N] [-pages P]
-//	                  [-policy identity|roundrobin|modulo] [-map file.json] [-name S] [-v1] [-raw]
-//	rnuma-trace dilate <file> [-o out.trace] [-factor N/D] [-clamp N] [-v1] [-raw]
+//	                  [-policy identity|roundrobin|modulo] [-cpu-fold modulo|interleave]
+//	                  [-map file.json] [-name S] [-v1] [-raw]
+//	rnuma-trace retarget-geometry <file> [-o out.trace] [-block N] [-page N] [-name S] [-v1] [-raw]
+//	rnuma-trace dilate <file> [-o out.trace] [-factor N/D] [-clamp N] [-name S] [-v1] [-raw]
 //	rnuma-trace diff   <a> <b>
+//	rnuma-trace diffstats <a> <b> [-protocol ccnuma|scoma|rnuma] [-bc B] [-pc P] [-T N] [-soft] [-ideal] [-v]
 //	rnuma-trace info   <file>
 //	rnuma-trace replay <file> [-protocol ccnuma|scoma|rnuma] [-bc B] [-pc P] [-T N] [-soft] [-ideal]
 //
 // retarget remaps a trace onto a different machine shape (nodes, CPUs,
 // pages) under a page-remapping policy, so one capture becomes a scaling
-// sweep; dilate rescales compute gaps by a rational factor to model
-// faster or slower processors; diff compares two traces record by record
-// and reports the first diverging CPU/record index plus a per-CPU
-// summary (exit status 1 when they differ). All three stream, so they
-// compose with cut/cat piping.
+// sweep; retarget-geometry re-splits every address onto a different
+// block/page geometry for granularity studies; dilate rescales compute
+// gaps by a rational factor to model faster or slower processors; diff
+// compares two traces record by record and reports the first diverging
+// CPU/record index plus a per-CPU summary (exit status 1 when they
+// differ); diffstats replays two traces under the same system
+// configuration and prints the per-counter stats delta table (exit
+// status 1 when the runs differ) — the one-command regression check. All
+// transforms stream, so they compose with cut/cat piping.
 //
 // record captures a built-in application's reference streams; gen does
 // the same for a declarative JSON workload spec (see internal/spec). Both
@@ -29,14 +36,19 @@
 // record range and/or CPU subset, preserving the recorded machine shape
 // (dropped CPUs become empty streams, so cuts replay on the recorded
 // machine); cat concatenates traces of identical machine shape — cutting
-// a trace into range slices and catting them back recomposes it exactly. Writers emit the compressed version-2 format by
-// default; -v1 selects the legacy format and -raw keeps version 2 but
-// stores chunks uncompressed. info prints a trace's header and per-CPU
-// record counts; replay runs one through the simulated machine of the
-// recorded shape and prints the run's statistics.
+// a trace into range slices and catting them back recomposes it exactly.
+// Writers emit the compressed version-2 format by default; -v1 selects
+// the legacy format and -raw keeps version 2 but stores chunks
+// uncompressed. info prints a trace's header and per-CPU record counts;
+// replay runs one through the simulated machine of the recorded shape
+// and prints the run's statistics.
+//
+// Exit status: 0 on success, 1 on errors (and on diff/diffstats
+// difference), 2 on usage errors.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -46,7 +58,7 @@ import (
 
 	"rnuma/internal/addr"
 	"rnuma/internal/config"
-	"rnuma/internal/machine"
+	"rnuma/internal/harness"
 	"rnuma/internal/report"
 	"rnuma/internal/spec"
 	"rnuma/internal/stats"
@@ -54,47 +66,79 @@ import (
 	"rnuma/internal/workloads"
 )
 
+// cli carries the process's streams so the whole command is drivable
+// in-process by tests: run() is main() minus os.Exit.
+type cli struct {
+	stdin          io.Reader
+	stdout, stderr io.Writer
+}
+
+// errDiffer marks a successful comparison whose inputs differ: diff and
+// diffstats report through their table output and exit 1 without an
+// error message.
+var errDiffer = errors.New("inputs differ")
+
+// errUsage marks a bad invocation (exit 2); the message, if any, has
+// already been printed.
+var errUsage = errors.New("usage")
+
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(cli{stdin: os.Stdin, stdout: os.Stdout, stderr: os.Stderr}, os.Args[1:]))
+}
+
+// run dispatches one invocation and returns the process exit code.
+func run(c cli, args []string) int {
+	if len(args) < 1 {
+		c.usage()
+		return 2
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "record":
-		err = cmdRecord(os.Args[2:])
+		err = c.cmdRecord(args[1:])
 	case "gen":
-		err = cmdGen(os.Args[2:])
+		err = c.cmdGen(args[1:])
 	case "cut":
-		err = cmdCut(os.Args[2:])
+		err = c.cmdCut(args[1:])
 	case "cat":
-		err = cmdCat(os.Args[2:])
+		err = c.cmdCat(args[1:])
 	case "retarget":
-		err = cmdRetarget(os.Args[2:])
+		err = c.cmdRetarget(args[1:])
+	case "retarget-geometry":
+		err = c.cmdRetargetGeometry(args[1:])
 	case "dilate":
-		err = cmdDilate(os.Args[2:])
+		err = c.cmdDilate(args[1:])
 	case "diff":
-		err = cmdDiff(os.Args[2:])
+		err = c.cmdDiff(args[1:])
+	case "diffstats":
+		err = c.cmdDiffStats(args[1:])
 	case "info":
-		err = cmdInfo(os.Args[2:])
+		err = c.cmdInfo(args[1:])
 	case "replay":
-		err = cmdReplay(os.Args[2:])
+		err = c.cmdReplay(args[1:])
 	case "-h", "-help", "--help", "help":
-		usage()
-		return
+		c.usage()
+		return 0
 	default:
-		fmt.Fprintf(os.Stderr, "rnuma-trace: unknown subcommand %q\n\n", os.Args[1])
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(c.stderr, "rnuma-trace: unknown subcommand %q\n\n", args[0])
+		c.usage()
+		return 2
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rnuma-trace: %v\n", err)
-		os.Exit(1)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, errDiffer):
+		return 1
+	case errors.Is(err, errUsage):
+		return 2
+	default:
+		fmt.Fprintf(c.stderr, "rnuma-trace: %v\n", err)
+		return 1
 	}
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `rnuma-trace — capture, inspect, and replay reference traces
+func (c cli) usage() {
+	fmt.Fprintf(c.stderr, `rnuma-trace — capture, inspect, and replay reference traces
 
 subcommands:
   record -app <name>  [-o file] [-scale S] [-seed N] [-nodes N] [-cpus N] [-v1] [-raw]
@@ -106,17 +150,30 @@ subcommands:
   cat    <a> <b> ... [-o file] [-v1] [-raw]
       concatenate traces of identical machine shape
   retarget <file> [-o file] [-nodes N] [-cpus N] [-pages P] [-policy identity|roundrobin|modulo]
-           [-map file.json] [-name S] [-v1] [-raw]
+           [-cpu-fold modulo|interleave] [-map file.json] [-name S] [-v1] [-raw]
       remap a trace onto a different machine shape (0/omitted keeps the source value)
-  dilate <file> [-o file] [-factor N/D] [-clamp N] [-v1] [-raw]
+  retarget-geometry <file> [-o file] [-block N] [-page N] [-name S] [-v1] [-raw]
+      re-split every address onto a different block/page geometry (bytes; 0 keeps)
+  dilate <file> [-o file] [-factor N/D] [-clamp N] [-name S] [-v1] [-raw]
       scale every compute gap by a rational factor (model faster/slower CPUs)
   diff   <a> <b>
       compare two traces record by record; exits 1 when they differ
+  diffstats <a> <b> [-protocol P] [-bc B] [-pc P] [-T N] [-soft] [-ideal] [-v]
+      replay both traces under one system and print the per-counter delta
+      table; exits 1 when the runs differ
   info   <file>
       print a trace's header, format version, home histogram, and per-CPU record counts
-  replay <file> [-protocol P] [-bc B] [-pc P] [-T N] [-soft] [-ideal] [-v]
+  replay <file> [-protocol P] [-bc B] [-pc P] [-T N] [-soft] [-ideal]
       run a trace through the simulated machine of its recorded shape
 `, strings.Join(workloads.Names(), ", "))
+}
+
+// flagSet builds a subcommand flag set that reports parse errors through
+// the cli's stderr and returns them (never os.Exit).
+func (c cli) flagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	return fs
 }
 
 // sizingFlags are the workload-shape flags shared by record and gen.
@@ -146,12 +203,45 @@ func formatFlags(fs *flag.FlagSet) func() []tracefile.WriterOption {
 	}
 }
 
-func cmdRecord(args []string) error {
-	fs := flag.NewFlagSet("record", flag.ExitOnError)
+// systemFlags are the machine-configuration flags shared by replay and
+// diffstats; resolve them into a config.System after fs.Parse.
+func systemFlags(fs *flag.FlagSet) func() (config.System, error) {
+	protocol := fs.String("protocol", "rnuma", "protocol: ccnuma, scoma, rnuma")
+	bc := fs.Int("bc", -2, "block cache bytes (-1 = infinite, default per protocol)")
+	pc := fs.Int("pc", -2, "page cache bytes (default per protocol)")
+	thr := fs.Int("T", 64, "R-NUMA relocation threshold")
+	soft := fs.Bool("soft", false, "use SOFT costs (10-µs traps, 5-µs software shootdowns)")
+	ideal := fs.Bool("ideal", false, "replay on the infinite-block-cache baseline")
+	return func() (config.System, error) {
+		sys, err := config.SystemByName(*protocol)
+		if err != nil {
+			return sys, err
+		}
+		if *ideal {
+			sys = config.Ideal()
+		}
+		if *bc != -2 {
+			sys.BlockCacheBytes = *bc
+		}
+		if *pc != -2 {
+			sys.PageCacheBytes = *pc
+		}
+		sys.Threshold = *thr
+		if *soft {
+			sys.Costs = config.SoftCosts()
+		}
+		return sys, nil
+	}
+}
+
+func (c cli) cmdRecord(args []string) error {
+	fs := c.flagSet("record")
 	appName := fs.String("app", "", "application to record: "+strings.Join(workloads.Names(), ", "))
 	scale, seed, nodes, cpus, out := sizingFlags(fs)
 	format := formatFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
 	app, ok := workloads.ByName(*appName)
 	if !ok {
 		return fmt.Errorf("unknown application %q", *appName)
@@ -160,15 +250,17 @@ func cmdRecord(args []string) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	return capture(app.Build(cfg), cfg, *out, format()...)
+	return c.capture(app.Build(cfg), cfg, *out, format()...)
 }
 
-func cmdGen(args []string) error {
-	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+func (c cli) cmdGen(args []string) error {
+	fs := c.flagSet("gen")
 	specPath := fs.String("spec", "", `workload spec file ("-" = stdin)`)
 	scale, seed, nodes, cpus, out := sizingFlags(fs)
 	format := formatFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
 	if *specPath == "" {
 		return fmt.Errorf("gen needs -spec <file>")
 	}
@@ -177,7 +269,7 @@ func cmdGen(args []string) error {
 		err error
 	)
 	if *specPath == "-" {
-		data, rerr := io.ReadAll(os.Stdin)
+		data, rerr := io.ReadAll(c.stdin)
 		if rerr != nil {
 			return rerr
 		}
@@ -193,16 +285,16 @@ func cmdGen(args []string) error {
 	if err != nil {
 		return err
 	}
-	return capture(w, cfg, *out, format()...)
+	return c.capture(w, cfg, *out, format()...)
 }
 
 // capture drains the workload into a trace file and reports the encoding
 // stats on stderr (stdout may be the trace itself).
-func capture(w *workloads.Workload, cfg workloads.Config, out string, opts ...tracefile.WriterOption) error {
+func (c cli) capture(w *workloads.Workload, cfg workloads.Config, out string, opts ...tracefile.WriterOption) error {
 	if out == "" {
 		out = w.Name + ".trace"
 	}
-	dst, where, cleanup, err := openOut(out)
+	dst, where, cleanup, err := c.openOut(out)
 	if err != nil {
 		return err
 	}
@@ -215,15 +307,15 @@ func capture(w *workloads.Workload, cfg workloads.Config, out string, opts ...tr
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "recorded %s: %d refs, %d pages, %d bytes to %s (%.2f bytes/ref)\n",
+	fmt.Fprintf(c.stderr, "recorded %s: %d refs, %d pages, %d bytes to %s (%.2f bytes/ref)\n",
 		w.Name, refs, w.SharedPages, bytes, where, float64(bytes)/float64(refs))
 	return nil
 }
 
 // openOut resolves an output argument: a path, or "-" for stdout.
-func openOut(out string) (io.Writer, string, func() error, error) {
+func (c cli) openOut(out string) (io.Writer, string, func() error, error) {
 	if out == "-" {
-		return os.Stdout, "stdout", func() error { return nil }, nil
+		return c.stdout, "stdout", func() error { return nil }, nil
 	}
 	f, err := os.Create(out)
 	if err != nil {
@@ -232,32 +324,35 @@ func openOut(out string) (io.Writer, string, func() error, error) {
 	return f, out, f.Close, nil
 }
 
-func cmdCut(args []string) error {
-	fs := flag.NewFlagSet("cut", flag.ExitOnError)
+func (c cli) cmdCut(args []string) error {
+	fs := c.flagSet("cut")
 	tracePath := fs.String("trace", "", `trace file ("-" = stdin; also accepted positionally)`)
 	out := fs.String("o", "-", `output file ("-" = stdout)`)
 	cpuList := fs.String("cpus", "", "comma-separated source CPU indices to keep (default all)")
 	from := fs.Int64("from", 0, "first per-CPU record index to keep")
 	to := fs.Int64("to", 0, "one past the last record index to keep (0 = end)")
 	format := formatFlags(fs)
-	target := parseWithTarget(fs, args)
+	target, err := c.parseWithTarget(fs, args)
+	if err != nil {
+		return err
+	}
 
 	sel := tracefile.CutSpec{From: *from, To: *to}
 	if *cpuList != "" {
 		for _, s := range strings.Split(*cpuList, ",") {
-			c, err := strconv.Atoi(strings.TrimSpace(s))
+			cpu, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil {
 				return fmt.Errorf("bad -cpus entry %q", s)
 			}
-			sel.CPUs = append(sel.CPUs, c)
+			sel.CPUs = append(sel.CPUs, cpu)
 		}
 	}
-	r, name, err := openTrace(target, *tracePath)
+	r, name, err := c.openTrace(target, *tracePath)
 	if err != nil {
 		return err
 	}
 	defer r.Close()
-	dst, where, cleanup, err := openOut(*out)
+	dst, where, cleanup, err := c.openOut(*out)
 	if err != nil {
 		return err
 	}
@@ -268,17 +363,20 @@ func cmdCut(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "cut %s: kept %d refs to %s\n", name, refs, where)
+	fmt.Fprintf(c.stderr, "cut %s: kept %d refs to %s\n", name, refs, where)
 	return nil
 }
 
-func cmdCat(args []string) error {
-	fs := flag.NewFlagSet("cat", flag.ExitOnError)
+func (c cli) cmdCat(args []string) error {
+	fs := c.flagSet("cat")
 	out := fs.String("o", "-", `output file ("-" = stdout)`)
 	format := formatFlags(fs)
 	// Accept input files on either side of the flags (cat a b -o out);
 	// "-" names stdin, like every other subcommand.
-	inputs := parsePositionals(fs, args)
+	inputs, err := c.parsePositionals(fs, args)
+	if err != nil {
+		return err
+	}
 	if len(inputs) == 0 {
 		return fmt.Errorf("cat needs at least one input trace")
 	}
@@ -290,7 +388,7 @@ func cmdCat(args []string) error {
 				return fmt.Errorf("stdin (\"-\") can appear only once")
 			}
 			stdinUsed = true
-			srcs = append(srcs, os.Stdin)
+			srcs = append(srcs, c.stdin)
 			continue
 		}
 		f, err := os.Open(path)
@@ -300,7 +398,7 @@ func cmdCat(args []string) error {
 		defer f.Close()
 		srcs = append(srcs, f)
 	}
-	dst, where, cleanup, err := openOut(*out)
+	dst, where, cleanup, err := c.openOut(*out)
 	if err != nil {
 		return err
 	}
@@ -311,27 +409,28 @@ func cmdCat(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "cat %s: %d refs to %s\n", strings.Join(inputs, "+"), refs, where)
+	fmt.Fprintf(c.stderr, "cat %s: %d refs to %s\n", strings.Join(inputs, "+"), refs, where)
 	return nil
 }
 
-func cmdRetarget(args []string) error {
-	fs := flag.NewFlagSet("retarget", flag.ExitOnError)
+func (c cli) cmdRetarget(args []string) error {
+	fs := c.flagSet("retarget")
 	tracePath := fs.String("trace", "", `trace file ("-" = stdin; also accepted positionally)`)
 	out := fs.String("o", "-", `output file ("-" = stdout)`)
 	nodes := fs.Int("nodes", 0, "target node count (0 = keep)")
 	cpus := fs.Int("cpus", 0, "target total CPU count (0 = keep)")
 	pages := fs.Int("pages", 0, "target shared page count (0 = keep)")
 	policyName := fs.String("policy", "identity", "page remap policy: identity, roundrobin, modulo")
+	foldName := fs.String("cpu-fold", "modulo", "cpu fold policy when shrinking: modulo, interleave")
 	mapPath := fs.String("map", "", "explicit remap file (JSON; overrides -policy)")
 	name := fs.String("name", "", "rename the retargeted workload")
 	format := formatFlags(fs)
-	target := parseWithTarget(fs, args)
+	target, err := c.parseWithTarget(fs, args)
+	if err != nil {
+		return err
+	}
 
-	var (
-		policy tracefile.RemapPolicy
-		err    error
-	)
+	var policy tracefile.RemapPolicy
 	if *mapPath != "" {
 		data, rerr := os.ReadFile(*mapPath)
 		if rerr != nil {
@@ -343,14 +442,18 @@ func cmdRetarget(args []string) error {
 	} else if policy, err = tracefile.PolicyByName(*policyName); err != nil {
 		return err
 	}
-	spec := tracefile.RetargetSpec{Nodes: *nodes, CPUs: *cpus, Pages: *pages, Policy: policy, Name: *name}
+	fold, err := tracefile.CPUFoldByName(*foldName)
+	if err != nil {
+		return err
+	}
+	spec := tracefile.RetargetSpec{Nodes: *nodes, CPUs: *cpus, Pages: *pages, Policy: policy, CPUFold: fold, Name: *name}
 
-	r, srcName, err := openTrace(target, *tracePath)
+	r, srcName, err := c.openTrace(target, *tracePath)
 	if err != nil {
 		return err
 	}
 	defer r.Close()
-	dst, where, cleanup, err := openOut(*out)
+	dst, where, cleanup, err := c.openOut(*out)
 	if err != nil {
 		return err
 	}
@@ -361,79 +464,132 @@ func cmdRetarget(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "retarget %s (%s): %d refs to %s\n", srcName, policy.Name(), refs, where)
+	fmt.Fprintf(c.stderr, "retarget %s (%s): %d refs to %s\n", srcName, policy.Name(), refs, where)
 	return nil
 }
 
-func cmdDilate(args []string) error {
-	fs := flag.NewFlagSet("dilate", flag.ExitOnError)
+func (c cli) cmdRetargetGeometry(args []string) error {
+	fs := c.flagSet("retarget-geometry")
 	tracePath := fs.String("trace", "", `trace file ("-" = stdin; also accepted positionally)`)
 	out := fs.String("o", "-", `output file ("-" = stdout)`)
-	factor := fs.String("factor", "1", "gap scale factor, N or N/D (e.g. 2, 1/2, 3/2)")
-	clamp := fs.Int("clamp", 0, "cap scaled gaps at this value (0 = format max 65535)")
+	block := fs.Int("block", 0, "target block size in bytes (0 = keep)")
+	page := fs.Int("page", 0, "target page size in bytes (0 = keep)")
+	name := fs.String("name", "", "rename the retargeted workload")
 	format := formatFlags(fs)
-	target := parseWithTarget(fs, args)
-
-	num, den, err := tracefile.ParseRatio(*factor)
+	target, err := c.parseWithTarget(fs, args)
 	if err != nil {
 		return err
 	}
-	r, srcName, err := openTrace(target, *tracePath)
+	if *block == 0 && *page == 0 {
+		return fmt.Errorf("retarget-geometry needs -block and/or -page")
+	}
+
+	r, srcName, err := c.openTrace(target, *tracePath)
 	if err != nil {
 		return err
 	}
 	defer r.Close()
-	dst, where, cleanup, err := openOut(*out)
+	dst, where, cleanup, err := c.openOut(*out)
 	if err != nil {
 		return err
 	}
-	refs, err := tracefile.Dilate(dst, r, tracefile.DilateSpec{Num: num, Den: den, Clamp: *clamp}, format()...)
+	refs, err := tracefile.RetargetGeometry(dst, r, tracefile.GeometrySpec{
+		BlockBytes: *block, PageBytes: *page, Name: *name,
+	}, format()...)
 	if cerr := cleanup(); err == nil {
 		err = cerr
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "dilate %s x%d/%d: %d refs to %s\n", srcName, num, den, refs, where)
+	fmt.Fprintf(c.stderr, "retarget-geometry %s: %d refs to %s\n", srcName, refs, where)
 	return nil
 }
 
-func cmdDiff(args []string) error {
-	fs := flag.NewFlagSet("diff", flag.ExitOnError)
-	verbose := fs.Bool("v", false, "list every CPU in the summary, not just differing ones")
-	paths := parsePositionals(fs, args)
+func (c cli) cmdDilate(args []string) error {
+	fs := c.flagSet("dilate")
+	tracePath := fs.String("trace", "", `trace file ("-" = stdin; also accepted positionally)`)
+	out := fs.String("o", "-", `output file ("-" = stdout)`)
+	factor := fs.String("factor", "1", "gap scale factor, N or N/D (e.g. 2, 1/2, 3/2)")
+	clamp := fs.Int("clamp", 0, "cap scaled gaps at this value (0 = format max 65535)")
+	name := fs.String("name", "", "rename the dilated workload")
+	format := formatFlags(fs)
+	target, err := c.parseWithTarget(fs, args)
+	if err != nil {
+		return err
+	}
+
+	num, den, err := tracefile.ParseRatio(*factor)
+	if err != nil {
+		return err
+	}
+	r, srcName, err := c.openTrace(target, *tracePath)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	dst, where, cleanup, err := c.openOut(*out)
+	if err != nil {
+		return err
+	}
+	refs, err := tracefile.Dilate(dst, r, tracefile.DilateSpec{Num: num, Den: den, Clamp: *clamp, Name: *name}, format()...)
+	if cerr := cleanup(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(c.stderr, "dilate %s x%d/%d: %d refs to %s\n", srcName, num, den, refs, where)
+	return nil
+}
+
+// openPair resolves a two-trace subcommand's inputs (diff, diffstats).
+func (c cli) openPair(fs *flag.FlagSet, args []string) (a, b io.ReadCloser, paths []string, err error) {
+	paths, err = c.parsePositionals(fs, args)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	if len(paths) != 2 {
-		return fmt.Errorf("diff needs exactly two trace files")
+		return nil, nil, nil, fmt.Errorf("%s needs exactly two trace files", fs.Name())
 	}
 	if paths[0] == "-" && paths[1] == "-" {
-		return fmt.Errorf("stdin (\"-\") can appear only once")
+		return nil, nil, nil, fmt.Errorf("stdin (\"-\") can appear only once")
 	}
-	a, _, err := openTrace(paths[0], "")
+	if a, _, err = c.openTrace(paths[0], ""); err != nil {
+		return nil, nil, nil, err
+	}
+	if b, _, err = c.openTrace(paths[1], ""); err != nil {
+		a.Close()
+		return nil, nil, nil, err
+	}
+	return a, b, paths, nil
+}
+
+func (c cli) cmdDiff(args []string) error {
+	fs := c.flagSet("diff")
+	verbose := fs.Bool("v", false, "list every CPU in the summary, not just differing ones")
+	a, b, paths, err := c.openPair(fs, args)
 	if err != nil {
 		return err
 	}
 	defer a.Close()
-	b, _, err := openTrace(paths[1], "")
-	if err != nil {
-		return err
-	}
 	defer b.Close()
 
 	res, err := tracefile.Diff(a, b)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("diff %s %s\n", paths[0], paths[1])
+	fmt.Fprintf(c.stdout, "diff %s %s\n", paths[0], paths[1])
 	if res.ShapeMismatch != nil {
-		fmt.Printf("  shape mismatch: %v\n", res.ShapeMismatch)
-		os.Exit(1)
+		fmt.Fprintf(c.stdout, "  shape mismatch: %v\n", res.ShapeMismatch)
+		return errDiffer
 	}
 	if res.Identical {
-		fmt.Printf("  identical: %d records per side\n", res.ARecords)
+		fmt.Fprintf(c.stdout, "  identical: %d records per side\n", res.ARecords)
 		return nil
 	}
-	fmt.Printf("  first divergence: %s\n", res.First)
-	fmt.Printf("  per-cpu summary (%d vs %d records total):\n", res.ARecords, res.BRecords)
+	fmt.Fprintf(c.stdout, "  first divergence: %s\n", res.First)
+	fmt.Fprintf(c.stdout, "  per-cpu summary (%d vs %d records total):\n", res.ARecords, res.BRecords)
 	for _, s := range res.PerCPU {
 		if s.FirstIndex < 0 && !*verbose {
 			continue
@@ -445,9 +601,43 @@ func cmdDiff(args []string) error {
 				status += fmt.Sprintf(", lengths %d vs %d", s.ARecords, s.BRecords)
 			}
 		}
-		fmt.Printf("    cpu %3d: %s\n", s.CPU, status)
+		fmt.Fprintf(c.stdout, "    cpu %3d: %s\n", s.CPU, status)
 	}
-	os.Exit(1)
+	return errDiffer
+}
+
+// cmdDiffStats replays two traces under the same system configuration
+// and prints the per-counter delta table — the "is this a regression?"
+// command. The traces need not share a machine shape (each replays on
+// its own recorded shape); what is compared is the resulting runs.
+func (c cli) cmdDiffStats(args []string) error {
+	fs := c.flagSet("diffstats")
+	system := systemFlags(fs)
+	verbose := fs.Bool("v", false, "list unchanged counters too")
+	a, b, paths, err := c.openPair(fs, args)
+	if err != nil {
+		return err
+	}
+	defer a.Close()
+	defer b.Close()
+	sys, err := system()
+	if err != nil {
+		return err
+	}
+	runA, _, err := harness.ReplayTrace(a, sys)
+	if err != nil {
+		return fmt.Errorf("%s: %w", paths[0], err)
+	}
+	runB, _, err := harness.ReplayTrace(b, sys)
+	if err != nil {
+		return fmt.Errorf("%s: %w", paths[1], err)
+	}
+	d := stats.Diff(runA, runB)
+	fmt.Fprintf(c.stdout, "diffstats %s %s (%s)\n\n", paths[0], paths[1], sys.Name)
+	report.DeltaTable(c.stdout, paths[0], paths[1], d, *verbose)
+	if !d.Identical() {
+		return errDiffer
+	}
 	return nil
 }
 
@@ -456,7 +646,7 @@ func cmdDiff(args []string) error {
 // the standard flag package stops at the first positional and would
 // silently drop everything after it, including flags like -o. "-"
 // (stdin/stdout) counts as a positional.
-func parsePositionals(fs *flag.FlagSet, args []string) []string {
+func (c cli) parsePositionals(fs *flag.FlagSet, args []string) ([]string, error) {
 	var positionals []string
 	for {
 		for len(args) > 0 && (args[0] == "-" || !strings.HasPrefix(args[0], "-")) {
@@ -464,9 +654,11 @@ func parsePositionals(fs *flag.FlagSet, args []string) []string {
 			args = args[1:]
 		}
 		if len(args) == 0 {
-			return positionals
+			return positionals, nil
 		}
-		fs.Parse(args)
+		if err := fs.Parse(args); err != nil {
+			return nil, errUsage
+		}
 		args = fs.Args()
 	}
 }
@@ -474,22 +666,25 @@ func parsePositionals(fs *flag.FlagSet, args []string) []string {
 // parseWithTarget is parsePositionals for subcommands that take exactly
 // one trace argument (`replay file -protocol scoma` and `replay
 // -protocol scoma file` both work); extra positionals are an error.
-func parseWithTarget(fs *flag.FlagSet, args []string) string {
-	positionals := parsePositionals(fs, args)
+func (c cli) parseWithTarget(fs *flag.FlagSet, args []string) (string, error) {
+	positionals, err := c.parsePositionals(fs, args)
+	if err != nil {
+		return "", err
+	}
 	if len(positionals) > 1 {
-		fmt.Fprintf(os.Stderr, "rnuma-trace: unexpected extra arguments %v\n", positionals[1:])
-		os.Exit(2)
+		fmt.Fprintf(c.stderr, "rnuma-trace: unexpected extra arguments %v\n", positionals[1:])
+		return "", errUsage
 	}
 	if len(positionals) == 0 {
-		return ""
+		return "", nil
 	}
-	return positionals[0]
+	return positionals[0], nil
 }
 
 // openTrace resolves a trace argument: a path or "-" for stdin. The
 // positional form (info/replay) also accepts -trace for symmetry with
 // rnuma-sim.
-func openTrace(positional, tracePath string) (io.ReadCloser, string, error) {
+func (c cli) openTrace(positional, tracePath string) (io.ReadCloser, string, error) {
 	path := tracePath
 	if path == "" {
 		path = positional
@@ -498,7 +693,7 @@ func openTrace(positional, tracePath string) (io.ReadCloser, string, error) {
 		return nil, "", fmt.Errorf("no trace file given")
 	}
 	if path == "-" {
-		return io.NopCloser(os.Stdin), "stdin", nil
+		return io.NopCloser(c.stdin), "stdin", nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -507,11 +702,14 @@ func openTrace(positional, tracePath string) (io.ReadCloser, string, error) {
 	return f, path, nil
 }
 
-func cmdInfo(args []string) error {
-	fs := flag.NewFlagSet("info", flag.ExitOnError)
+func (c cli) cmdInfo(args []string) error {
+	fs := c.flagSet("info")
 	tracePath := fs.String("trace", "", `trace file ("-" = stdin; also accepted positionally)`)
-	target := parseWithTarget(fs, args)
-	r, name, err := openTrace(target, *tracePath)
+	target, err := c.parseWithTarget(fs, args)
+	if err != nil {
+		return err
+	}
+	r, name, err := c.openTrace(target, *tracePath)
 	if err != nil {
 		return err
 	}
@@ -521,12 +719,12 @@ func cmdInfo(args []string) error {
 		return err
 	}
 	h := d.Header()
-	fmt.Printf("trace: %s\n", name)
-	fmt.Printf("  workload:     %s\n", h.Name)
-	fmt.Printf("  format:       v%d\n", d.Version())
-	fmt.Printf("  geometry:     %s\n", h.Geometry)
-	fmt.Printf("  machine:      %d nodes, %d CPUs\n", h.Nodes, h.CPUs)
-	fmt.Printf("  shared pages: %d (%d KB)\n", h.SharedPages, h.SharedPages*h.Geometry.PageBytes()/1024)
+	fmt.Fprintf(c.stdout, "trace: %s\n", name)
+	fmt.Fprintf(c.stdout, "  workload:     %s\n", h.Name)
+	fmt.Fprintf(c.stdout, "  format:       v%d\n", d.Version())
+	fmt.Fprintf(c.stdout, "  geometry:     %s\n", h.Geometry)
+	fmt.Fprintf(c.stdout, "  machine:      %d nodes, %d CPUs\n", h.Nodes, h.CPUs)
+	fmt.Fprintf(c.stdout, "  shared pages: %d (%d KB)\n", h.SharedPages, h.SharedPages*h.Geometry.PageBytes()/1024)
 	// The home histogram is the first thing to sanity-check after a
 	// retarget: a round-robin re-homing shows even node counts, a botched
 	// one piles pages onto the low nodes.
@@ -534,123 +732,64 @@ func cmdInfo(args []string) error {
 	for _, n := range h.Homes {
 		perNode[n]++
 	}
-	fmt.Printf("  home map:\n")
-	for n, c := range perNode {
+	fmt.Fprintf(c.stdout, "  home map:\n")
+	for n, cnt := range perNode {
 		pct := 0.0
 		if h.SharedPages > 0 {
-			pct = 100 * float64(c) / float64(h.SharedPages)
+			pct = 100 * float64(cnt) / float64(h.SharedPages)
 		}
-		fmt.Printf("    node %2d: %6d pages (%5.1f%%)\n", n, c, pct)
+		fmt.Fprintf(c.stdout, "    node %2d: %6d pages (%5.1f%%)\n", n, cnt, pct)
 	}
 	counts, err := d.Drain()
 	if err != nil {
 		return err
 	}
 	var total int64
-	for _, c := range counts {
-		total += c
+	for _, cnt := range counts {
+		total += cnt
 	}
-	fmt.Printf("  references:   %d\n", total)
-	for cpu, c := range counts {
-		fmt.Printf("    cpu %2d: %d\n", cpu, c)
+	fmt.Fprintf(c.stdout, "  references:   %d\n", total)
+	for cpu, cnt := range counts {
+		fmt.Fprintf(c.stdout, "    cpu %2d: %d\n", cpu, cnt)
 	}
 	return nil
 }
 
-func cmdReplay(args []string) error {
-	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+func (c cli) cmdReplay(args []string) error {
+	fs := c.flagSet("replay")
 	tracePath := fs.String("trace", "", `trace file ("-" = stdin; also accepted positionally)`)
-	protocol := fs.String("protocol", "rnuma", "protocol: ccnuma, scoma, rnuma")
-	bc := fs.Int("bc", -2, "block cache bytes (-1 = infinite, default per protocol)")
-	pc := fs.Int("pc", -2, "page cache bytes (default per protocol)")
-	thr := fs.Int("T", 64, "R-NUMA relocation threshold")
-	soft := fs.Bool("soft", false, "use SOFT costs (10-µs traps, 5-µs software shootdowns)")
-	ideal := fs.Bool("ideal", false, "replay on the infinite-block-cache baseline")
-	target := parseWithTarget(fs, args)
+	system := systemFlags(fs)
+	target, err := c.parseWithTarget(fs, args)
+	if err != nil {
+		return err
+	}
 
-	r, name, err := openTrace(target, *tracePath)
+	r, name, err := c.openTrace(target, *tracePath)
 	if err != nil {
 		return err
 	}
 	defer r.Close()
-
-	var sys config.System
-	switch strings.ToLower(*protocol) {
-	case "ccnuma", "cc-numa", "cc":
-		sys = config.Base(config.CCNUMA)
-	case "scoma", "s-coma", "sc":
-		sys = config.Base(config.SCOMA)
-	case "rnuma", "r-numa", "r":
-		sys = config.Base(config.RNUMA)
-	default:
-		return fmt.Errorf("unknown protocol %q", *protocol)
-	}
-	if *ideal {
-		sys = config.Ideal()
-	}
-	if *bc != -2 {
-		sys.BlockCacheBytes = *bc
-	}
-	if *pc != -2 {
-		sys.PageCacheBytes = *pc
-	}
-	sys.Threshold = *thr
-
-	if *soft {
-		sys.Costs = config.SoftCosts()
-	}
-	run, hdr, err := replayOn(r, sys)
+	sys, err := system()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trace: %s (workload %s, %d nodes x %d CPUs)\n", name, hdr.Name, hdr.Nodes, hdr.CPUs/hdr.Nodes)
-	report.RunSummary(os.Stdout, sys.Name, run)
+	run, hdr, err := harness.ReplayTrace(r, sys)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(c.stdout, "trace: %s (workload %s, %d nodes x %d CPUs)\n", name, hdr.Name, hdr.Nodes, hdr.CPUs/hdr.Nodes)
+	report.RunSummary(c.stdout, sys.Name, run)
 
 	// A file (unlike stdin) can be replayed a second time for the
 	// ideal-machine normalization every figure uses.
-	if name != "stdin" && !*ideal {
-		f, err := os.Open(name)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		base, _, err := replayOn(f, config.Ideal())
+	if name != "stdin" && sys.BlockCacheBytes != config.InfiniteBlockCache {
+		base, _, err := harness.ReplayTraceFile(name, config.Ideal())
 		if err != nil {
 			return err
 		}
 		if base.ExecCycles > 0 {
-			fmt.Printf("  normalized exec time:  %.3f (vs infinite block cache)\n", run.Normalized(base))
+			fmt.Fprintf(c.stdout, "  normalized exec time:  %.3f (vs infinite block cache)\n", run.Normalized(base))
 		}
 	}
 	return nil
-}
-
-// replayOn runs one trace through a machine shaped like the recording.
-func replayOn(r io.Reader, sys config.System) (*stats.Run, tracefile.Header, error) {
-	d, err := tracefile.NewReader(r)
-	if err != nil {
-		return nil, tracefile.Header{}, err
-	}
-	h := d.Header()
-	if h.CPUs%h.Nodes != 0 {
-		return nil, h, fmt.Errorf("trace has %d CPUs on %d nodes (not evenly divided)", h.CPUs, h.Nodes)
-	}
-	sys.Geometry = h.Geometry
-	sys.Nodes = h.Nodes
-	sys.CPUsPerNode = h.CPUs / h.Nodes
-	if err := sys.Validate(); err != nil {
-		return nil, h, err
-	}
-	m, err := machine.New(sys, machine.WithHomes(h.HomeFunc()), machine.WithPages(h.SharedPages))
-	if err != nil {
-		return nil, h, err
-	}
-	run, err := m.Run(d.Streams())
-	if err != nil {
-		return nil, h, err
-	}
-	if err := d.Err(); err != nil {
-		return nil, h, err
-	}
-	return run, h, nil
 }

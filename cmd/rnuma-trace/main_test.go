@@ -1,0 +1,297 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI drives one in-process invocation of the command, returning the
+// exit code and captured stdout/stderr — the end-to-end harness for exit
+// codes and stdin/stdout piping.
+func runCLI(t *testing.T, stdin []byte, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(cli{stdin: bytes.NewReader(stdin), stdout: &out, stderr: &errBuf}, args)
+	return code, out.String(), errBuf.String()
+}
+
+// record captures a tiny trace to an in-memory buffer via -o -.
+func record(t *testing.T, args ...string) []byte {
+	t.Helper()
+	full := append([]string{"record", "-app", "fft", "-scale", "0.02", "-o", "-"}, args...)
+	code, stdout, stderr := runCLI(t, nil, full...)
+	if code != 0 {
+		t.Fatalf("record exited %d: %s", code, stderr)
+	}
+	if len(stdout) == 0 {
+		t.Fatal("record wrote no trace bytes to stdout")
+	}
+	return []byte(stdout)
+}
+
+func TestUsageExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no-args", nil, 2},
+		{"unknown-subcommand", []string{"bogus"}, 2},
+		{"help", []string{"-h"}, 0},
+		{"bad-flag", []string{"info", "-nonsense"}, 2},
+		{"record-unknown-app", []string{"record", "-app", "nope", "-o", "-"}, 1},
+		{"info-no-file", []string{"info"}, 1},
+		{"replay-extra-positionals", []string{"replay", "a.trace", "b.trace"}, 2},
+		{"diff-one-file", []string{"diff", "a.trace"}, 1},
+		{"diffstats-three-files", []string{"diffstats", "a", "b", "c"}, 1},
+		{"diff-double-stdin", []string{"diff", "-", "-"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, _ := runCLI(t, nil, tc.args...)
+			if code != tc.want {
+				t.Fatalf("exit %d, want %d", code, tc.want)
+			}
+		})
+	}
+}
+
+// TestPipedInfoAndReplay: a trace recorded to stdout pipes into info and
+// replay via stdin ("-"), end to end in memory.
+func TestPipedInfoAndReplay(t *testing.T) {
+	data := record(t)
+
+	code, stdout, stderr := runCLI(t, data, "info", "-")
+	if code != 0 {
+		t.Fatalf("info exited %d: %s", code, stderr)
+	}
+	for _, want := range []string{"workload:     fft", "8 nodes, 32 CPUs", "references:"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("info output missing %q:\n%s", want, stdout)
+		}
+	}
+
+	code, stdout, stderr = runCLI(t, data, "replay", "-", "-protocol", "ccnuma")
+	if code != 0 {
+		t.Fatalf("replay exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "run: CC-NUMA") {
+		t.Errorf("replay output missing run summary:\n%s", stdout)
+	}
+}
+
+// TestPipedCutCat: cut slices via stdin/stdout and cat recomposes; the
+// recomposition diffs identical against the original (exit 0).
+func TestPipedCutCat(t *testing.T) {
+	data := record(t)
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "fft.trace")
+	if err := os.WriteFile(orig, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, head, stderr := runCLI(t, data, "cut", "-", "-to", "100", "-o", "-")
+	if code != 0 {
+		t.Fatalf("cut exited %d: %s", code, stderr)
+	}
+	code, tail, stderr := runCLI(t, data, "cut", "-", "-from", "100", "-o", "-")
+	if code != 0 {
+		t.Fatalf("cut exited %d: %s", code, stderr)
+	}
+	headPath := filepath.Join(dir, "head.trace")
+	if err := os.WriteFile(headPath, []byte(head), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, recomposed, stderr := runCLI(t, []byte(tail), "cat", headPath, "-", "-o", "-")
+	if code != 0 {
+		t.Fatalf("cat exited %d: %s", code, stderr)
+	}
+	recomposedPath := filepath.Join(dir, "recomposed.trace")
+	if err := os.WriteFile(recomposedPath, []byte(recomposed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, _ := runCLI(t, nil, "diff", orig, recomposedPath)
+	if code != 0 {
+		t.Fatalf("diff of recomposition exited %d:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "identical") {
+		t.Errorf("diff output:\n%s", stdout)
+	}
+}
+
+// TestDiffExitCodes: differing traces exit 1 with a pinpointed record;
+// shape mismatches exit 1 with the mismatch, not an index.
+func TestDiffExitCodes(t *testing.T) {
+	data := record(t)
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "a.trace")
+	if err := os.WriteFile(orig, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A dilated trace has the same records at different gaps.
+	code, dilated, stderr := runCLI(t, data, "dilate", "-", "-factor", "3", "-o", "-")
+	if code != 0 {
+		t.Fatalf("dilate exited %d: %s", code, stderr)
+	}
+	dilPath := filepath.Join(dir, "x3.trace")
+	if err := os.WriteFile(dilPath, []byte(dilated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ := runCLI(t, nil, "diff", orig, dilPath)
+	if code != 1 {
+		t.Fatalf("diff of dilated trace exited %d, want 1:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "first divergence") {
+		t.Errorf("diff output missing divergence:\n%s", stdout)
+	}
+
+	// A retargeted shape mismatches.
+	code, retargeted, stderr := runCLI(t, data, "retarget", "-", "-nodes", "4", "-policy", "roundrobin", "-o", "-")
+	if code != 0 {
+		t.Fatalf("retarget exited %d: %s", code, stderr)
+	}
+	rePath := filepath.Join(dir, "4n.trace")
+	if err := os.WriteFile(rePath, []byte(retargeted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runCLI(t, nil, "diff", orig, rePath)
+	if code != 1 || !strings.Contains(stdout, "shape mismatch") {
+		t.Fatalf("shape-mismatch diff exited %d:\n%s", code, stdout)
+	}
+}
+
+// TestDiffStats: identical replays exit 0; a dilated replay differs on
+// timing counters and exits 1 with a delta table.
+func TestDiffStats(t *testing.T) {
+	data := record(t)
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "a.trace")
+	if err := os.WriteFile(orig, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr := runCLI(t, nil, "diffstats", orig, orig)
+	if code != 0 {
+		t.Fatalf("diffstats of identical traces exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "runs are identical") {
+		t.Errorf("diffstats output:\n%s", stdout)
+	}
+
+	code, dilated, stderr := runCLI(t, data, "dilate", "-", "-factor", "4", "-o", "-")
+	if code != 0 {
+		t.Fatalf("dilate exited %d: %s", code, stderr)
+	}
+	dilPath := filepath.Join(dir, "x4.trace")
+	if err := os.WriteFile(dilPath, []byte(dilated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The dilated side pipes in through stdin: diffstats composes with
+	// the transform pipeline like every other subcommand.
+	code, stdout, stderr = runCLI(t, []byte(dilated), "diffstats", orig, "-", "-protocol", "ccnuma")
+	if code != 1 {
+		t.Fatalf("diffstats of dilated trace exited %d, want 1: %s", code, stderr)
+	}
+	for _, want := range []string{"ExecCycles", "runs differ"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("diffstats output missing %q:\n%s", want, stdout)
+		}
+	}
+
+	// Bad trace bytes surface as errors (exit 1), not panics.
+	badPath := filepath.Join(dir, "bad.trace")
+	if err := os.WriteFile(badPath, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCLI(t, nil, "diffstats", orig, badPath); code != 1 {
+		t.Fatalf("diffstats of corrupt trace exited %d, want 1", code)
+	}
+}
+
+// TestRetargetGeometryCLI: the happy path re-splits the geometry (info
+// confirms it) and the error paths exit 1 with a diagnostic.
+func TestRetargetGeometryCLI(t *testing.T) {
+	data := record(t)
+
+	code, out, stderr := runCLI(t, data, "retarget-geometry", "-", "-block", "16", "-o", "-")
+	if code != 0 {
+		t.Fatalf("retarget-geometry exited %d: %s", code, stderr)
+	}
+	code, stdout, stderr := runCLI(t, []byte(out), "info", "-")
+	if code != 0 {
+		t.Fatalf("info exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "block=16B") {
+		t.Errorf("info after geometry retarget:\n%s", stdout)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no-dimension", []string{"retarget-geometry", "-", "-o", "-"}, "-block and/or -page"},
+		{"not-pow2", []string{"retarget-geometry", "-", "-block", "48", "-o", "-"}, "power of two"},
+		{"page-below-block", []string{"retarget-geometry", "-", "-page", "16", "-o", "-"}, "must be in"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, data, tc.args...)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1 (%s)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr missing %q: %s", tc.want, stderr)
+			}
+		})
+	}
+}
+
+// TestRetargetInterleaveFoldCLI: -cpu-fold interleave folds the CPU
+// count through the CLI, and unknown fold names are rejected.
+func TestRetargetInterleaveFoldCLI(t *testing.T) {
+	data := record(t) // 32 CPUs on 8 nodes
+	code, out, stderr := runCLI(t, data, "retarget", "-", "-nodes", "4", "-cpus", "16",
+		"-policy", "roundrobin", "-cpu-fold", "interleave", "-o", "-")
+	if code != 0 {
+		t.Fatalf("interleave retarget exited %d: %s", code, stderr)
+	}
+	code, stdout, _ := runCLI(t, []byte(out), "info", "-")
+	if code != 0 || !strings.Contains(stdout, "4 nodes, 16 CPUs") {
+		t.Fatalf("info after interleave fold (exit %d):\n%s", code, stdout)
+	}
+
+	if code, _, _ := runCLI(t, data, "retarget", "-", "-cpus", "16", "-cpu-fold", "bogus", "-o", "-"); code != 1 {
+		t.Fatalf("unknown -cpu-fold exited %d, want 1", code)
+	}
+	// 32 CPUs onto 12 does not divide evenly for interleave.
+	if code, _, stderr := runCLI(t, data, "retarget", "-", "-nodes", "4", "-cpus", "12", "-cpu-fold", "interleave", "-o", "-"); code != 1 || !strings.Contains(stderr, "not evenly divided") {
+		t.Fatalf("non-divisible interleave exited %d: %s", code, stderr)
+	}
+}
+
+// TestGenFromStdinSpec: gen builds a spec piped through stdin and the
+// result replays.
+func TestGenFromStdinSpec(t *testing.T) {
+	spec := `{
+		"name": "cli-e2e",
+		"regions": [{"name": "m", "pages": 16, "placement": "global"}],
+		"phases": [{"iters": 2, "steps": [{"op": "sweep", "region": "m"}, {"op": "barrier"}]}]
+	}`
+	code, out, stderr := runCLI(t, []byte(spec), "gen", "-spec", "-", "-nodes", "2", "-cpus", "2", "-o", "-")
+	if code != 0 {
+		t.Fatalf("gen exited %d: %s", code, stderr)
+	}
+	code, stdout, stderr := runCLI(t, []byte(out), "info", "-")
+	if code != 0 || !strings.Contains(stdout, "cli-e2e") {
+		t.Fatalf("info of generated spec (exit %d): %s\n%s", code, stderr, stdout)
+	}
+	if code, _, _ := runCLI(t, nil, "gen", "-o", "-"); code != 1 {
+		t.Fatal("gen without -spec should exit 1")
+	}
+}

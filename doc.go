@@ -27,15 +27,23 @@
 //     (streaming writer, lazy demuxing reader, live-simulation tee,
 //     per-chunk DEFLATE compression in format v2, stream-level Cut/Cat
 //     splicing, and the transform layer: Retarget onto a different
-//     machine shape under pluggable page-remapping policies, Dilate of
+//     machine shape under pluggable page-remapping policies and CPU
+//     fold policies (modulo or interleave), RetargetGeometry re-splitting
+//     every address onto a different block/page geometry, Dilate of
 //     compute gaps by a rational factor, and Diff reporting the first
 //     diverging CPU/record plus a per-CPU summary)
+//   - internal/stats — the per-run counter set, plus Diff: the
+//     per-counter delta table (absolute + relative + refetch-map
+//     digest) between two runs that rnuma-trace diffstats and
+//     rnuma-experiments -diff render
 //   - internal/harness — the experiment-plan layer and concurrent
 //     scheduler that regenerate every table and figure; spec files and
 //     recorded traces register as workload sources whose memo keys hash
 //     the decoded streams (CanonicalHash), so re-encodings of one
-//     capture share simulations, and NodeSweep retargets one capture
-//     across node counts to replay it at every machine size
+//     capture share simulations, and Sweep transforms one capture along
+//     a parameter axis (nodes, dilate factor, block size, page size,
+//     relocation threshold) to replay a whole sensitivity study from a
+//     single recording
 //   - internal/model — the analytical worst-case model (Section 3.2)
 //
 // The harness declares each figure's (application, system) grid as a Plan

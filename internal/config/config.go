@@ -6,6 +6,7 @@ package config
 
 import (
 	"fmt"
+	"strings"
 
 	"rnuma/internal/addr"
 	"rnuma/internal/pagecache"
@@ -203,6 +204,23 @@ func Ideal() System {
 	s.Name = "CC-NUMA (infinite block cache)"
 	s.BlockCacheBytes = InfiniteBlockCache
 	return s
+}
+
+// SystemByName resolves a CLI protocol spelling to its base system — the
+// one place every tool's -protocol flag goes through, so all CLIs accept
+// the same aliases. "ideal" names the normalization baseline.
+func SystemByName(name string) (System, error) {
+	switch strings.ToLower(name) {
+	case "ccnuma", "cc-numa", "cc":
+		return Base(CCNUMA), nil
+	case "scoma", "s-coma", "sc":
+		return Base(SCOMA), nil
+	case "rnuma", "r-numa", "r":
+		return Base(RNUMA), nil
+	case "ideal":
+		return Ideal(), nil
+	}
+	return System{}, fmt.Errorf("config: unknown protocol %q (want ccnuma, scoma, rnuma, or ideal)", name)
 }
 
 // Validate reports configuration errors before a run.

@@ -159,3 +159,22 @@ func TestProtocolString(t *testing.T) {
 		t.Error("unknown protocol should still render")
 	}
 }
+
+func TestSystemByName(t *testing.T) {
+	for name, want := range map[string]Protocol{
+		"ccnuma": CCNUMA, "CC-NUMA": CCNUMA, "cc": CCNUMA,
+		"scoma": SCOMA, "s-coma": SCOMA, "sc": SCOMA,
+		"rnuma": RNUMA, "R-numa": RNUMA, "r": RNUMA,
+	} {
+		sys, err := SystemByName(name)
+		if err != nil || sys.Protocol != want {
+			t.Errorf("SystemByName(%q) = %v protocol %v, want %v", name, err, sys.Protocol, want)
+		}
+	}
+	if sys, err := SystemByName("ideal"); err != nil || sys.BlockCacheBytes != InfiniteBlockCache {
+		t.Errorf("SystemByName(ideal) = %+v, %v", sys, err)
+	}
+	if _, err := SystemByName("doom"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}

@@ -74,10 +74,12 @@ func sysKey(s config.System) string {
 	if s.Costs.SoftTrap != config.BaseCosts().SoftTrap {
 		soft = "-soft"
 	}
-	// The machine shape is part of the identity: node-count sweeps run the
-	// same protocol at several sizes and must not share cache slots.
-	return fmt.Sprintf("%v-n%d-c%d-bc%d-pc%d-T%d%s",
-		s.Protocol, s.Nodes, s.CPUsPerNode, s.BlockCacheBytes, s.PageCacheBytes, s.Threshold, soft)
+	// The machine shape and geometry are part of the identity: sweeps run
+	// the same protocol at several sizes and block/page geometries and
+	// must not share cache slots.
+	return fmt.Sprintf("%v-g%d.%d-n%d-c%d-bc%d-pc%d-T%d%s",
+		s.Protocol, s.Geometry.BlockShift, s.Geometry.PageShift,
+		s.Nodes, s.CPUsPerNode, s.BlockCacheBytes, s.PageCacheBytes, s.Threshold, soft)
 }
 
 // Run executes (with memoization) one application under one system.

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"rnuma/internal/config"
+	"rnuma/internal/machine"
+	"rnuma/internal/stats"
+	"rnuma/internal/tracefile"
+)
+
+// ReplayTrace runs one recorded trace through a machine of its recorded
+// shape: the protocol, cache sizes, threshold, and costs come from sys,
+// while the node/CPU counts, geometry, segment size, and page placement
+// come from the trace header. This is the one-shot path the CLIs use for
+// replay and run-diffing; it bypasses the harness memo cache (no Harness
+// receiver) because the callers replay each input exactly once.
+func ReplayTrace(r io.Reader, sys config.System) (*stats.Run, tracefile.Header, error) {
+	d, err := tracefile.NewReader(r)
+	if err != nil {
+		return nil, tracefile.Header{}, err
+	}
+	h := d.Header()
+	if h.CPUs%h.Nodes != 0 {
+		return nil, h, fmt.Errorf("harness: trace has %d CPUs on %d nodes (not evenly divided)", h.CPUs, h.Nodes)
+	}
+	sys.Geometry = h.Geometry
+	sys.Nodes = h.Nodes
+	sys.CPUsPerNode = h.CPUs / h.Nodes
+	if err := sys.Validate(); err != nil {
+		return nil, h, err
+	}
+	m, err := machine.New(sys, machine.WithHomes(h.HomeFunc()), machine.WithPages(h.SharedPages))
+	if err != nil {
+		return nil, h, err
+	}
+	run, err := m.Run(d.Streams())
+	if err != nil {
+		return nil, h, err
+	}
+	if err := d.Err(); err != nil {
+		return nil, h, err
+	}
+	return run, h, nil
+}
+
+// ReplayTraceFile is ReplayTrace over a trace file on disk.
+func ReplayTraceFile(path string, sys config.System) (*stats.Run, tracefile.Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, tracefile.Header{}, fmt.Errorf("harness: %w", err)
+	}
+	defer f.Close()
+	run, h, err := ReplayTrace(f, sys)
+	if err != nil {
+		return nil, h, fmt.Errorf("%s: %w", path, err)
+	}
+	return run, h, nil
+}

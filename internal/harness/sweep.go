@@ -5,17 +5,385 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"rnuma/internal/config"
 	"rnuma/internal/tracefile"
 )
 
-// This file implements the node-count sweep: one recorded trace
-// retargeted across machine sizes and replayed under all three designs.
-// It is the transform layer's headline consumer — the paper's per-
-// workload robustness claim (R-NUMA within a small constant of the
-// better base protocol) gets re-checked at every machine size a single
-// capture can be remapped onto.
+// This file implements the sensitivity-sweep engine: one recorded trace
+// transformed along a single parameter axis and replayed under all three
+// designs at every point. The paper's core claim is robustness — R-NUMA
+// stays within a small constant of the better base protocol across
+// machine and workload parameters — so every axis re-checks that claim
+// against a different knob: machine size (shape retarget), processor
+// speed (gap dilation), coherence granularity (geometry retarget), page
+// size (geometry retarget), and the relocation threshold (a config
+// change, no transform needed).
+
+// Axis identifies the parameter a sensitivity sweep varies.
+type Axis int
+
+const (
+	// AxisNodes sweeps the node count: the capture is re-homed
+	// round-robin onto each machine size (the original node-count sweep).
+	AxisNodes Axis = iota
+	// AxisDilate sweeps a compute-gap scale factor: factors below 1 model
+	// faster processors (less compute between references), factors above
+	// 1 slower ones.
+	AxisDilate
+	// AxisBlockSize sweeps the coherence block size via geometry
+	// retargeting (values in bytes).
+	AxisBlockSize
+	// AxisPageSize sweeps the page size via geometry retargeting (values
+	// in bytes).
+	AxisPageSize
+	// AxisThreshold sweeps R-NUMA's relocation threshold T; the trace is
+	// replayed unchanged and only the R-NUMA configuration varies.
+	AxisThreshold
+)
+
+// String names the axis the way the CLI spells it.
+func (a Axis) String() string {
+	switch a {
+	case AxisNodes:
+		return "nodes"
+	case AxisDilate:
+		return "dilate"
+	case AxisBlockSize:
+		return "block"
+	case AxisPageSize:
+		return "page"
+	case AxisThreshold:
+		return "threshold"
+	}
+	return fmt.Sprintf("Axis(%d)", int(a))
+}
+
+// ParseAxis resolves a CLI axis name.
+func ParseAxis(name string) (Axis, error) {
+	switch name {
+	case "nodes":
+		return AxisNodes, nil
+	case "dilate":
+		return AxisDilate, nil
+	case "block":
+		return AxisBlockSize, nil
+	case "page":
+		return AxisPageSize, nil
+	case "threshold", "T":
+		return AxisThreshold, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown sweep axis %q (want nodes, dilate, block, page, or threshold)", name)
+	}
+}
+
+// SweepValue is one point's parameter value. Every axis uses integers
+// (Den == 1) except dilate, whose factors are rationals.
+type SweepValue struct {
+	Num, Den int64
+}
+
+// IntValue wraps an integer axis value.
+func IntValue(n int) SweepValue { return SweepValue{Num: int64(n), Den: 1} }
+
+// Float returns the value as a float for sorting and plotting.
+func (v SweepValue) Float() float64 {
+	if v.Den == 0 {
+		return 0
+	}
+	return float64(v.Num) / float64(v.Den)
+}
+
+// String renders the value as the CLI accepts it ("4", "1/2").
+func (v SweepValue) String() string {
+	if v.Den == 1 {
+		return strconv.FormatInt(v.Num, 10)
+	}
+	return fmt.Sprintf("%d/%d", v.Num, v.Den)
+}
+
+// reduced normalizes the fraction (2/4 and 1/2 are the same point).
+func (v SweepValue) reduced() SweepValue {
+	a, b := v.Num, v.Den
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return v
+	}
+	if a < 0 {
+		a = -a
+	}
+	return SweepValue{Num: v.Num / a, Den: v.Den / a}
+}
+
+// ParseSweepValues parses a comma-separated value list for an axis:
+// plain integers everywhere, N/D rationals on the dilate axis.
+func ParseSweepValues(axis Axis, csv string) ([]SweepValue, error) {
+	var out []SweepValue
+	for _, s := range strings.Split(csv, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if axis == AxisDilate {
+			num, den, err := tracefile.ParseRatio(s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SweepValue{Num: num, Den: den})
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("harness: bad %s sweep value %q (want an integer)", axis, s)
+		}
+		out = append(out, IntValue(n))
+	}
+	return out, nil
+}
+
+// AxisPoint is one configuration of a sensitivity sweep: the three base
+// protocols' execution times normalized to the ideal machine (infinite
+// block cache) of the same shape, geometry, and trace variant.
+type AxisPoint struct {
+	Axis  Axis
+	Value SweepValue
+	// Label names the point the way the report prints it ("8n x 4cpu",
+	// "x1/2", "b=64B", "T=256").
+	Label string
+	// Nodes and CPUsPerNode are the simulated machine shape at this point.
+	Nodes       int
+	CPUsPerNode int
+	// Normalized execution times.
+	CCNUMA, SCOMA, RNUMA float64
+}
+
+// RNUMAOverBest reports R-NUMA's time relative to the better base
+// protocol at this point (the paper's bounded-worst-case ratio).
+func (p AxisPoint) RNUMAOverBest() float64 {
+	best := p.CCNUMA
+	if p.SCOMA < best {
+		best = p.SCOMA
+	}
+	if best == 0 {
+		return 0
+	}
+	return p.RNUMA / best
+}
+
+// humanBytes renders a byte size compactly for point labels.
+func humanBytes(n int) string {
+	if n >= 1<<20 && n%(1<<20) == 0 {
+		return fmt.Sprintf("%dM", n>>20)
+	}
+	if n >= 1<<10 && n%(1<<10) == 0 {
+		return fmt.Sprintf("%dK", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// sweepSystem shapes a base configuration to one sweep point: the
+// machine shape and geometry come from the (possibly transformed) trace
+// header, and the label lands in the name for progress logs.
+func sweepSystem(sys config.System, hdr tracefile.Header, label string) config.System {
+	sys.Nodes = hdr.Nodes
+	sys.CPUsPerNode = hdr.CPUs / hdr.Nodes
+	sys.Geometry = hdr.Geometry
+	sys.Name = fmt.Sprintf("%s %s", sys.Name, label)
+	return sys
+}
+
+// sweepPoint is one resolved point of a sweep: the registered source
+// name plus the four systems to replay it under.
+type sweepPoint struct {
+	value                SweepValue
+	label                string
+	app                  string
+	nodes, cpusPer       int
+	ideal, cc, scoma, rn config.System
+}
+
+// variantFor transforms the capture for one axis value and returns the
+// registered source name, the variant's header, and the point label.
+// The threshold axis returns the capture unchanged.
+func variantFor(data []byte, hdr tracefile.Header, axis Axis, v SweepValue) (enc []byte, label string, err error) {
+	switch axis {
+	case AxisNodes:
+		n := int(v.Num)
+		if v.Den != 1 || n < 1 {
+			return nil, "", fmt.Errorf("harness: node count %s must be a positive integer", v)
+		}
+		if hdr.CPUs%n != 0 {
+			return nil, "", fmt.Errorf("harness: trace %s has %d CPUs, not divisible across %d nodes", hdr.Name, hdr.CPUs, n)
+		}
+		var buf bytes.Buffer
+		_, err := tracefile.Retarget(&buf, bytes.NewReader(data), tracefile.RetargetSpec{
+			Nodes:  n,
+			Policy: tracefile.RoundRobin(),
+			Name:   fmt.Sprintf("%s@%dn", hdr.Name, n),
+		})
+		return buf.Bytes(), fmt.Sprintf("%dn x %dcpu", n, hdr.CPUs/n), err
+	case AxisDilate:
+		var buf bytes.Buffer
+		_, err := tracefile.Dilate(&buf, bytes.NewReader(data), tracefile.DilateSpec{
+			Num: v.Num, Den: v.Den,
+			Name: fmt.Sprintf("%s@x%s", hdr.Name, v),
+		})
+		return buf.Bytes(), "x" + v.String(), err
+	case AxisBlockSize, AxisPageSize:
+		n := int(v.Num)
+		if v.Den != 1 || n < 1 {
+			return nil, "", fmt.Errorf("harness: %s size %s must be a positive integer", axis, v)
+		}
+		spec := tracefile.GeometrySpec{Name: fmt.Sprintf("%s@%s%d", hdr.Name, axis, n)}
+		label := "b=" + humanBytes(n)
+		if axis == AxisPageSize {
+			spec.PageBytes = n
+			label = "p=" + humanBytes(n)
+		} else {
+			spec.BlockBytes = n
+		}
+		var buf bytes.Buffer
+		_, err := tracefile.RetargetGeometry(&buf, bytes.NewReader(data), spec)
+		return buf.Bytes(), label, err
+	case AxisThreshold:
+		T := int(v.Num)
+		if v.Den != 1 || T < 1 {
+			return nil, "", fmt.Errorf("harness: threshold %s must be a positive integer", v)
+		}
+		return nil, fmt.Sprintf("T=%d", T), nil
+	}
+	return nil, "", fmt.Errorf("harness: unknown sweep axis %v", axis)
+}
+
+// Sweep transforms the in-memory trace encoding along one axis and
+// replays every point under CC-NUMA, S-COMA, and R-NUMA plus the
+// same-configuration ideal baseline. Transformed sources register under
+// "<name>@<point>", so repeated and overlapping sweeps share simulations
+// through the memo cache. Points come back sorted by value; duplicate
+// values collapse to one point.
+func (h *Harness) Sweep(data []byte, axis Axis, values []SweepValue) ([]AxisPoint, string, error) {
+	if len(values) == 0 {
+		return nil, "", fmt.Errorf("harness: %s sweep over no values", axis)
+	}
+	// Only the header is needed here (name + shape for validation); each
+	// variant source validates and hashes its own full decode.
+	d, err := tracefile.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, "", fmt.Errorf("harness: %w", err)
+	}
+	hdr := d.Header()
+
+	vals := make([]SweepValue, 0, len(values))
+	for _, v := range values {
+		vals = append(vals, v.reduced())
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Float() < vals[j].Float() })
+
+	plan := NewPlan()
+	pts := make([]sweepPoint, 0, len(vals))
+	for i, v := range vals {
+		if i > 0 && vals[i-1] == v {
+			continue // duplicate value
+		}
+		enc, label, err := variantFor(data, hdr, axis, v)
+		if err != nil {
+			return nil, "", err
+		}
+		pt := sweepPoint{value: v, label: label}
+		vh := hdr
+		if enc != nil {
+			src, err := TraceSource(enc)
+			if err != nil {
+				return nil, "", err
+			}
+			if err := h.Register(src); err != nil {
+				return nil, "", err
+			}
+			pt.app = src.Name()
+			vh = src.(*traceSource).Header()
+		} else {
+			// Config-only axes replay the capture unchanged; register it
+			// once under an axis-tagged name so it cannot collide with a
+			// same-named catalog generator or an untransformed -traces row.
+			src, err := TraceSource(data)
+			if err != nil {
+				return nil, "", err
+			}
+			named := &renamedSource{Source: src, name: fmt.Sprintf("%s@%s", hdr.Name, axis)}
+			if err := h.Register(named); err != nil {
+				return nil, "", err
+			}
+			pt.app = named.Name()
+		}
+		pt.nodes, pt.cpusPer = vh.Nodes, vh.CPUs/vh.Nodes
+		pt.ideal = sweepSystem(config.Ideal(), vh, label)
+		pt.cc = sweepSystem(config.Base(config.CCNUMA), vh, label)
+		pt.scoma = sweepSystem(config.Base(config.SCOMA), vh, label)
+		pt.rn = sweepSystem(config.Base(config.RNUMA), vh, label)
+		if axis == AxisThreshold {
+			pt.rn.Threshold = int(v.Num)
+		}
+		plan.AddRuns([]string{pt.app}, pt.ideal, pt.cc, pt.scoma, pt.rn)
+		pts = append(pts, pt)
+	}
+
+	h.Prefetch(plan)
+	out := make([]AxisPoint, 0, len(pts))
+	for _, p := range pts {
+		base, err := h.Run(p.app, p.ideal)
+		if err != nil {
+			return nil, "", err
+		}
+		ap := AxisPoint{Axis: axis, Value: p.value, Label: p.label, Nodes: p.nodes, CPUsPerNode: p.cpusPer}
+		for _, c := range []struct {
+			sys  config.System
+			into *float64
+		}{
+			{p.cc, &ap.CCNUMA},
+			{p.scoma, &ap.SCOMA},
+			{p.rn, &ap.RNUMA},
+		} {
+			run, err := h.Run(p.app, c.sys)
+			if err != nil {
+				return nil, "", err
+			}
+			*c.into = run.Normalized(base)
+		}
+		out = append(out, ap)
+	}
+	return out, hdr.Name, nil
+}
+
+// SweepFile is Sweep over a trace file on disk.
+func (h *Harness) SweepFile(path string, axis Axis, values []SweepValue) ([]AxisPoint, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("harness: %w", err)
+	}
+	pts, name, err := h.Sweep(data, axis, values)
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	return pts, name, nil
+}
+
+// renamedSource registers an existing source under a different
+// application name (the content key is unchanged, so identical content
+// still shares simulations).
+type renamedSource struct {
+	Source
+	name string
+}
+
+func (r *renamedSource) Name() string { return r.name }
+
+// ---------------------------------------------------------------------
+// Node-count sweep: the original fixed-axis entry points, kept as thin
+// wrappers over the generalized engine.
 
 // SweepPoint is one machine size of a node-count sweep: the three base
 // protocols' execution times normalized to the ideal machine (infinite
@@ -31,22 +399,7 @@ type SweepPoint struct {
 // RNUMAOverBest reports R-NUMA's time relative to the better base
 // protocol at this machine size (the paper's bounded-worst-case ratio).
 func (p SweepPoint) RNUMAOverBest() float64 {
-	best := p.CCNUMA
-	if p.SCOMA < best {
-		best = p.SCOMA
-	}
-	if best == 0 {
-		return 0
-	}
-	return p.RNUMA / best
-}
-
-// sweepSystem shapes a base configuration to one sweep point.
-func sweepSystem(sys config.System, nodes, cpusPerNode int) config.System {
-	sys.Nodes = nodes
-	sys.CPUsPerNode = cpusPerNode
-	sys.Name = fmt.Sprintf("%s n=%d", sys.Name, nodes)
-	return sys
+	return AxisPoint{CCNUMA: p.CCNUMA, SCOMA: p.SCOMA, RNUMA: p.RNUMA}.RNUMAOverBest()
 }
 
 // NodeSweep retargets the in-memory trace encoding onto each node count
@@ -57,78 +410,22 @@ func sweepSystem(sys config.System, nodes, cpusPerNode int) config.System {
 // and overlapping node lists share simulations through the memo cache.
 // Points come back sorted by node count.
 func (h *Harness) NodeSweep(data []byte, nodeCounts []int) ([]SweepPoint, string, error) {
-	if len(nodeCounts) == 0 {
-		return nil, "", fmt.Errorf("harness: node sweep over no node counts")
+	values := make([]SweepValue, 0, len(nodeCounts))
+	for _, n := range nodeCounts {
+		values = append(values, IntValue(n))
 	}
-	// Only the header is needed here (name + CPU count for divisibility);
-	// each retargeted source validates and hashes its own full decode.
-	d, err := tracefile.NewReader(bytes.NewReader(data))
+	pts, name, err := h.Sweep(data, AxisNodes, values)
 	if err != nil {
-		return nil, "", fmt.Errorf("harness: %w", err)
+		return nil, "", err
 	}
-	hdr := d.Header()
-
-	counts := append([]int(nil), nodeCounts...)
-	sort.Ints(counts)
-	plan := NewPlan()
-	type point struct {
-		nodes, cpusPer int
-		app            string
-	}
-	pts := make([]point, 0, len(counts))
-	for i, n := range counts {
-		if i > 0 && counts[i-1] == n {
-			continue // duplicate node count
-		}
-		if n < 1 || hdr.CPUs%n != 0 {
-			return nil, "", fmt.Errorf("harness: trace %s has %d CPUs, not divisible across %d nodes", hdr.Name, hdr.CPUs, n)
-		}
-		cpusPer := hdr.CPUs / n
-		name := fmt.Sprintf("%s@%dn", hdr.Name, n)
-		src, err := RetargetTrace(data, tracefile.RetargetSpec{
-			Nodes:  n,
-			Policy: tracefile.RoundRobin(),
-			Name:   name,
-		})
-		if err != nil {
-			return nil, "", err
-		}
-		if err := h.Register(src); err != nil {
-			return nil, "", err
-		}
-		plan.AddRuns([]string{name},
-			sweepSystem(config.Ideal(), n, cpusPer),
-			sweepSystem(config.Base(config.CCNUMA), n, cpusPer),
-			sweepSystem(config.Base(config.SCOMA), n, cpusPer),
-			sweepSystem(config.Base(config.RNUMA), n, cpusPer))
-		pts = append(pts, point{nodes: n, cpusPer: cpusPer, app: name})
-	}
-
-	h.Prefetch(plan)
 	out := make([]SweepPoint, 0, len(pts))
 	for _, p := range pts {
-		base, err := h.Run(p.app, sweepSystem(config.Ideal(), p.nodes, p.cpusPer))
-		if err != nil {
-			return nil, "", err
-		}
-		sp := SweepPoint{Nodes: p.nodes, CPUsPerNode: p.cpusPer}
-		for _, c := range []struct {
-			sys  config.System
-			into *float64
-		}{
-			{config.Base(config.CCNUMA), &sp.CCNUMA},
-			{config.Base(config.SCOMA), &sp.SCOMA},
-			{config.Base(config.RNUMA), &sp.RNUMA},
-		} {
-			run, err := h.Run(p.app, sweepSystem(c.sys, p.nodes, p.cpusPer))
-			if err != nil {
-				return nil, "", err
-			}
-			*c.into = run.Normalized(base)
-		}
-		out = append(out, sp)
+		out = append(out, SweepPoint{
+			Nodes: p.Nodes, CPUsPerNode: p.CPUsPerNode,
+			CCNUMA: p.CCNUMA, SCOMA: p.SCOMA, RNUMA: p.RNUMA,
+		})
 	}
-	return out, hdr.Name, nil
+	return out, name, nil
 }
 
 // NodeSweepFile is NodeSweep over a trace file on disk.

@@ -143,6 +143,142 @@ func TestNodeSweep(t *testing.T) {
 	}
 }
 
+// TestSweepDilate sweeps gap-dilation factors: each point replays the
+// dilated capture normalized to the same-dilation ideal machine, so
+// every protocol stays at or above 1 and points come back sorted by
+// factor with rational labels.
+func TestSweepDilate(t *testing.T) {
+	const scale = 0.02
+	data := recordCatalog(t, "fft", scale)
+	h := New(scale)
+	values, err := ParseSweepValues(AxisDilate, "2,1/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, name, err := h.Sweep(data, AxisDilate, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "fft" {
+		t.Errorf("workload name = %q", name)
+	}
+	if len(points) != 2 || points[0].Label != "x1/2" || points[1].Label != "x2" {
+		t.Fatalf("points = %+v", points)
+	}
+	for i, p := range points {
+		if p.Nodes != 8 || p.CPUsPerNode != 4 {
+			t.Errorf("point %d: shape %dn x %d, want 8x4", i, p.Nodes, p.CPUsPerNode)
+		}
+		for which, v := range map[string]float64{"ccnuma": p.CCNUMA, "scoma": p.SCOMA, "rnuma": p.RNUMA} {
+			if v < 1 {
+				t.Errorf("point %d: %s normalized time %.3f < 1", i, which, v)
+			}
+		}
+	}
+
+	// Equivalent fractions collapse to one point.
+	dup, _, err := h.Sweep(data, AxisDilate, []SweepValue{{Num: 1, Den: 2}, {Num: 2, Den: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dup) != 1 {
+		t.Fatalf("1/2 and 2/4 did not collapse: %d points", len(dup))
+	}
+	if !reflect.DeepEqual(dup[0], points[0]) {
+		t.Errorf("repeated dilate point differs: %+v vs %+v", dup[0], points[0])
+	}
+
+	if _, _, err := h.Sweep(data, AxisDilate, []SweepValue{{Num: -1, Den: 2}}); err == nil {
+		t.Error("negative dilate factor accepted")
+	}
+}
+
+// TestSweepThreshold sweeps R-NUMA's relocation threshold: the capture
+// replays unchanged, so the CC-NUMA and S-COMA columns are constant
+// across points and only R-NUMA responds.
+func TestSweepThreshold(t *testing.T) {
+	const scale = 0.02
+	data := recordCatalog(t, "fft", scale)
+	h := New(scale)
+	values, err := ParseSweepValues(AxisThreshold, "16,256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, _, err := h.Sweep(data, AxisThreshold, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].Label != "T=16" || points[1].Label != "T=256" {
+		t.Fatalf("points = %+v", points)
+	}
+	if points[0].CCNUMA != points[1].CCNUMA || points[0].SCOMA != points[1].SCOMA {
+		t.Errorf("base protocols moved across thresholds: %+v", points)
+	}
+	if _, _, err := h.Sweep(data, AxisThreshold, []SweepValue{IntValue(0)}); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+}
+
+// TestSweepGeometry sweeps the block size through geometry retargeting:
+// each point replays on a machine of the retargeted geometry.
+func TestSweepGeometry(t *testing.T) {
+	const scale = 0.02
+	data := recordCatalog(t, "fft", scale)
+	h := New(scale)
+	points, _, err := h.Sweep(data, AxisBlockSize, []SweepValue{IntValue(64), IntValue(16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].Label != "b=16B" || points[1].Label != "b=64B" {
+		t.Fatalf("points = %+v", points)
+	}
+	for i, p := range points {
+		if p.RNUMA < 1 || p.CCNUMA < 1 {
+			t.Errorf("point %d: normalized below ideal: %+v", i, p)
+		}
+	}
+	// A non-power-of-two size surfaces the transform's validation.
+	if _, _, err := h.Sweep(data, AxisBlockSize, []SweepValue{IntValue(48)}); err == nil {
+		t.Error("non-power-of-two block size accepted")
+	}
+}
+
+// TestParseAxisAndValues covers the CLI-facing parsers.
+func TestParseAxisAndValues(t *testing.T) {
+	for name, want := range map[string]Axis{
+		"nodes": AxisNodes, "dilate": AxisDilate, "block": AxisBlockSize,
+		"page": AxisPageSize, "threshold": AxisThreshold,
+	} {
+		got, err := ParseAxis(name)
+		if err != nil || got != want {
+			t.Errorf("ParseAxis(%q) = %v, %v", name, got, err)
+		}
+		if got.String() != name {
+			t.Errorf("axis %v renders as %q", want, got.String())
+		}
+	}
+	if _, err := ParseAxis("bogus"); err == nil {
+		t.Error("unknown axis accepted")
+	}
+
+	vals, err := ParseSweepValues(AxisDilate, "1/2, 2,4")
+	if err != nil || len(vals) != 3 || vals[0] != (SweepValue{1, 2}) {
+		t.Errorf("dilate values = %v, %v", vals, err)
+	}
+	if _, err := ParseSweepValues(AxisNodes, "1/2"); err == nil {
+		t.Error("rational node count accepted")
+	}
+	if _, err := ParseSweepValues(AxisNodes, "x"); err == nil {
+		t.Error("non-integer accepted")
+	}
+	if v := (SweepValue{Num: 3, Den: 1}); v.String() != "3" || v.Float() != 3 {
+		t.Errorf("SweepValue render: %q %v", v.String(), v.Float())
+	}
+	if v := (SweepValue{Num: 1, Den: 2}); v.String() != "1/2" || v.Float() != 0.5 {
+		t.Errorf("SweepValue render: %q %v", v.String(), v.Float())
+	}
+}
+
 // TestRetargetedTraceFileSource exercises the file-path entry point: a
 // trace on disk retargeted at registration replays on the new shape.
 func TestRetargetedTraceFileSource(t *testing.T) {
@@ -166,7 +302,8 @@ func TestRetargetedTraceFileSource(t *testing.T) {
 	if err := h.Register(src); err != nil {
 		t.Fatal(err)
 	}
-	sys := sweepSystem(config.Base(config.RNUMA), 4, 8)
+	sys := config.Base(config.RNUMA)
+	sys.Nodes, sys.CPUsPerNode = 4, 8
 	run, err := h.Run(src.Name(), sys)
 	if err != nil {
 		t.Fatal(err)

@@ -177,6 +177,76 @@ func Sweep(w io.Writer, name string, points []harness.SweepPoint) {
 	fmt.Fprintf(w, "worst R-NUMA-vs-best ratio across sizes: %.2f\n", worst)
 }
 
+// Sensitivity renders a generalized one-axis sensitivity sweep: one
+// recorded workload transformed along the axis and replayed under the
+// three base designs at every point.
+func Sensitivity(w io.Writer, name string, axis harness.Axis, points []harness.AxisPoint) {
+	fmt.Fprintf(w, "SENSITIVITY — %s swept over %s (one capture, transformed per point)\n", name, axis)
+	switch axis {
+	case harness.AxisNodes:
+		fmt.Fprintln(w, "(normalized to the same-shape ideal machine; pages re-homed round-robin)")
+	case harness.AxisDilate:
+		fmt.Fprintln(w, "(compute gaps scaled per point: x<1 models faster processors, x>1 slower;")
+		fmt.Fprintln(w, " normalized to the same-dilation ideal machine)")
+	case harness.AxisBlockSize, harness.AxisPageSize:
+		fmt.Fprintln(w, "(geometry retargeted per point; normalized to the same-geometry ideal machine)")
+	case harness.AxisThreshold:
+		fmt.Fprintln(w, "(capture replayed unchanged; R-NUMA relocation threshold varied per point)")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-16s %10s %10s %10s %10s\n", axis, "CC-NUMA", "S-COMA", "R-NUMA", "R/best")
+	fmt.Fprintln(w, strings.Repeat("-", 60))
+	for _, p := range points {
+		fmt.Fprintf(w, "%-16s %10.2f %10.2f %10.2f %10.2f\n",
+			p.Label, p.CCNUMA, p.SCOMA, p.RNUMA, p.RNUMAOverBest())
+	}
+	fmt.Fprintln(w)
+	worst := 0.0
+	for _, p := range points {
+		if v := p.RNUMAOverBest(); v > worst {
+			worst = v
+		}
+	}
+	fmt.Fprintf(w, "worst R-NUMA-vs-best ratio across the %s axis: %.2f\n", axis, worst)
+}
+
+// DeltaTable renders a stats.Diff per-counter comparison: every counter
+// of the two runs side by side with absolute and relative deltas, then
+// the refetch-distribution digest comparison. Unchanged counters print
+// only under verbose.
+func DeltaTable(w io.Writer, nameA, nameB string, d *stats.RunDelta, verbose bool) {
+	fmt.Fprintf(w, "DELTA — %s vs %s (B-A per counter)\n", nameA, nameB)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-20s %14s %14s %14s %9s\n", "counter", "A", "B", "delta", "rel")
+	fmt.Fprintln(w, strings.Repeat("-", 76))
+	for _, c := range d.Counters {
+		if c.Delta == 0 && !verbose {
+			continue
+		}
+		rel := "-"
+		if pct, ok := c.RelPct(); ok {
+			rel = fmt.Sprintf("%+.1f%%", pct)
+		} else if c.Delta != 0 {
+			rel = "new"
+		}
+		fmt.Fprintf(w, "%-20s %14d %14d %+14d %9s\n", c.Name, c.A, c.B, c.Delta, rel)
+	}
+	if d.Differing == 0 {
+		fmt.Fprintln(w, "(all counters identical)")
+	}
+	fmt.Fprintln(w)
+	refetch := "identical"
+	if d.RefetchDigestA != d.RefetchDigestB {
+		refetch = fmt.Sprintf("differ (%d pages changed)", d.RefetchPagesDiffering)
+	}
+	fmt.Fprintf(w, "refetch map: %s vs %s — %s\n", d.RefetchDigestA, d.RefetchDigestB, refetch)
+	if d.Identical() {
+		fmt.Fprintln(w, "runs are identical")
+	} else {
+		fmt.Fprintf(w, "runs differ: %d counters changed\n", d.Differing)
+	}
+}
+
 // Model renders the analytical worst-case model (Table 1, EQ 1-3).
 func Model(w io.Writer, p model.Params) {
 	fmt.Fprintln(w, "ANALYTICAL MODEL — worst-case competitive ratios (Section 3.2)")

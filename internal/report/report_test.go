@@ -130,3 +130,46 @@ func TestBarClamping(t *testing.T) {
 		t.Error("zero max should render empty")
 	}
 }
+
+func TestSensitivityRendering(t *testing.T) {
+	var b strings.Builder
+	Sensitivity(&b, "fft", harness.AxisDilate, []harness.AxisPoint{
+		{Axis: harness.AxisDilate, Label: "x1/2", Nodes: 8, CPUsPerNode: 4, CCNUMA: 1.2, SCOMA: 1.5, RNUMA: 1.25},
+		{Axis: harness.AxisDilate, Label: "x2", Nodes: 8, CPUsPerNode: 4, CCNUMA: 1.1, SCOMA: 1.3, RNUMA: 1.15},
+	})
+	out := b.String()
+	for _, want := range []string{"SENSITIVITY — fft swept over dilate", "x1/2", "x2", "faster processors", "worst R-NUMA-vs-best ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sensitivity output missing %q (output:\n%s)", want, out)
+		}
+	}
+}
+
+func TestDeltaTableRendering(t *testing.T) {
+	a, b := stats.NewRun(), stats.NewRun()
+	a.ExecCycles, b.ExecCycles = 1000, 1100
+	a.Refs, b.Refs = 50, 50
+	d := stats.Diff(a, b)
+
+	var buf strings.Builder
+	DeltaTable(&buf, "old", "new", d, false)
+	out := buf.String()
+	for _, want := range []string{"DELTA — old vs new", "ExecCycles", "+10.0%", "runs differ: 1 counters changed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delta table missing %q (output:\n%s)", want, out)
+		}
+	}
+	if strings.Contains(out, "Refs ") {
+		t.Errorf("unchanged counter rendered without verbose:\n%s", out)
+	}
+
+	// Verbose lists unchanged counters; identical runs say so.
+	buf.Reset()
+	DeltaTable(&buf, "a", "b", stats.Diff(a, a), true)
+	out = buf.String()
+	for _, want := range []string{"Refs", "(all counters identical)", "runs are identical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verbose identical table missing %q (output:\n%s)", want, out)
+		}
+	}
+}

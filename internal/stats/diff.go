@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// This file implements run-level diffing: the per-counter delta table
+// that turns "did this change regress anything?" into one comparison.
+// Trace diffs (tracefile.Diff) explain where two captures' streams
+// diverge; a run diff explains how two *replays* differ — every counter
+// side by side with absolute and relative deltas, plus a digest
+// comparison of the per-page refetch distribution, the NUMAscope-style
+// delta analysis over this simulator's counter set.
+
+// CounterDelta is one counter's comparison between two runs.
+type CounterDelta struct {
+	// Name is the stats.Run field name (ExecCycles, Refetches, ...).
+	Name string
+	// A and B are the two runs' values.
+	A, B int64
+	// Delta is B - A.
+	Delta int64
+}
+
+// RelPct returns the relative change in percent (B vs A). When A is zero
+// the ratio is undefined; it reports +100 per unit appearing from nothing
+// only as ±Inf would mislead, so callers render it as "new".
+func (c CounterDelta) RelPct() (pct float64, defined bool) {
+	if c.A == 0 {
+		return 0, c.Delta == 0
+	}
+	return 100 * float64(c.Delta) / float64(c.A), true
+}
+
+// RunDelta is a full per-counter comparison of two runs.
+type RunDelta struct {
+	// Counters holds every int64 counter of stats.Run in declaration
+	// order (future counters join automatically — the walk is by
+	// reflection, not a hand-kept list).
+	Counters []CounterDelta
+	// Differing counts entries with a nonzero delta.
+	Differing int
+	// RefetchDigestA/B digest each run's per-(node,page) refetch map
+	// (sorted key/count pairs); equal digests mean the full Figure-5
+	// distribution matches, not just the refetch total.
+	RefetchDigestA, RefetchDigestB string
+	// RefetchPagesDiffering counts (node, page) keys whose refetch
+	// counts differ between the two maps (keys missing from one side
+	// count as differing).
+	RefetchPagesDiffering int
+}
+
+// Identical reports whether the two runs matched on every counter and on
+// the full refetch distribution.
+func (d *RunDelta) Identical() bool {
+	return d.Differing == 0 && d.RefetchPagesDiffering == 0 &&
+		d.RefetchDigestA == d.RefetchDigestB
+}
+
+// RefetchDigest hashes the run's sorted (node, page, count) refetch list
+// into a short hex digest — the same pinning the golden-stats fixtures
+// use, exposed so delta tables and CI artifacts can compare
+// distributions without materializing them.
+func (r *Run) RefetchDigest() string {
+	keys := make([]PageKey, 0, len(r.RefetchByPage))
+	for k := range r.RefetchByPage {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Node != keys[j].Node {
+			return keys[i].Node < keys[j].Node
+		}
+		return keys[i].Page < keys[j].Page
+	})
+	hash := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintf(hash, "%d/%d:%d\n", k.Node, k.Page, r.RefetchByPage[k])
+	}
+	return fmt.Sprintf("%x", hash.Sum(nil)[:12])
+}
+
+// Diff compares two runs counter by counter. Every exported int64 field
+// of stats.Run participates, in declaration order; the per-page refetch
+// maps are compared by digest and by per-key count.
+func Diff(a, b *Run) *RunDelta {
+	d := &RunDelta{
+		RefetchDigestA: a.RefetchDigest(),
+		RefetchDigestB: b.RefetchDigest(),
+	}
+	va, vb := reflect.ValueOf(*a), reflect.ValueOf(*b)
+	t := va.Type()
+	for i := 0; i < t.NumField(); i++ {
+		if t.Field(i).Type.Kind() != reflect.Int64 {
+			continue
+		}
+		c := CounterDelta{
+			Name: t.Field(i).Name,
+			A:    va.Field(i).Int(),
+			B:    vb.Field(i).Int(),
+		}
+		c.Delta = c.B - c.A
+		if c.Delta != 0 {
+			d.Differing++
+		}
+		d.Counters = append(d.Counters, c)
+	}
+	for k, ca := range a.RefetchByPage {
+		if b.RefetchByPage[k] != ca {
+			d.RefetchPagesDiffering++
+		}
+	}
+	for k := range b.RefetchByPage {
+		if _, ok := a.RefetchByPage[k]; !ok {
+			d.RefetchPagesDiffering++
+		}
+	}
+	return d
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+
+	"rnuma/internal/addr"
+)
+
+// sampleRun builds a run with a few counters and refetch entries set.
+func sampleRun() *Run {
+	r := NewRun()
+	r.ExecCycles = 1000
+	r.Refs = 500
+	r.L1Hits = 400
+	r.RemoteFetches = 50
+	r.AddRefetch(1, 7)
+	r.AddRefetch(1, 7)
+	r.AddRefetch(2, 9)
+	return r
+}
+
+func TestDiffIdenticalRuns(t *testing.T) {
+	a, b := sampleRun(), sampleRun()
+	d := Diff(a, b)
+	if !d.Identical() {
+		t.Fatalf("identical runs diff as different: %+v", d)
+	}
+	if d.Differing != 0 || d.RefetchPagesDiffering != 0 {
+		t.Fatalf("differing counts nonzero: %+v", d)
+	}
+	if d.RefetchDigestA != d.RefetchDigestB {
+		t.Fatal("identical refetch maps digest differently")
+	}
+}
+
+// TestDiffCoversEveryCounter: the reflective walk must include every
+// int64 field of Run — a counter added later joins automatically, and
+// the declaration order is preserved.
+func TestDiffCoversEveryCounter(t *testing.T) {
+	d := Diff(NewRun(), NewRun())
+	var want []string
+	rt := reflect.TypeOf(Run{})
+	for i := 0; i < rt.NumField(); i++ {
+		if rt.Field(i).Type.Kind() == reflect.Int64 {
+			want = append(want, rt.Field(i).Name)
+		}
+	}
+	var got []string
+	for _, c := range d.Counters {
+		got = append(got, c.Name)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("counters %v, want %v", got, want)
+	}
+	if len(got) < 20 {
+		t.Fatalf("only %d counters walked — Run should have far more", len(got))
+	}
+}
+
+func TestDiffPinpointsCounterChange(t *testing.T) {
+	a, b := sampleRun(), sampleRun()
+	b.RemoteFetches += 5
+	b.ExecCycles -= 100
+	d := Diff(a, b)
+	if d.Identical() {
+		t.Fatal("changed runs diff as identical")
+	}
+	if d.Differing != 2 {
+		t.Fatalf("differing = %d, want 2", d.Differing)
+	}
+	byName := map[string]CounterDelta{}
+	for _, c := range d.Counters {
+		byName[c.Name] = c
+	}
+	if c := byName["RemoteFetches"]; c.Delta != 5 || c.A != 50 || c.B != 55 {
+		t.Fatalf("RemoteFetches delta: %+v", c)
+	}
+	if c := byName["ExecCycles"]; c.Delta != -100 {
+		t.Fatalf("ExecCycles delta: %+v", c)
+	}
+	if pct, ok := byName["RemoteFetches"].RelPct(); !ok || pct != 10 {
+		t.Fatalf("RemoteFetches rel = %v, %v, want +10%%", pct, ok)
+	}
+}
+
+func TestDiffRefetchMap(t *testing.T) {
+	a, b := sampleRun(), sampleRun()
+	b.AddRefetch(3, 11) // new key on B (also bumps the Refetches counter)
+	d := Diff(a, b)
+	if d.RefetchDigestA == d.RefetchDigestB {
+		t.Fatal("different refetch maps share a digest")
+	}
+	if d.RefetchPagesDiffering != 1 {
+		t.Fatalf("refetch pages differing = %d, want 1", d.RefetchPagesDiffering)
+	}
+
+	// A key missing from B counts too.
+	c := sampleRun()
+	delete(c.RefetchByPage, PageKey{Node: addr.NodeID(2), Page: addr.PageNum(9)})
+	d = Diff(sampleRun(), c)
+	if d.RefetchPagesDiffering != 1 {
+		t.Fatalf("missing-key differing = %d, want 1", d.RefetchPagesDiffering)
+	}
+	if d.Identical() {
+		t.Fatal("map-only change reported identical")
+	}
+}
+
+func TestCounterDeltaRelPct(t *testing.T) {
+	if pct, ok := (CounterDelta{A: 0, B: 0}).RelPct(); !ok || pct != 0 {
+		t.Fatalf("0->0 rel = %v, %v", pct, ok)
+	}
+	if _, ok := (CounterDelta{A: 0, B: 5, Delta: 5}).RelPct(); ok {
+		t.Fatal("0->5 rel should be undefined")
+	}
+	if pct, ok := (CounterDelta{A: 200, B: 100, Delta: -100}).RelPct(); !ok || pct != -50 {
+		t.Fatalf("200->100 rel = %v, %v", pct, ok)
+	}
+}

@@ -1,0 +1,242 @@
+package tracefile
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rnuma/internal/addr"
+	"rnuma/internal/trace"
+)
+
+// geometryBytes runs RetargetGeometry over an in-memory encoding.
+func geometryBytes(t *testing.T, data []byte, spec GeometrySpec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := RetargetGeometry(&buf, bytes.NewReader(data), spec); err != nil {
+		t.Fatalf("RetargetGeometry: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGeometryIdentityPreservesHash: retargeting onto the source's own
+// geometry must reproduce the canonical content exactly — the engine's
+// address arithmetic is the identity when nothing changes.
+func TestGeometryIdentityPreservesHash(t *testing.T) {
+	h := testHeader()
+	refs := randRefs(h, 600, 3)
+	data := encode(t, h, refs)
+	for _, spec := range []GeometrySpec{
+		{}, // keep both
+		{BlockBytes: h.Geometry.BlockBytes()},
+		{PageBytes: h.Geometry.PageBytes()},
+		{BlockBytes: h.Geometry.BlockBytes(), PageBytes: h.Geometry.PageBytes()},
+	} {
+		out := geometryBytes(t, data, spec)
+		gotH, gotRefs := decode(t, out)
+		if !reflect.DeepEqual(gotH, h) {
+			t.Fatalf("spec %+v: header changed: %+v vs %+v", spec, gotH, h)
+		}
+		for c := range refs {
+			if !reflect.DeepEqual(gotRefs[c], refs[c]) {
+				t.Fatalf("spec %+v: cpu %d records changed", spec, c)
+			}
+		}
+		if hashOf(t, data) != hashOf(t, out) {
+			t.Fatalf("spec %+v: identity geometry retarget changed the canonical hash", spec)
+		}
+	}
+}
+
+// byteAddr computes the block-start byte address a record names under a
+// geometry — the invariant every geometry retarget must preserve.
+func byteAddr(g addr.Geometry, r trace.Ref) uint64 {
+	return uint64(r.Page)<<g.PageShift | uint64(r.Off)<<g.BlockShift
+}
+
+// TestGeometryPreservesAddresses: under block-size and page-size changes
+// each record must keep naming the target block containing the source
+// block's first byte, with gaps, flags, and CPU attribution untouched.
+func TestGeometryPreservesAddresses(t *testing.T) {
+	h := testHeader() // block 32B, page 4K
+	refs := randRefs(h, 400, 9)
+	data := encode(t, h, refs)
+
+	cases := []struct {
+		name string
+		spec GeometrySpec
+	}{
+		{"block-halved", GeometrySpec{BlockBytes: 16}},
+		{"block-doubled", GeometrySpec{BlockBytes: 64}},
+		{"page-halved", GeometrySpec{PageBytes: 2048}},
+		{"page-doubled", GeometrySpec{PageBytes: 8192}},
+		{"both", GeometrySpec{BlockBytes: 64, PageBytes: 2048}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := geometryBytes(t, data, tc.spec)
+			gotH, gotRefs := decode(t, out)
+			tg := gotH.Geometry
+
+			// The segment keeps its byte size.
+			srcBytes := h.SharedPages * h.Geometry.PageBytes()
+			if got := gotH.SharedPages * tg.PageBytes(); got < srcBytes || got-srcBytes >= tg.PageBytes() {
+				t.Fatalf("segment resized to %d bytes, source was %d", got, srcBytes)
+			}
+			// Homes carry over by byte address.
+			for q, n := range gotH.Homes {
+				sp := (q * tg.PageBytes()) / h.Geometry.PageBytes()
+				if sp < len(h.Homes) && n != h.Homes[sp] {
+					t.Fatalf("page %d homed at %d, source page %d was at %d", q, n, sp, h.Homes[sp])
+				}
+			}
+			for c := range refs {
+				if len(gotRefs[c]) != len(refs[c]) {
+					t.Fatalf("cpu %d: %d records, want %d", c, len(gotRefs[c]), len(refs[c]))
+				}
+				for i, r := range refs[c] {
+					g := gotRefs[c][i]
+					if r.Barrier {
+						if !g.Barrier || g.Gap != r.Gap {
+							t.Fatalf("cpu %d rec %d: barrier perturbed", c, i)
+						}
+						continue
+					}
+					if g.Write != r.Write || g.Gap != r.Gap || g.Barrier {
+						t.Fatalf("cpu %d rec %d: flags/gap perturbed: %+v vs %+v", c, i, g, r)
+					}
+					src := byteAddr(h.Geometry, r)
+					dst := byteAddr(tg, g)
+					// The rewritten record names the target block containing
+					// the source block's start byte.
+					if want := src &^ uint64(tg.BlockBytes()-1); dst != want {
+						t.Fatalf("cpu %d rec %d: byte addr %#x, want %#x (src %#x)", c, i, dst, want, src)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGeometryBlockHalvedRoundTrips: halving the block size and doubling
+// it back reproduces the original trace exactly (no source block ever
+// straddles the restored geometry's blocks).
+func TestGeometryBlockHalvedRoundTrips(t *testing.T) {
+	h := testHeader()
+	refs := randRefs(h, 500, 21)
+	data := encode(t, h, refs)
+	half := geometryBytes(t, data, GeometrySpec{BlockBytes: 16})
+	back := geometryBytes(t, half, GeometrySpec{BlockBytes: 32})
+	if hashOf(t, data) != hashOf(t, back) {
+		t.Fatal("halve+double block size did not round-trip")
+	}
+}
+
+// TestGeometryErrors covers the rejection paths: non-power-of-two sizes,
+// shifts outside the validated ranges, offset-field overflow, and
+// negative sizes.
+func TestGeometryErrors(t *testing.T) {
+	h := testHeader()
+	data := encode(t, h, randRefs(h, 20, 1))
+	cases := []struct {
+		name string
+		spec GeometrySpec
+		want string
+	}{
+		{"block-not-pow2", GeometrySpec{BlockBytes: 48}, "not a power of two"},
+		{"page-not-pow2", GeometrySpec{PageBytes: 5000}, "not a power of two"},
+		{"negative", GeometrySpec{BlockBytes: -32}, "negative"},
+		{"block-too-small", GeometrySpec{BlockBytes: 2}, "out of range"},
+		{"page-below-block", GeometrySpec{PageBytes: 16}, "must be in"},
+		{"offset-overflow", GeometrySpec{BlockBytes: 4, PageBytes: 1 << 24}, "16-bit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			_, err := RetargetGeometry(&buf, bytes.NewReader(data), tc.spec)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestGeometryRename: the spec's Name lands in the output header.
+func TestGeometryRename(t *testing.T) {
+	h := testHeader()
+	data := encode(t, h, randRefs(h, 20, 2))
+	out := geometryBytes(t, data, GeometrySpec{BlockBytes: 16, Name: "unit@b16"})
+	gotH, _ := decode(t, out)
+	if gotH.Name != "unit@b16" {
+		t.Fatalf("name = %q", gotH.Name)
+	}
+}
+
+// TestCPUFoldInterleave: the interleave policy folds contiguous source
+// CPU groups onto each target CPU, against modulo's strided fold.
+func TestCPUFoldInterleave(t *testing.T) {
+	h := testHeader() // 4 CPUs
+	refs := randRefs(h, 30, 13)
+	data := encode(t, h, refs)
+
+	out := retargetBytes(t, data, RetargetSpec{CPUs: 2, Nodes: 2, CPUFold: FoldInterleave})
+	gotH, gotRefs := decode(t, out)
+	if gotH.CPUs != 2 {
+		t.Fatalf("CPUs = %d, want 2", gotH.CPUs)
+	}
+	// Interleave: source CPUs 0,1 -> target 0; 2,3 -> target 1, drained
+	// in the canonical round-robin order.
+	want := make([][]trace.Ref, 2)
+	for i := 0; i < 30; i++ {
+		for c := 0; c < 4; c++ {
+			want[c/2] = append(want[c/2], refs[c][i])
+		}
+	}
+	for c := range want {
+		if !reflect.DeepEqual(gotRefs[c], want[c]) {
+			t.Fatalf("cpu %d: interleave-folded stream differs", c)
+		}
+	}
+
+	// Non-divisible folds are rejected; growing and equal counts degrade
+	// to the modulo behavior.
+	var buf bytes.Buffer
+	if _, err := Retarget(&buf, bytes.NewReader(data), RetargetSpec{CPUs: 3, Nodes: 3, CPUFold: FoldInterleave}); err == nil || !strings.Contains(err.Error(), "not evenly divided") {
+		t.Fatalf("4->3 interleave fold: err = %v", err)
+	}
+	grow := retargetBytes(t, data, RetargetSpec{CPUs: 8, CPUFold: FoldInterleave})
+	growH, growRefs := decode(t, grow)
+	if growH.CPUs != 8 {
+		t.Fatalf("CPUs = %d, want 8", growH.CPUs)
+	}
+	for c := 0; c < 4; c++ {
+		if !reflect.DeepEqual(growRefs[c], refs[c]) {
+			t.Fatalf("cpu %d: records changed on interleave expansion", c)
+		}
+	}
+
+	if _, err := CPUFoldByName("nope"); err == nil {
+		t.Fatal("unknown fold name accepted")
+	}
+	for name, want := range map[string]CPUFoldPolicy{"": FoldModulo, "modulo": FoldModulo, "interleave": FoldInterleave} {
+		got, err := CPUFoldByName(name)
+		if err != nil || got != want {
+			t.Fatalf("CPUFoldByName(%q) = %v, %v", name, got, err)
+		}
+	}
+}
+
+// TestDilateRename: DilateSpec.Name renames the output workload.
+func TestDilateRename(t *testing.T) {
+	h := testHeader()
+	data := encode(t, h, randRefs(h, 20, 4))
+	var buf bytes.Buffer
+	if _, err := Dilate(&buf, bytes.NewReader(data), DilateSpec{Num: 2, Den: 1, Name: "unit@x2"}); err != nil {
+		t.Fatal(err)
+	}
+	gotH, _ := decode(t, buf.Bytes())
+	if gotH.Name != "unit@x2" {
+		t.Fatalf("name = %q", gotH.Name)
+	}
+}

@@ -200,16 +200,70 @@ func PolicyByName(name string) (RemapPolicy, error) {
 	}
 }
 
+// CPUFoldPolicy selects how source CPUs are re-attributed when a
+// retarget shrinks the CPU count.
+type CPUFoldPolicy int
+
+const (
+	// FoldModulo attributes source CPU c to target CPU c % cpus: the
+	// fold is strided, so each target CPU interleaves records from
+	// source CPUs spread across the whole machine. This is the default
+	// (and the only behavior earlier versions had).
+	FoldModulo CPUFoldPolicy = iota
+	// FoldInterleave folds contiguous source CPU groups onto each target
+	// CPU (source CPU c maps to c / (srcCPUs/cpus)): neighboring CPUs —
+	// a source node's worth at a time — land together, preserving
+	// per-node reference locality for asymmetric-machine studies. The
+	// source CPU count must divide evenly by the target's. When the CPU
+	// count grows or stays equal it behaves exactly like FoldModulo.
+	FoldInterleave
+)
+
+// String names the fold policy the way the CLI flag spells it.
+func (p CPUFoldPolicy) String() string {
+	if p == FoldInterleave {
+		return "interleave"
+	}
+	return "modulo"
+}
+
+// CPUFoldByName resolves the fold-policy names the CLIs expose.
+func CPUFoldByName(name string) (CPUFoldPolicy, error) {
+	switch name {
+	case "", "modulo", "mod":
+		return FoldModulo, nil
+	case "interleave", "block":
+		return FoldInterleave, nil
+	default:
+		return 0, fmt.Errorf("tracefile: unknown cpu fold policy %q (want modulo or interleave)", name)
+	}
+}
+
+// resolve returns the source-CPU to target-CPU map for a fold.
+func (p CPUFoldPolicy) resolve(srcCPUs, cpus int) (func(int) int, error) {
+	if p == FoldInterleave && srcCPUs > cpus {
+		if srcCPUs%cpus != 0 {
+			return nil, fmt.Errorf("tracefile: interleave fold of %d CPUs onto %d (not evenly divided)", srcCPUs, cpus)
+		}
+		group := srcCPUs / cpus
+		return func(c int) int { return c / group }, nil
+	}
+	return func(c int) int { return c % cpus }, nil
+}
+
 // RetargetSpec describes the target machine shape of a retarget. Zero
 // values keep the source's shape, so a spec selects only the dimensions
-// it changes; the block/page geometry always carries over (transforming
-// geometry would have to re-split block offsets, which no policy does).
+// it changes; the block/page geometry always carries over (changing
+// geometry re-splits every address, which is RetargetGeometry's job).
 type RetargetSpec struct {
 	// Nodes, CPUs, and Pages are the target machine shape; 0 keeps the
 	// source header's value.
 	Nodes, CPUs, Pages int
 	// Policy maps pages and homes onto the target; nil means Identity.
 	Policy RemapPolicy
+	// CPUFold selects how streams fold when the CPU count shrinks; the
+	// zero value is FoldModulo, the historical behavior.
+	CPUFold CPUFoldPolicy
 	// Name renames the retargeted workload; "" keeps the source name.
 	Name string
 }
@@ -244,11 +298,11 @@ func (s RetargetSpec) resolve(h Header) (nodes, cpus, pages int, policy RemapPol
 
 // Retarget rewrites src onto the spec's machine shape: the page-home map
 // is rebuilt by the spec's policy, every record's page is remapped
-// through it, and records are re-attributed to target CPU (source CPU
-// mod target CPUs) — folding streams together when the CPU count
-// shrinks, leaving the extra streams empty when it grows. Records keep
-// their order (the canonical round-robin interleaving), flags, offsets,
-// and gaps. Returns the record count written.
+// through it, and records are re-attributed to target CPUs by the spec's
+// fold policy (modulo by default) — folding streams together when the
+// CPU count shrinks, leaving the extra streams empty when it grows.
+// Records keep their order (the canonical round-robin interleaving),
+// flags, offsets, and gaps. Returns the record count written.
 func Retarget(dst io.Writer, src io.Reader, spec RetargetSpec, opts ...WriterOption) (int64, error) {
 	d, err := NewReader(src)
 	if err != nil {
@@ -260,6 +314,10 @@ func Retarget(dst io.Writer, src io.Reader, spec RetargetSpec, opts ...WriterOpt
 		return 0, err
 	}
 	mapPage, homes, err := policy.Resolve(h, nodes, pages)
+	if err != nil {
+		return 0, err
+	}
+	foldCPU, err := spec.CPUFold.resolve(h.CPUs, cpus)
 	if err != nil {
 		return 0, err
 	}
@@ -286,7 +344,7 @@ func Retarget(dst io.Writer, src io.Reader, spec RetargetSpec, opts ...WriterOpt
 			}
 			r.Page = q
 		}
-		return tw.Append(cpu%cpus, r)
+		return tw.Append(foldCPU(cpu), r)
 	})
 	if err != nil {
 		return tw.Refs(), err
@@ -311,6 +369,9 @@ type DilateSpec struct {
 	Num, Den int64
 	// Clamp caps each scaled gap; 0 means the format maximum (65535).
 	Clamp int
+	// Name renames the dilated workload; "" keeps the source name. Sweeps
+	// that register several dilations of one capture need distinct names.
+	Name string
 }
 
 // maxRatioSide bounds a dilate factor's numerator and denominator:
@@ -368,7 +429,11 @@ func Dilate(dst io.Writer, src io.Reader, spec DilateSpec, opts ...WriterOption)
 	if err != nil {
 		return 0, err
 	}
-	tw, err := NewWriter(dst, d.Header(), opts...)
+	nh := d.Header()
+	if spec.Name != "" {
+		nh.Name = spec.Name
+	}
+	tw, err := NewWriter(dst, nh, opts...)
 	if err != nil {
 		return 0, err
 	}
