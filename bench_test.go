@@ -456,6 +456,52 @@ func BenchmarkReplayVsGenerate(b *testing.B) {
 	})
 }
 
+// BenchmarkSnapshotFork measures the checkpoint/fork sweep machinery:
+// "replay-one" is the baseline (a single full R-NUMA replay of the
+// capture); "fork-sweep-5" runs a five-point threshold sweep through the
+// trunk-and-fork engine, which replays the shared prefix once and forks
+// each point from a snapshot. The sweep's wall clock over the baseline's
+// is the headline ratio (the acceptance bound is 2x a single replay;
+// five independent replays would be 5x). The saving is proportional to
+// how deep into the trace the counter watermarks sit — em3d's refetch
+// counters climb slowly, so its five points share a long prefix.
+func BenchmarkSnapshotFork(b *testing.B) {
+	cfg := workloads.DefaultConfig()
+	cfg.Scale = benchScale
+	app, _ := workloads.ByName("em3d")
+	sys := config.Base(config.RNUMA)
+	thresholds := []int{8, 16, 64, 256, 1024}
+
+	var encoded bytes.Buffer
+	if _, _, err := tracefile.WriteWorkload(&encoded, app.Build(cfg), cfg); err != nil {
+		b.Fatal(err)
+	}
+	data := encoded.Bytes()
+
+	b.Run("replay-one", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := harness.ReplayTrace(bytes.NewReader(data), sys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fork-sweep-5", func(b *testing.B) {
+		var refs int64
+		for i := 0; i < b.N; i++ {
+			runs, err := harness.ThresholdForkRuns(data, sys, thresholds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(runs) != len(thresholds) {
+				b.Fatalf("%d runs for %d thresholds", len(runs), len(thresholds))
+			}
+			refs = runs[64].Refs
+		}
+		b.ReportMetric(float64(len(thresholds)), "points")
+		b.ReportMetric(float64(refs), "refs/point")
+	})
+}
+
 // BenchmarkTraceGeneration measures reference stream production.
 func BenchmarkTraceGeneration(b *testing.B) {
 	refs := make([]trace.Ref, 1024)

@@ -16,6 +16,16 @@
 //	rnuma-trace diffstats <a> <b> [-protocol ccnuma|scoma|rnuma] [-bc B] [-pc P] [-T N] [-soft] [-ideal] [-v]
 //	rnuma-trace info   <file>
 //	rnuma-trace replay <file> [-protocol ccnuma|scoma|rnuma] [-bc B] [-pc P] [-T N] [-soft] [-ideal]
+//	rnuma-trace snapshot <file> -refs N [-o snap.rnss] [-protocol P] [-bc B] [-pc P] [-T N] [-soft] [-ideal]
+//	rnuma-trace resume <file> -snap snap.rnss [-T N]
+//
+// snapshot replays a trace up to a reference count, then serializes the
+// paused machine's complete state to a checkpoint file; resume restores
+// a checkpoint, seeks the trace's streams past the consumed prefix
+// (without re-decoding it), and finishes the run — optionally under a
+// different R-NUMA relocation threshold, which is sound whenever the
+// checkpoint predates the first threshold crossing (the fork primitive
+// behind cheap threshold sweeps).
 //
 // retarget remaps a trace onto a different machine shape (nodes, CPUs,
 // pages) under a page-remapping policy, so one capture becomes a scaling
@@ -63,6 +73,7 @@ import (
 	"rnuma/internal/spec"
 	"rnuma/internal/stats"
 	"rnuma/internal/tracefile"
+	"rnuma/internal/tracefile/snapfile"
 	"rnuma/internal/workloads"
 )
 
@@ -116,6 +127,10 @@ func run(c cli, args []string) int {
 		err = c.cmdInfo(args[1:])
 	case "replay":
 		err = c.cmdReplay(args[1:])
+	case "snapshot":
+		err = c.cmdSnapshot(args[1:])
+	case "resume":
+		err = c.cmdResume(args[1:])
 	case "-h", "-help", "--help", "help":
 		c.usage()
 		return 0
@@ -165,6 +180,10 @@ subcommands:
       print a trace's header, format version, home histogram, and per-CPU record counts
   replay <file> [-protocol P] [-bc B] [-pc P] [-T N] [-soft] [-ideal]
       run a trace through the simulated machine of its recorded shape
+  snapshot <file> -refs N [-o snap.rnss] [-protocol P] [-bc B] [-pc P] [-T N] [-soft] [-ideal]
+      replay a trace up to N references and checkpoint the paused machine
+  resume <file> -snap snap.rnss [-T N]
+      restore a checkpoint and finish the run (optionally at a new threshold)
 `, strings.Join(workloads.Names(), ", "))
 }
 
@@ -751,6 +770,135 @@ func (c cli) cmdInfo(args []string) error {
 	fmt.Fprintf(c.stdout, "  references:   %d\n", total)
 	for cpu, cnt := range counts {
 		fmt.Fprintf(c.stdout, "    cpu %2d: %d\n", cpu, cnt)
+	}
+	return nil
+}
+
+// cmdSnapshot replays a trace until a reference count and writes the
+// paused machine's state as a checkpoint file.
+func (c cli) cmdSnapshot(args []string) error {
+	fs := c.flagSet("snapshot")
+	tracePath := fs.String("trace", "", `trace file ("-" = stdin; also accepted positionally)`)
+	out := fs.String("o", "", "checkpoint output file (default <trace>.rnss)")
+	refs := fs.Int64("refs", 0, "pause after this many references (required)")
+	system := systemFlags(fs)
+	target, err := c.parseWithTarget(fs, args)
+	if err != nil {
+		return err
+	}
+	if *refs <= 0 {
+		return fmt.Errorf("snapshot needs -refs N (> 0)")
+	}
+	r, name, err := c.openTrace(target, *tracePath)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	sys, err := system()
+	if err != nil {
+		return err
+	}
+	d, err := tracefile.NewReader(r)
+	if err != nil {
+		return err
+	}
+	m, sys, err := harness.NewTraceMachine(d.Header(), sys)
+	if err != nil {
+		return err
+	}
+	if err := m.Start(d.Streams()); err != nil {
+		return err
+	}
+	done, err := m.RunUntilRefs(*refs)
+	if err != nil {
+		return err
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		return err
+	}
+	dest := *out
+	if dest == "" {
+		if name == "stdin" {
+			return fmt.Errorf("snapshot of a stdin trace needs -o <file>")
+		}
+		dest = name + ".rnss"
+	}
+	if err := snapfile.WriteFile(dest, snap); err != nil {
+		return err
+	}
+	state := "paused"
+	if done {
+		state = "complete"
+	}
+	fmt.Fprintf(c.stderr, "snapshot %s (%s): %s at %d refs to %s\n", name, sys.Name, state, snap.Run.Refs, dest)
+	return nil
+}
+
+// cmdResume restores a checkpoint, seeks the trace streams past the
+// consumed prefix, and finishes the run.
+func (c cli) cmdResume(args []string) error {
+	fs := c.flagSet("resume")
+	tracePath := fs.String("trace", "", `trace file ("-" = stdin; also accepted positionally)`)
+	snapPath := fs.String("snap", "", "checkpoint file written by snapshot (required)")
+	thr := fs.Int("T", 0, "override the R-NUMA relocation threshold (0 = keep the checkpoint's)")
+	target, err := c.parseWithTarget(fs, args)
+	if err != nil {
+		return err
+	}
+	if *snapPath == "" {
+		return fmt.Errorf("resume needs -snap <file>")
+	}
+	snap, err := snapfile.ReadFile(*snapPath)
+	if err != nil {
+		return err
+	}
+	sys := snap.Sys
+	if *thr > 0 {
+		sys.Threshold = *thr
+	}
+	r, name, err := c.openTrace(target, *tracePath)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	d, err := tracefile.NewReader(r)
+	if err != nil {
+		return err
+	}
+	m, sys, err := harness.NewTraceMachine(d.Header(), sys)
+	if err != nil {
+		return err
+	}
+	if err := m.Restore(snap); err != nil {
+		return err
+	}
+	if err := m.ResumeWith(d.Streams()); err != nil {
+		return err
+	}
+	run, err := m.Finish()
+	if err != nil {
+		return err
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.stdout, "resume %s from %s (workload %s)\n", name, *snapPath, d.Header().Name)
+	report.RunSummary(c.stdout, sys.Name, run)
+
+	// Match replay's output: a file trace re-replays on the ideal
+	// machine for the normalization line (stdin can't be read twice).
+	if name != "stdin" && sys.BlockCacheBytes != config.InfiniteBlockCache {
+		base, _, err := harness.ReplayTraceFile(name, config.Ideal())
+		if err != nil {
+			return err
+		}
+		if base.ExecCycles > 0 {
+			fmt.Fprintf(c.stdout, "  normalized exec time:  %.3f (vs infinite block cache)\n", run.Normalized(base))
+		}
 	}
 	return nil
 }

@@ -269,9 +269,15 @@ func TestRetargetInterleaveFoldCLI(t *testing.T) {
 	if code, _, _ := runCLI(t, data, "retarget", "-", "-cpus", "16", "-cpu-fold", "bogus", "-o", "-"); code != 1 {
 		t.Fatalf("unknown -cpu-fold exited %d, want 1", code)
 	}
-	// 32 CPUs onto 12 does not divide evenly for interleave.
-	if code, _, stderr := runCLI(t, data, "retarget", "-", "-nodes", "4", "-cpus", "12", "-cpu-fold", "interleave", "-o", "-"); code != 1 || !strings.Contains(stderr, "not evenly divided") {
+	// 32 CPUs onto 12 does not divide evenly: the weighted interleave
+	// fold spreads the remainder instead of rejecting the shape.
+	code, out, stderr = runCLI(t, data, "retarget", "-", "-nodes", "4", "-cpus", "12", "-cpu-fold", "interleave", "-o", "-")
+	if code != 0 {
 		t.Fatalf("non-divisible interleave exited %d: %s", code, stderr)
+	}
+	code, stdout, _ = runCLI(t, []byte(out), "info", "-")
+	if code != 0 || !strings.Contains(stdout, "4 nodes, 12 CPUs") {
+		t.Fatalf("info after weighted fold (exit %d):\n%s", code, stdout)
 	}
 }
 
@@ -293,5 +299,89 @@ func TestGenFromStdinSpec(t *testing.T) {
 	}
 	if code, _, _ := runCLI(t, nil, "gen", "-o", "-"); code != 1 {
 		t.Fatal("gen without -spec should exit 1")
+	}
+}
+
+// TestSnapshotResumeCLI: snapshot parks a replay mid-run in an .rnss
+// checkpoint, resume finishes it, and the finished statistics byte-match
+// an uninterrupted replay of the same trace; -T forks the checkpoint at
+// a different relocation threshold.
+func TestSnapshotResumeCLI(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "fft.trace")
+	if err := os.WriteFile(tracePath, record(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Everything after each command's first line is report.RunSummary.
+	stats := func(s string) string {
+		if i := strings.Index(s, "\n"); i >= 0 {
+			return s[i+1:]
+		}
+		return s
+	}
+
+	code, full, stderr := runCLI(t, nil, "replay", tracePath, "-protocol", "rnuma")
+	if code != 0 {
+		t.Fatalf("replay exited %d: %s", code, stderr)
+	}
+
+	snapPath := filepath.Join(dir, "pause.rnss")
+	code, _, stderr = runCLI(t, nil, "snapshot", tracePath, "-refs", "15000", "-protocol", "rnuma", "-o", snapPath)
+	if code != 0 {
+		t.Fatalf("snapshot exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "paused at 15000 refs") {
+		t.Errorf("snapshot progress line missing pause state: %s", stderr)
+	}
+
+	code, resumed, stderr := runCLI(t, nil, "resume", tracePath, "-snap", snapPath)
+	if code != 0 {
+		t.Fatalf("resume exited %d: %s", code, stderr)
+	}
+	if stats(resumed) != stats(full) {
+		t.Errorf("resumed stats differ from uninterrupted replay:\n--- replay\n%s--- resume\n%s", stats(full), stats(resumed))
+	}
+
+	// Forking the checkpoint at a lower threshold matches a full replay
+	// at that threshold (the snapshot predates any counter crossing).
+	code, forked, stderr := runCLI(t, nil, "resume", tracePath, "-snap", snapPath, "-T", "4")
+	if code != 0 {
+		t.Fatalf("resume -T exited %d: %s", code, stderr)
+	}
+	code, fullLo, stderr := runCLI(t, nil, "replay", tracePath, "-protocol", "rnuma", "-T", "4")
+	if code != 0 {
+		t.Fatalf("replay -T exited %d: %s", code, stderr)
+	}
+	if stats(forked) != stats(fullLo) {
+		t.Errorf("threshold-forked stats differ from full replay at T=4:\n--- replay\n%s--- resume\n%s", stats(fullLo), stats(forked))
+	}
+
+	// Default destination: <trace>.rnss next to the trace file.
+	code, _, stderr = runCLI(t, nil, "snapshot", tracePath, "-refs", "5000", "-protocol", "ccnuma")
+	if code != 0 {
+		t.Fatalf("snapshot without -o exited %d: %s", code, stderr)
+	}
+	if _, err := os.Stat(tracePath + ".rnss"); err != nil {
+		t.Errorf("default checkpoint path not written: %v", err)
+	}
+
+	// A -refs count past the end of the trace parks a complete machine.
+	code, _, stderr = runCLI(t, nil, "snapshot", tracePath, "-refs", "99999999", "-protocol", "rnuma", "-o", snapPath)
+	if code != 0 || !strings.Contains(stderr, "complete at") {
+		t.Errorf("snapshot past the end (exit %d): %s", code, stderr)
+	}
+
+	// Error paths.
+	if code, _, _ := runCLI(t, nil, "snapshot", tracePath, "-o", snapPath); code != 1 {
+		t.Errorf("snapshot without -refs exited %d, want 1", code)
+	}
+	if code, _, _ := runCLI(t, record(t), "snapshot", "-", "-refs", "100"); code != 1 {
+		t.Errorf("snapshot of stdin without -o exited %d, want 1", code)
+	}
+	if code, _, _ := runCLI(t, nil, "resume", tracePath); code != 1 {
+		t.Errorf("resume without -snap exited %d, want 1", code)
+	}
+	if code, _, _ := runCLI(t, nil, "resume", tracePath, "-snap", filepath.Join(dir, "absent.rnss")); code != 1 {
+		t.Errorf("resume with a missing checkpoint exited %d, want 1", code)
 	}
 }

@@ -24,14 +24,19 @@
 //     including per-phase node subsets and zipf/explicit page-popularity
 //     distributions
 //   - internal/tracefile — the binary trace capture/replay format
-//     (streaming writer, lazy demuxing reader, live-simulation tee,
+//     (streaming writer, lazy demuxing reader with record-level seeking
+//     that skips whole compressed chunks undecoded, live-simulation tee,
 //     per-chunk DEFLATE compression in format v2, stream-level Cut/Cat
 //     splicing, and the transform layer: Retarget onto a different
 //     machine shape under pluggable page-remapping policies and CPU
-//     fold policies (modulo or interleave), RetargetGeometry re-splitting
-//     every address onto a different block/page geometry, Dilate of
-//     compute gaps by a rational factor, and Diff reporting the first
-//     diverging CPU/record plus a per-CPU summary)
+//     fold policies (modulo or weighted interleave), RetargetGeometry
+//     re-splitting every address onto a different block/page geometry,
+//     Dilate of compute gaps by a rational factor, and Diff reporting
+//     the first diverging CPU/record plus a per-CPU summary)
+//   - internal/tracefile/snapfile — the RNSS checkpoint file format for
+//     machine snapshots (versioned gob payload, CRC-32C, strict
+//     truncation/corruption rejection) behind rnuma-trace snapshot and
+//     resume
 //   - internal/stats — the per-run counter set, plus Diff: the
 //     per-counter delta table (absolute + relative + refetch-map
 //     digest) between two runs that rnuma-trace diffstats and
@@ -43,7 +48,11 @@
 //     capture share simulations, and Sweep transforms one capture along
 //     a parameter axis (nodes, dilate factor, block size, page size,
 //     relocation threshold) to replay a whole sensitivity study from a
-//     single recording
+//     single recording; multi-point threshold sweeps replay the trace
+//     once on a trunk machine and fork each point from a mid-run
+//     snapshot at the last threshold-independent reference, producing
+//     runs bit-identical to independent replays at a fraction of the
+//     wall-clock
 //   - internal/model — the analytical worst-case model (Section 3.2)
 //
 // The harness declares each figure's (application, system) grid as a Plan

@@ -13,7 +13,12 @@
 // normalization baseline: a fully associative, never-evicting cache.
 package blockcache
 
-import "rnuma/internal/addr"
+import (
+	"fmt"
+	"sort"
+
+	"rnuma/internal/addr"
+)
 
 // State is the node-level state of a cached remote block.
 type State uint8
@@ -178,22 +183,27 @@ func (c *Cache) Downgrade(b addr.BlockNum, version uint32) {
 // (for R-NUMA relocation, which moves the node's cached blocks into the
 // page cache).
 func (c *Cache) PageEntries(g addr.Geometry, p addr.PageNum) []Entry {
-	var out []Entry
+	return c.AppendPageEntries(g, p, nil)
+}
+
+// AppendPageEntries is PageEntries appending into a caller-supplied
+// buffer, so relocation can reuse scratch storage.
+func (c *Cache) AppendPageEntries(g addr.Geometry, p addr.PageNum, dst []Entry) []Entry {
 	if c.infinite {
 		for b, e := range c.inf {
 			if g.PageOf(b) == p {
-				out = append(out, *e)
+				dst = append(dst, *e)
 			}
 		}
-		return out
+		return dst
 	}
 	for i := range c.frames {
 		e := &c.frames[i]
 		if e.State != Invalid && g.PageOf(e.Block) == p {
-			out = append(out, *e)
+			dst = append(dst, *e)
 		}
 	}
-	return out
+	return dst
 }
 
 // InvalidatePage removes all resident blocks of the page.
@@ -218,3 +228,48 @@ func (c *Cache) InvalidatePage(g addr.Geometry, p addr.PageNum) {
 // Hits and Misses report lookup statistics.
 func (c *Cache) Hits() int64   { return c.hits }
 func (c *Cache) Misses() int64 { return c.misses }
+
+// State returns a deep copy of the cache's contents and statistics
+// (snapshot support). For the finite cache the slice is the full frame
+// array in index order; for the infinite cache it is the resident entries
+// sorted by block number, so snapshot bytes are deterministic.
+func (c *Cache) State() (entries []Entry, hits, misses int64) {
+	if c.infinite {
+		entries = make([]Entry, 0, len(c.inf))
+		for _, e := range c.inf {
+			entries = append(entries, *e)
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Block < entries[j].Block })
+		return entries, c.hits, c.misses
+	}
+	entries = make([]Entry, len(c.frames))
+	copy(entries, c.frames)
+	return entries, c.hits, c.misses
+}
+
+// SetState replaces the cache's contents and statistics (snapshot
+// restore).
+func (c *Cache) SetState(entries []Entry, hits, misses int64) error {
+	if c.infinite {
+		inf := make(map[addr.BlockNum]*Entry, len(entries))
+		for _, e := range entries {
+			if e.State == Invalid {
+				return fmt.Errorf("blockcache: invalid entry for block %d in infinite-cache snapshot", e.Block)
+			}
+			if _, dup := inf[e.Block]; dup {
+				return fmt.Errorf("blockcache: duplicate entry for block %d", e.Block)
+			}
+			ec := e
+			inf[e.Block] = &ec
+		}
+		c.inf = inf
+		c.hits, c.misses = hits, misses
+		return nil
+	}
+	if len(entries) != len(c.frames) {
+		return fmt.Errorf("blockcache: snapshot has %d frames, cache has %d", len(entries), len(c.frames))
+	}
+	copy(c.frames, entries)
+	c.hits, c.misses = hits, misses
+	return nil
+}

@@ -11,7 +11,11 @@
 // index once and applies it to every peer cache during snooping.
 package cache
 
-import "rnuma/internal/addr"
+import (
+	"fmt"
+
+	"rnuma/internal/addr"
+)
 
 // State is a cache line's MOESI-style state.
 type State uint8
@@ -148,14 +152,19 @@ func (c *L1) Invalidate(idx int, b addr.BlockNum) (Line, bool) {
 // of their lines (used for page flushes, where the mapping — and hence the
 // index key — is being destroyed).
 func (c *L1) FindPage(g addr.Geometry, p addr.PageNum) []Line {
-	var out []Line
+	return c.AppendFindPage(g, p, nil)
+}
+
+// AppendFindPage is FindPage appending into a caller-supplied buffer, so
+// page operations on the simulator's hot path can reuse scratch storage.
+func (c *L1) AppendFindPage(g addr.Geometry, p addr.PageNum, dst []Line) []Line {
 	for i := range c.lines {
 		ln := &c.lines[i]
 		if ln.State != Invalid && g.PageOf(ln.Block) == p {
-			out = append(out, *ln)
+			dst = append(dst, *ln)
 		}
 	}
-	return out
+	return dst
 }
 
 // InvalidatePage removes all resident blocks of the page.
@@ -178,4 +187,23 @@ func (c *L1) Reset() {
 		c.lines[i] = Line{}
 	}
 	c.hits, c.misses = 0, 0
+}
+
+// Snapshot returns a deep copy of the cache's lines and statistics
+// (snapshot support).
+func (c *L1) Snapshot() (lines []Line, hits, misses int64) {
+	lines = make([]Line, len(c.lines))
+	copy(lines, c.lines)
+	return lines, c.hits, c.misses
+}
+
+// SetSnapshot replaces the cache's lines and statistics (snapshot
+// restore).
+func (c *L1) SetSnapshot(lines []Line, hits, misses int64) error {
+	if len(lines) != len(c.lines) {
+		return fmt.Errorf("cache: snapshot has %d lines, cache has %d", len(lines), len(c.lines))
+	}
+	copy(c.lines, lines)
+	c.hits, c.misses = hits, misses
+	return nil
 }

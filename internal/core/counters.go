@@ -6,12 +6,19 @@
 // the S-COMA page cache.
 package core
 
-import "rnuma/internal/addr"
+import (
+	"rnuma/internal/addr"
+	"rnuma/internal/dense"
+)
 
-// Counters is the per-node set of per-page refetch counters.
+// Counters is the per-node set of per-page refetch counters. Counts live
+// in a dense page-indexed slice: the counters sit on the simulator's
+// per-remote-fetch path, where map hashing cost and per-entry allocation
+// showed up in profiles.
 type Counters struct {
 	threshold uint32
-	counts    map[addr.PageNum]uint32
+	counts    []uint32 // page-indexed; 0 = no refetches recorded
+	nonzero   int      // pages with a nonzero count
 
 	crossings int64
 	total     int64
@@ -25,31 +32,52 @@ func NewCounters(threshold int) *Counters {
 	if threshold < 1 {
 		threshold = 1
 	}
-	return &Counters{threshold: uint32(threshold), counts: make(map[addr.PageNum]uint32)}
+	return &Counters{threshold: uint32(threshold)}
 }
 
 // Threshold returns the relocation threshold T.
 func (c *Counters) Threshold() int { return int(c.threshold) }
 
-// Record counts one refetch against the page and reports whether the count
-// just reached the threshold (the relocation interrupt).
-func (c *Counters) Record(p addr.PageNum) (crossed bool) {
+// Record counts one refetch against the page. It returns the page's new
+// count and whether the count just reached the threshold (the relocation
+// interrupt). The count return feeds the machine's snapshot watermark
+// logic: runs at different thresholds evolve identical counts until the
+// first crossing, so a machine can pause while the high-water count is
+// still below a lower threshold and serve as that threshold's prefix.
+func (c *Counters) Record(p addr.PageNum) (count uint32, crossed bool) {
 	c.total++
+	if int(p) >= len(c.counts) {
+		c.counts = dense.Grow(c.counts, int(p)+1)
+	}
 	n := c.counts[p] + 1
 	c.counts[p] = n
+	if n == 1 {
+		c.nonzero++
+	}
 	if n == c.threshold {
 		c.crossings++
-		return true
+		return n, true
 	}
-	return false
+	return n, false
 }
 
 // Count returns the page's current refetch count.
-func (c *Counters) Count(p addr.PageNum) int { return int(c.counts[p]) }
+func (c *Counters) Count(p addr.PageNum) int {
+	if int(p) >= len(c.counts) {
+		return 0
+	}
+	return int(c.counts[p])
+}
 
 // Reset clears a page's counter (after relocation, or when the page is
 // unmapped and its next mapping starts fresh).
-func (c *Counters) Reset(p addr.PageNum) { delete(c.counts, p) }
+func (c *Counters) Reset(p addr.PageNum) {
+	if int(p) >= len(c.counts) || c.counts[p] == 0 {
+		return
+	}
+	c.counts[p] = 0
+	c.nonzero--
+}
 
 // Crossings reports how many relocation interrupts were raised.
 func (c *Counters) Crossings() int64 { return c.crossings }
@@ -58,4 +86,32 @@ func (c *Counters) Crossings() int64 { return c.crossings }
 func (c *Counters) Total() int64 { return c.total }
 
 // Pages reports how many pages currently have nonzero counters.
-func (c *Counters) Pages() int { return len(c.counts) }
+func (c *Counters) Pages() int { return c.nonzero }
+
+// State returns a deep copy of the counter set's state (snapshot
+// support): the dense count table trimmed of trailing zeros, plus the
+// crossing and total tallies.
+func (c *Counters) State() (counts []uint32, crossings, total int64) {
+	n := len(c.counts)
+	for n > 0 && c.counts[n-1] == 0 {
+		n--
+	}
+	counts = make([]uint32, n)
+	copy(counts, c.counts[:n])
+	return counts, c.crossings, c.total
+}
+
+// SetState replaces the counter set's state (snapshot restore). The
+// threshold is NOT part of the state: a fork restores a prefix recorded
+// under a higher threshold into a machine configured with its own.
+func (c *Counters) SetState(counts []uint32, crossings, total int64) {
+	c.counts = append(c.counts[:0], counts...)
+	c.nonzero = 0
+	for _, n := range c.counts {
+		if n != 0 {
+			c.nonzero++
+		}
+	}
+	c.crossings = crossings
+	c.total = total
+}

@@ -7,21 +7,28 @@ import (
 	"rnuma/internal/addr"
 )
 
+// crossed records a refetch and reports only the crossing bit (the
+// original single-value Record shape, which these tests predate).
+func crossed(c *Counters, p addr.PageNum) bool {
+	_, x := c.Record(p)
+	return x
+}
+
 func TestThresholdCrossing(t *testing.T) {
 	c := NewCounters(3)
 	p := addr.PageNum(9)
-	if c.Record(p) {
+	if crossed(c, p) {
 		t.Error("crossed at count 1")
 	}
-	if c.Record(p) {
+	if crossed(c, p) {
 		t.Error("crossed at count 2")
 	}
-	if !c.Record(p) {
+	if !crossed(c, p) {
 		t.Error("did not cross at count 3 (threshold)")
 	}
 	// Counting past the threshold does not re-raise the interrupt: the OS
 	// relocates the page (and resets) exactly once per crossing.
-	if c.Record(p) {
+	if crossed(c, p) {
 		t.Error("crossed again at count 4")
 	}
 	if c.Count(p) != 4 {
@@ -41,10 +48,10 @@ func TestResetStartsFresh(t *testing.T) {
 	if c.Count(p) != 0 {
 		t.Error("reset did not clear the count")
 	}
-	if c.Record(p) {
+	if crossed(c, p) {
 		t.Error("crossed immediately after reset")
 	}
-	if !c.Record(p) {
+	if !crossed(c, p) {
 		t.Error("second refetch after reset should cross again")
 	}
 	if c.Crossings() != 2 {
@@ -55,10 +62,10 @@ func TestResetStartsFresh(t *testing.T) {
 func TestPerPageIndependence(t *testing.T) {
 	c := NewCounters(2)
 	c.Record(1)
-	if c.Record(2) {
+	if crossed(c, 2) {
 		t.Error("page 2 crossed from page 1's count")
 	}
-	if !c.Record(1) {
+	if !crossed(c, 1) {
 		t.Error("page 1 should cross at its own 2nd refetch")
 	}
 	if c.Pages() != 2 {
@@ -74,7 +81,7 @@ func TestDefaultThresholdFloor(t *testing.T) {
 	if c.Threshold() != 1 {
 		t.Errorf("threshold = %d, want 1", c.Threshold())
 	}
-	if !c.Record(5) {
+	if !crossed(c, 5) {
 		t.Error("threshold-1 counters must cross on the first refetch")
 	}
 }
@@ -89,7 +96,7 @@ func TestCrossingExactlyOncePerTReset(t *testing.T) {
 		c := NewCounters(T)
 		crossings := 0
 		for i := 0; i < n; i++ {
-			if c.Record(7) {
+			if crossed(c, 7) {
 				crossings++
 				c.Reset(7)
 			}
@@ -98,5 +105,46 @@ func TestCrossingExactlyOncePerTReset(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCountersStateRoundTrip: State trims trailing zeros, SetState
+// rebuilds the nonzero tally, and the threshold stays the restoring
+// side's own (the fork-sweep contract).
+func TestCountersStateRoundTrip(t *testing.T) {
+	c := NewCounters(3)
+	for i := 0; i < 4; i++ {
+		c.Record(2)
+	}
+	c.Record(5)
+	c.Record(9)
+	c.Reset(9) // leaves a trailing zero to trim
+
+	counts, crossings, total := c.State()
+	if len(counts) != 6 {
+		t.Errorf("State kept %d counts, want 6 (trailing zeros trimmed)", len(counts))
+	}
+
+	r := NewCounters(7) // restore under a DIFFERENT threshold
+	r.SetState(counts, crossings, total)
+	if r.Threshold() != 7 {
+		t.Errorf("SetState clobbered the threshold: %d", r.Threshold())
+	}
+	if r.Count(2) != c.Count(2) || r.Count(5) != c.Count(5) || r.Count(9) != 0 {
+		t.Errorf("restored counts differ: %d/%d/%d", r.Count(2), r.Count(5), r.Count(9))
+	}
+	if r.Pages() != c.Pages() || r.Crossings() != c.Crossings() || r.Total() != c.Total() {
+		t.Errorf("restored tallies differ: pages %d/%d crossings %d/%d total %d/%d",
+			r.Pages(), c.Pages(), r.Crossings(), c.Crossings(), r.Total(), c.Total())
+	}
+	// Counts carried across: page 2 is at 4 under threshold 7, so three
+	// more touches cross.
+	for i := 0; i < 2; i++ {
+		if _, crossed := r.Record(2); crossed {
+			t.Fatal("crossed before reaching the restoring threshold")
+		}
+	}
+	if _, crossed := r.Record(2); !crossed {
+		t.Error("restored counter failed to cross at the new threshold")
 	}
 }

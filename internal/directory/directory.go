@@ -23,10 +23,18 @@
 // event instant while the machine accounts their latency, which keeps the
 // protocol free of transient states and makes its invariants directly
 // checkable (see the Check method).
+//
+// Entries live in a pooled slice indexed by a block map, so creating or
+// fetching an entry allocates nothing at steady state. The trade-off is
+// aliasing: pointers returned by Entry/Peek/Each, and the Invalidate
+// slices returned by Fetch/Upgrade, are valid only until the next call
+// that may create an entry or produce another invalidation set. The
+// machine consumes both immediately, within the same protocol action.
 package directory
 
 import (
 	"fmt"
+	"math/bits"
 
 	"rnuma/internal/addr"
 )
@@ -44,29 +52,38 @@ func bit(n addr.NodeID) uint32 { return 1 << uint(n) }
 // Dir is the machine-wide directory (logically distributed across homes;
 // the home node of a block is a property of its page, held by the machine).
 type Dir struct {
-	entries map[addr.BlockNum]*Entry
+	index   map[addr.BlockNum]int32
+	entries []Entry         // pooled entry storage, one per touched block
+	blocks  []addr.BlockNum // parallel to entries: which block each describes
 	nodes   int
+	scratch []addr.NodeID // reused invalidation-target buffer
 }
 
 // New builds a directory for a machine with the given node count.
 func New(nodes int) *Dir {
-	return &Dir{entries: make(map[addr.BlockNum]*Entry), nodes: nodes}
+	return &Dir{index: make(map[addr.BlockNum]int32), nodes: nodes}
 }
 
-// Entry returns the entry for a block, creating it on first touch.
+// Entry returns the entry for a block, creating it on first touch. The
+// pointer aliases pooled storage: it is valid only until the next call
+// that may create an entry.
 func (d *Dir) Entry(b addr.BlockNum) *Entry {
-	e, ok := d.entries[b]
-	if !ok {
-		e = &Entry{Owner: addr.NoNode}
-		d.entries[b] = e
+	if i, ok := d.index[b]; ok {
+		return &d.entries[i]
 	}
-	return e
+	d.index[b] = int32(len(d.entries))
+	d.entries = append(d.entries, Entry{Owner: addr.NoNode})
+	d.blocks = append(d.blocks, b)
+	return &d.entries[len(d.entries)-1]
 }
 
-// Peek returns the entry without creating it.
+// Peek returns the entry without creating it. The pointer aliases pooled
+// storage (see Entry).
 func (d *Dir) Peek(b addr.BlockNum) (*Entry, bool) {
-	e, ok := d.entries[b]
-	return e, ok
+	if i, ok := d.index[b]; ok {
+		return &d.entries[i], true
+	}
+	return nil, false
 }
 
 // Blocks returns how many blocks have directory state.
@@ -75,8 +92,8 @@ func (d *Dir) Blocks() int { return len(d.entries) }
 // Each calls fn for every block with directory state, in no particular
 // order (invariant checkers and diagnostics).
 func (d *Dir) Each(fn func(addr.BlockNum, *Entry)) {
-	for b, e := range d.entries {
-		fn(b, e)
+	for i := range d.entries {
+		fn(d.blocks[i], &d.entries[i])
 	}
 }
 
@@ -90,8 +107,23 @@ type FetchResult struct {
 	// if home memory supplies the data.
 	FromOwner addr.NodeID
 	// Invalidate lists the other nodes whose copies a write must destroy
-	// (excludes FromOwner, which is already being handled).
+	// (excludes FromOwner, which is already being handled). The slice
+	// aliases a buffer owned by the Dir and is valid only until the next
+	// Fetch or Upgrade call.
 	Invalidate []addr.NodeID
+}
+
+// targets expands a sharer mask into the reused scratch buffer, ascending
+// by node id.
+func (d *Dir) targets(mask uint32) []addr.NodeID {
+	out := d.scratch[:0]
+	for mask != 0 {
+		n := bits.TrailingZeros32(mask)
+		mask &^= 1 << uint(n)
+		out = append(out, addr.NodeID(n))
+	}
+	d.scratch = out
+	return out
 }
 
 // Fetch processes a data request from a node that does not currently hold
@@ -109,13 +141,12 @@ func (d *Dir) Fetch(b addr.BlockNum, requester addr.NodeID, exclusive bool) Fetc
 	}
 
 	if exclusive {
-		for n := addr.NodeID(0); int(n) < d.nodes; n++ {
-			if n == requester || n == res.FromOwner {
-				continue
-			}
-			if e.Sharers&bit(n) != 0 {
-				res.Invalidate = append(res.Invalidate, n)
-			}
+		mask := e.Sharers &^ bit(requester)
+		if res.FromOwner != addr.NoNode {
+			mask &^= bit(res.FromOwner)
+		}
+		if mask != 0 {
+			res.Invalidate = d.targets(mask)
 		}
 		e.Sharers = bit(requester)
 		e.Owner = requester
@@ -136,17 +167,17 @@ func (d *Dir) Fetch(b addr.BlockNum, requester addr.NodeID, exclusive bool) Fetc
 
 // Upgrade processes a write-permission request from a node that still
 // holds a read-only copy (no data transfer, never a refetch). It returns
-// the nodes to invalidate.
+// the nodes to invalidate; the slice aliases a buffer owned by the Dir
+// and is valid only until the next Fetch or Upgrade call.
 func (d *Dir) Upgrade(b addr.BlockNum, requester addr.NodeID) []addr.NodeID {
 	e := d.Entry(b)
+	mask := e.Sharers &^ bit(requester)
+	if e.Owner != addr.NoNode && e.Owner != requester {
+		mask |= bit(e.Owner)
+	}
 	var inval []addr.NodeID
-	for n := addr.NodeID(0); int(n) < d.nodes; n++ {
-		if n == requester {
-			continue
-		}
-		if e.Sharers&bit(n) != 0 || e.Owner == n {
-			inval = append(inval, n)
-		}
+	if mask != 0 {
+		inval = d.targets(mask)
 	}
 	e.Sharers = bit(requester)
 	e.Owner = requester
@@ -186,8 +217,8 @@ func (d *Dir) SetHomeVersion(b addr.BlockNum, version uint32) {
 
 // HomeVersion returns the version stored at home memory.
 func (d *Dir) HomeVersion(b addr.BlockNum) uint32 {
-	if e, ok := d.entries[b]; ok {
-		return e.Version
+	if i, ok := d.index[b]; ok {
+		return d.entries[i].Version
 	}
 	return 0
 }
@@ -204,6 +235,36 @@ func (d *Dir) ClearNode(b addr.BlockNum, node addr.NodeID) {
 	}
 }
 
+// State returns a deep copy of the directory's entry table as parallel
+// block/entry slices in creation order (snapshot support).
+func (d *Dir) State() ([]addr.BlockNum, []Entry) {
+	blocks := make([]addr.BlockNum, len(d.blocks))
+	copy(blocks, d.blocks)
+	entries := make([]Entry, len(d.entries))
+	copy(entries, d.entries)
+	return blocks, entries
+}
+
+// SetState replaces the directory's entry table with the given parallel
+// slices (snapshot restore). The slices are copied; duplicate blocks are
+// rejected so a corrupted snapshot cannot alias two entries.
+func (d *Dir) SetState(blocks []addr.BlockNum, entries []Entry) error {
+	if len(blocks) != len(entries) {
+		return fmt.Errorf("directory: %d blocks for %d entries", len(blocks), len(entries))
+	}
+	index := make(map[addr.BlockNum]int32, len(blocks))
+	for i, b := range blocks {
+		if _, dup := index[b]; dup {
+			return fmt.Errorf("directory: duplicate entry for block %d", b)
+		}
+		index[b] = int32(i)
+	}
+	d.index = index
+	d.blocks = append(d.blocks[:0], blocks...)
+	d.entries = append(d.entries[:0], entries...)
+	return nil
+}
+
 // Check verifies the directory invariants for every entry:
 //
 //  1. an exclusive owner implies the sharer set is exactly the owner,
@@ -214,7 +275,8 @@ func (d *Dir) ClearNode(b addr.BlockNum, node addr.NodeID) {
 //
 // It returns the first violation found.
 func (d *Dir) Check() error {
-	for b, e := range d.entries {
+	for i := range d.entries {
+		b, e := d.blocks[i], &d.entries[i]
 		if e.Owner != addr.NoNode {
 			if int(e.Owner) < 0 || int(e.Owner) >= d.nodes {
 				return fmt.Errorf("directory: block %d owner %d out of range", b, e.Owner)

@@ -263,3 +263,66 @@ func TestRandomTrafficInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFetchAllocationFree pins the hot-path contract: once a block's
+// entry exists, Fetch never allocates — invalidation target lists reuse
+// the directory's scratch buffer (which is why FetchResult.Invalidate is
+// only valid until the next call).
+func TestFetchAllocationFree(t *testing.T) {
+	d := New(8)
+	for _, n := range []addr.NodeID{0, 1, 2} {
+		d.Fetch(5, n, false)
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		d.Fetch(5, 3, true)  // write: invalidates the three sharers
+		d.Fetch(5, 0, false) // read: three-hop supply from owner 3
+		d.Fetch(5, 1, false)
+		d.Fetch(5, 2, false)
+	}); n != 0 {
+		t.Errorf("steady-state Fetch cycle allocates %.1f times", n)
+	}
+}
+
+// TestStateRoundTrip: State/SetState (the snapshot path) reproduces the
+// directory exactly, and corrupted shapes are rejected.
+func TestStateRoundTrip(t *testing.T) {
+	d := New(8)
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 500; i++ {
+		d.Fetch(addr.BlockNum(rng.Intn(64)), addr.NodeID(rng.Intn(8)), rng.Intn(3) == 0)
+	}
+	blocks, entries := d.State()
+
+	r := New(8)
+	if err := r.SetState(blocks, entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Check(); err != nil {
+		t.Fatalf("restored directory violates invariants: %v", err)
+	}
+	b2, e2 := r.State()
+	if len(b2) != len(blocks) || len(e2) != len(entries) {
+		t.Fatalf("restored table has %d/%d entries, want %d/%d", len(b2), len(e2), len(blocks), len(entries))
+	}
+	for i := range blocks {
+		if b2[i] != blocks[i] || e2[i] != entries[i] {
+			t.Fatalf("entry %d changed across the round trip", i)
+		}
+	}
+	// The restored copy behaves identically going forward.
+	if got, want := r.Fetch(blocks[0], 7, true), d.Fetch(blocks[0], 7, true); got.Refetch != want.Refetch || got.FromOwner != want.FromOwner {
+		t.Errorf("post-restore fetch diverged: %+v vs %+v", got, want)
+	}
+
+	// Corrupted shapes: length mismatch and duplicate blocks.
+	if err := New(8).SetState(blocks[:1], entries); err == nil {
+		t.Error("length-mismatched state accepted")
+	}
+	if len(blocks) >= 2 {
+		dup := append([]addr.BlockNum(nil), blocks...)
+		dup[1] = dup[0]
+		if err := New(8).SetState(dup, entries); err == nil {
+			t.Error("duplicate block entries accepted")
+		}
+	}
+}

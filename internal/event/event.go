@@ -9,8 +9,6 @@
 // actor whose clock is still behind t.
 package event
 
-import "container/heap"
-
 // Resource is a FIFO server: callers acquire it at some time and hold it
 // for an occupancy; later callers queue behind earlier ones. It accumulates
 // utilization statistics for contention reporting.
@@ -60,6 +58,34 @@ func (r *Resource) Acquisitions() int64 { return r.acquisitions }
 // Reset returns the resource to its initial idle state.
 func (r *Resource) Reset() { *r = Resource{} }
 
+// ResourceState is a Resource's complete state in exported form, so
+// machine snapshots can capture and restore the in-flight occupancy and
+// accumulated contention statistics.
+type ResourceState struct {
+	NextFree     int64
+	BusyCycles   int64
+	WaitCycles   int64
+	Acquisitions int64
+}
+
+// State returns the resource's current state (snapshot support).
+func (r *Resource) State() ResourceState {
+	return ResourceState{
+		NextFree:     r.nextFree,
+		BusyCycles:   r.busyCycles,
+		WaitCycles:   r.waitCycles,
+		Acquisitions: r.acquisitions,
+	}
+}
+
+// SetState replaces the resource's state (snapshot restore).
+func (r *Resource) SetState(s ResourceState) {
+	r.nextFree = s.NextFree
+	r.busyCycles = s.BusyCycles
+	r.waitCycles = s.WaitCycles
+	r.acquisitions = s.Acquisitions
+}
+
 // Actor is anything with a clock that the engine schedules: in this
 // simulator, one per processor.
 type Actor struct {
@@ -70,41 +96,78 @@ type Actor struct {
 
 // Queue is a min-heap of actors ordered by clock (ties broken by ID for
 // determinism). The zero value is ready to use.
+//
+// The heap is hand-rolled rather than layered on container/heap: the
+// simulator performs one queue operation per memory reference, and the
+// interface dispatch per Less/Swap dominated the event loop's profile.
+// The ordering keys (clock, id) are stored inline in the heap slice so
+// sift operations compare without dereferencing actors — the pointer
+// chase per comparison was the next-largest line item. Update and Remove
+// let the hot loop reschedule the current actor in place instead of
+// paying a full Pop+Push.
 type Queue struct {
-	h actorHeap
+	h []entry
 }
 
-type actorHeap []*Actor
+// entry is one heap slot: the ordering key plus the actor it schedules.
+type entry struct {
+	clock int64
+	id    int32
+	a     *Actor
+}
 
-func (h actorHeap) Len() int { return len(h) }
-func (h actorHeap) Less(i, j int) bool {
-	if h[i].Clock != h[j].Clock {
-		return h[i].Clock < h[j].Clock
+func (e *entry) before(o *entry) bool {
+	if e.clock != o.clock {
+		return e.clock < o.clock
 	}
-	return h[i].ID < h[j].ID
+	return e.id < o.id
 }
-func (h actorHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+func (q *Queue) up(i int) {
+	h := q.h
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.before(&h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].a.index = i
+		i = parent
+	}
+	h[i] = e
+	e.a.index = i
 }
-func (h *actorHeap) Push(x any) {
-	a := x.(*Actor)
-	a.index = len(*h)
-	*h = append(*h, a)
-}
-func (h *actorHeap) Pop() any {
-	old := *h
-	n := len(old)
-	a := old[n-1]
-	old[n-1] = nil
-	a.index = -1
-	*h = old[:n-1]
-	return a
+
+func (q *Queue) down(i int) {
+	h := q.h
+	n := len(h)
+	e := h[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h[r].before(&h[child]) {
+			child = r
+		}
+		if !h[child].before(&e) {
+			break
+		}
+		h[i] = h[child]
+		h[i].a.index = i
+		i = child
+	}
+	h[i] = e
+	e.a.index = i
 }
 
 // Push inserts an actor into the queue.
-func (q *Queue) Push(a *Actor) { heap.Push(&q.h, a) }
+func (q *Queue) Push(a *Actor) {
+	a.index = len(q.h)
+	q.h = append(q.h, entry{clock: a.Clock, id: int32(a.ID), a: a})
+	q.up(a.index)
+}
 
 // Pop removes and returns the actor with the smallest clock, or nil if the
 // queue is empty.
@@ -112,7 +175,9 @@ func (q *Queue) Pop() *Actor {
 	if len(q.h) == 0 {
 		return nil
 	}
-	return heap.Pop(&q.h).(*Actor)
+	a := q.h[0].a
+	q.remove(0)
+	return a
 }
 
 // Peek returns the actor with the smallest clock without removing it.
@@ -120,7 +185,52 @@ func (q *Queue) Peek() *Actor {
 	if len(q.h) == 0 {
 		return nil
 	}
-	return q.h[0]
+	return q.h[0].a
+}
+
+// Update restores heap order after the actor's clock advanced in place.
+// Clocks only ever move forward, so the actor can only sink.
+func (q *Queue) Update(a *Actor) {
+	i := a.index
+	q.h[i].clock = a.Clock
+	q.down(i)
+}
+
+// SecondClock returns the smallest clock among actors other than the
+// current top, with ok=false when the queue holds at most one actor. The
+// event loop uses it to decide whether advancing the top actor's clock
+// would overtake anyone — without paying an Update to find out.
+func (q *Queue) SecondClock() (int64, bool) {
+	if len(q.h) < 2 {
+		return 0, false
+	}
+	s := q.h[1].clock
+	if len(q.h) > 2 && q.h[2].before(&q.h[1]) {
+		s = q.h[2].clock
+	}
+	return s, true
+}
+
+// Remove deletes a queued actor regardless of its position.
+func (q *Queue) Remove(a *Actor) { q.remove(a.index) }
+
+func (q *Queue) remove(i int) {
+	h := q.h
+	n := len(h) - 1
+	a := h[i].a
+	if i != n {
+		h[i] = h[n]
+		h[i].a.index = i
+	}
+	h[n] = entry{}
+	q.h = h[:n]
+	if i != n {
+		// The displaced actor may need to move either way relative to its
+		// new subtree.
+		q.down(i)
+		q.up(i)
+	}
+	a.index = -1
 }
 
 // Len reports the number of queued actors.

@@ -1,0 +1,213 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"rnuma/internal/config"
+	"rnuma/internal/machine"
+	"rnuma/internal/stats"
+	"rnuma/internal/tracefile"
+)
+
+// This file implements snapshot/fork replay for threshold sweeps. A
+// threshold sweep replays the *same* trace under R-NUMA configurations
+// that differ only in the relocation threshold T, and the per-(node,
+// page) counters evolve identically under every threshold until the
+// hottest counter first reaches the smallest one: the runs share a
+// common prefix. Instead of replaying that prefix once per point, a
+// single trunk machine at the largest threshold replays it once,
+// pausing at each smaller threshold's watermark (counter high-water
+// mark T-1, i.e. just before any counter could cross T) to take a
+// snapshot; each point then forks from its snapshot and replays only
+// its own suffix.
+//
+// The trunk legitimately stands in for every smaller threshold because
+// at the T-1 watermark no counter has reached T yet, so neither the
+// trunk (threshold Tmax > T-1) nor a threshold-T machine has relocated
+// a page: their states are bit-identical up to the pause.
+
+// ThresholdForkRuns replays one recorded trace under R-NUMA at every
+// requested relocation threshold, paying for the shared prefix once.
+// sys supplies everything but the threshold (protocol, cache sizes,
+// costs); the machine shape and geometry come from the trace header,
+// exactly as ReplayTrace resolves them. The result maps each threshold
+// to its completed run and is bit-identical to len(thresholds)
+// independent full replays (TestForkReplayIdentity pins this).
+func ThresholdForkRuns(data []byte, sys config.System, thresholds []int) (map[int]*stats.Run, error) {
+	if len(thresholds) == 0 {
+		return nil, fmt.Errorf("harness: threshold fork over no values")
+	}
+	ts := append([]int(nil), thresholds...)
+	sort.Ints(ts)
+	ts = ts[:uniqInts(ts)]
+	if ts[0] < 1 {
+		return nil, fmt.Errorf("harness: threshold %d must be positive", ts[0])
+	}
+
+	d, err := tracefile.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	hdr := d.Header()
+	tmax := ts[len(ts)-1]
+	sysMax := sys
+	sysMax.Threshold = tmax
+	trunk, _, err := NewTraceMachine(hdr, sysMax)
+	if err != nil {
+		return nil, err
+	}
+	if err := trunk.Start(d.Streams()); err != nil {
+		return nil, err
+	}
+
+	out := make(map[int]*stats.Run, len(ts))
+	trunkDone := false
+	for _, T := range ts[:len(ts)-1] {
+		if !trunkDone {
+			done, err := trunk.RunUntilCounter(uint32(T - 1))
+			if err != nil {
+				return nil, err
+			}
+			trunkDone = done
+		}
+		if trunkDone {
+			// The trace completed without any counter reaching T-1, so no
+			// run at threshold >= T ever relocates: every remaining point
+			// (including the trunk's own) is the same run.
+			break
+		}
+		snap, err := trunk.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		fsys := sys
+		fsys.Threshold = T
+		run, err := forkRun(data, hdr, fsys, snap)
+		if err != nil {
+			return nil, fmt.Errorf("harness: fork at T=%d: %w", T, err)
+		}
+		out[T] = run
+	}
+	runMax, err := trunk.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	out[tmax] = runMax
+	for _, T := range ts[:len(ts)-1] {
+		if out[T] == nil {
+			out[T] = runMax.Clone()
+		}
+	}
+	return out, nil
+}
+
+// forkRun completes one sweep point from a trunk snapshot: a fresh
+// machine at the point's own threshold restores the snapshot, seeks a
+// fresh set of trace streams to the consumed positions (the reader
+// skips whole compressed chunks, so the seek is cheap), and replays the
+// remaining suffix to completion.
+func forkRun(data []byte, hdr tracefile.Header, sys config.System, snap *machine.Snapshot) (*stats.Run, error) {
+	m, _, err := NewTraceMachine(hdr, sys)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Restore(snap); err != nil {
+		return nil, err
+	}
+	fd, err := tracefile.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	if err := m.ResumeWith(fd.Streams()); err != nil {
+		return nil, err
+	}
+	run, err := m.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if err := fd.Err(); err != nil {
+		return nil, err
+	}
+	return run, nil
+}
+
+// uniqInts compacts a sorted slice in place and returns the unique
+// length.
+func uniqInts(ts []int) int {
+	n := 0
+	for i, v := range ts {
+		if i == 0 || v != ts[n-1] {
+			ts[n] = v
+			n++
+		}
+	}
+	return n
+}
+
+// forkThresholdPoints pre-computes a threshold sweep's R-NUMA points
+// with ThresholdForkRuns and inserts them into the memo cache under the
+// very job keys the sweep assembly reads, so Prefetch and Run find them
+// already done and only the threshold-independent systems (ideal,
+// CC-NUMA, S-COMA — one replay each, shared across all points) still
+// simulate. Already-cached points are left alone; when every point is
+// cached no trunk runs at all.
+func (h *Harness) forkThresholdPoints(data []byte, pts []sweepPoint) error {
+	missing := false
+	for _, p := range pts {
+		if !h.cached(NewJob(p.app, p.rn)) {
+			missing = true
+			break
+		}
+	}
+	if !missing {
+		return nil
+	}
+	thresholds := make([]int, 0, len(pts))
+	for _, p := range pts {
+		thresholds = append(thresholds, p.rn.Threshold)
+	}
+	h.logf("forking  %-9s threshold sweep from one trunk at T=%d", pts[0].app, thresholds[len(thresholds)-1])
+	runs, err := ThresholdForkRuns(data, pts[len(pts)-1].rn, thresholds)
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		run := runs[p.rn.Threshold]
+		if run == nil {
+			return fmt.Errorf("harness: fork sweep produced no run for T=%d", p.rn.Threshold)
+		}
+		h.memoize(NewJob(p.app, p.rn), run)
+		h.logf("  T=%-5d %s", p.rn.Threshold, run.Summary())
+	}
+	return nil
+}
+
+// cached reports whether a job already occupies a memo-cache slot.
+func (h *Harness) cached(j Job) bool {
+	key := h.jobKey(j)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.cache[key]
+	return ok
+}
+
+// memoize inserts a pre-computed result into the memo cache, so later
+// Run/Prefetch calls for the job read it instead of simulating. An
+// existing slot (completed or in flight) wins: the fork engine never
+// clobbers a result another path produced.
+func (h *Harness) memoize(j Job, run *stats.Run) {
+	key := h.jobKey(j)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.cache[key]; ok {
+		return
+	}
+	e := &memoEntry{done: make(chan struct{}), run: run}
+	close(e.done)
+	h.cache[key] = e
+}

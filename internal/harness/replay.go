@@ -23,16 +23,7 @@ func ReplayTrace(r io.Reader, sys config.System) (*stats.Run, tracefile.Header, 
 		return nil, tracefile.Header{}, err
 	}
 	h := d.Header()
-	if h.CPUs%h.Nodes != 0 {
-		return nil, h, fmt.Errorf("harness: trace has %d CPUs on %d nodes (not evenly divided)", h.CPUs, h.Nodes)
-	}
-	sys.Geometry = h.Geometry
-	sys.Nodes = h.Nodes
-	sys.CPUsPerNode = h.CPUs / h.Nodes
-	if err := sys.Validate(); err != nil {
-		return nil, h, err
-	}
-	m, err := machine.New(sys, machine.WithHomes(h.HomeFunc()), machine.WithPages(h.SharedPages))
+	m, _, err := NewTraceMachine(h, sys)
 	if err != nil {
 		return nil, h, err
 	}
@@ -44,6 +35,26 @@ func ReplayTrace(r io.Reader, sys config.System) (*stats.Run, tracefile.Header, 
 		return nil, h, err
 	}
 	return run, h, nil
+}
+
+// NewTraceMachine builds a machine for a recorded trace: the protocol,
+// cache sizes, threshold, and costs come from sys, while the node/CPU
+// counts, geometry, segment size, and page placement come from the trace
+// header. Returns the merged configuration alongside the machine
+// (ReplayTrace, the snapshot/resume CLI, and fork sweeps all share this
+// construction, which is what makes their machines state-compatible).
+func NewTraceMachine(h tracefile.Header, sys config.System) (*machine.Machine, config.System, error) {
+	if h.Nodes < 1 || h.CPUs%h.Nodes != 0 {
+		return nil, sys, fmt.Errorf("harness: trace has %d CPUs on %d nodes (not evenly divided)", h.CPUs, h.Nodes)
+	}
+	sys.Geometry = h.Geometry
+	sys.Nodes = h.Nodes
+	sys.CPUsPerNode = h.CPUs / h.Nodes
+	if err := sys.Validate(); err != nil {
+		return nil, sys, err
+	}
+	m, err := machine.New(sys, machine.WithHomes(h.HomeFunc()), machine.WithPages(h.SharedPages))
+	return m, sys, err
 }
 
 // ReplayTraceFile is ReplayTrace over a trace file on disk.

@@ -331,6 +331,15 @@ func (h *Harness) Sweep(data []byte, axis Axis, values []SweepValue) ([]AxisPoin
 		pts = append(pts, pt)
 	}
 
+	// Threshold points replay the identical trace and differ only in T, so
+	// they share a prefix: run it once on a trunk machine and fork each
+	// point from a snapshot instead of replaying it per point (fork.go).
+	if axis == AxisThreshold && len(pts) > 1 {
+		if err := h.forkThresholdPoints(data, pts); err != nil {
+			return nil, "", err
+		}
+	}
+
 	h.Prefetch(plan)
 	out := make([]AxisPoint, 0, len(pts))
 	for _, p := range pts {

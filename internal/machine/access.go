@@ -15,12 +15,16 @@ import (
 // l1Index computes the set index the node's CPUs use for a block: CC-NUMA
 // and home-local pages index by global physical address; S-COMA pages by
 // their page-cache frame address (the local physical address the CPUs
-// actually issue).
+// actually issue). The scomaMapped fast path skips the per-node
+// page-table lookup while no node anywhere has the page S-COMA-mapped —
+// the overwhelmingly common case on this per-reference path.
 func (m *Machine) l1Index(nd *node.Node, page addr.PageNum, b addr.BlockNum) int {
-	if h := m.homeAt(page); h != addr.NoNode && h != nd.ID {
-		if mp := nd.PT.Lookup(page); mp.Kind == osmodel.MappedSCOMA {
-			key := uint32(mp.Frame*m.bpp + m.g.OffsetOf(b))
-			return nd.L1s[0].Index(key)
+	if int(page) < len(m.scomaMapped) && m.scomaMapped[page] != 0 {
+		if h := m.homeAt(page); h != addr.NoNode && h != nd.ID {
+			if mp := nd.PT.Lookup(page); mp.Kind == osmodel.MappedSCOMA {
+				key := uint32(mp.Frame*m.bpp + m.g.OffsetOf(b))
+				return nd.L1s[0].Index(key)
+			}
 		}
 	}
 	return nd.L1s[0].Index(uint32(b))
@@ -289,7 +293,11 @@ func (m *Machine) ccFill(nd *node.Node, now int64, page addr.PageNum, b addr.Blo
 		m.addRefetch(nd.ID, page)
 	}
 	if nd.RAD.Reactive() && (refetch || m.naiveCounting) {
-		if nd.RAD.Counters.Record(page) {
+		n, crossed := nd.RAD.Counters.Record(page)
+		if n > m.counterHigh {
+			m.counterHigh = n
+		}
+		if crossed {
 			// Threshold crossed: the OS relocates the page to S-COMA.
 			lat += m.relocate(nd, now+lat, page)
 		}

@@ -14,14 +14,25 @@ import (
 	"fmt"
 
 	"rnuma/internal/addr"
+	"rnuma/internal/blockcache"
+	"rnuma/internal/cache"
 	"rnuma/internal/config"
 	"rnuma/internal/dense"
 	"rnuma/internal/directory"
 	"rnuma/internal/event"
 	"rnuma/internal/node"
+	"rnuma/internal/pagecache"
 	"rnuma/internal/stats"
 	"rnuma/internal/trace"
 )
+
+// relocMoved is one offset's merged block state during a relocation.
+type relocMoved struct {
+	present bool
+	tag     pagecache.TagState
+	dirty   bool
+	ver     uint32
+}
 
 // Machine is one simulated DSM system.
 type Machine struct {
@@ -42,6 +53,36 @@ type Machine struct {
 	pageFlags []uint8       // page -> sharing-traffic bits (Table 4)
 	seen      []bool        // page*nodes+node -> node touched this remote page
 	homeFn    func(addr.PageNum) addr.NodeID
+
+	// scomaMapped counts, per page, how many nodes hold an S-COMA mapping.
+	// l1Index consults it to skip the per-node page-table lookup for the
+	// overwhelmingly common case of a page no node has relocated.
+	scomaMapped []uint16
+
+	// counterHigh is the high-water refetch count any R-NUMA counter has
+	// reached. Runs at different thresholds evolve identical counts until
+	// the first crossing, so a sweep's trunk run can pause while
+	// counterHigh is still below a lower threshold and snapshot a state
+	// every higher-threshold point shares (see RunUntilCounter).
+	counterHigh uint32
+
+	// Event-loop state, persistent across paused runs (snapshot/fork).
+	q       event.Queue
+	waiting []*node.CPU // CPUs parked at a barrier
+	active  int
+	started bool
+
+	// Per-CPU batch buffers: streams implementing trace.Batcher deliver
+	// references in bulk, amortizing the per-Next interface call.
+	batch []refBuffer
+
+	// relocate scratch, reused across calls so the relocation path does
+	// not allocate: a blocks-per-page offset-indexed merge table plus
+	// gather buffers for block-cache and L1 lookups.
+	relocMoved []relocMoved
+	relocUsed  []int
+	bcScratch  []blockcache.Entry
+	l1Scratch  []cache.Line
 
 	run      *stats.Run
 	refetch  *stats.PageCounter // per-(node,page) refetches, materialized at finalize
@@ -123,6 +164,23 @@ func (m *Machine) growPages(p addr.PageNum) {
 	}
 	m.pageFlags = dense.Grow(m.pageFlags, len(m.homes))
 	m.seen = dense.Grow(m.seen, len(m.homes)*m.sys.Nodes)
+	m.scomaMapped = dense.Grow(m.scomaMapped, len(m.homes))
+}
+
+// markSCOMA/unmarkSCOMA maintain the per-page count of nodes holding an
+// S-COMA mapping (the l1Index fast-path flag).
+func (m *Machine) markSCOMA(p addr.PageNum) {
+	if int(p) >= len(m.scomaMapped) {
+		m.scomaMapped = dense.Grow(m.scomaMapped, int(p)+1)
+	}
+	m.scomaMapped[p]++
+}
+
+func (m *Machine) unmarkSCOMA(p addr.PageNum) {
+	if int(p) >= len(m.scomaMapped) || m.scomaMapped[p] == 0 {
+		panic(fmt.Sprintf("machine: S-COMA unmap of untracked page %d", p))
+	}
+	m.scomaMapped[p]--
 }
 
 // ensureBlock extends the verification truth table to cover block b.
@@ -207,83 +265,209 @@ func (m *Machine) homeAt(p addr.PageNum) addr.NodeID {
 	return m.homes[p]
 }
 
+// refBuffer is one CPU's batch-delivery state: a view of references
+// pulled from a Batcher stream in one call, drained by the event loop
+// before the next pull (the view aliases stream-owned storage).
+type refBuffer struct {
+	src trace.Batcher // nil when the stream only supports Next
+	buf []trace.Ref
+	pos int
+}
+
+// batchSize is the per-CPU bulk-delivery unit. Large enough to amortize
+// the interface call and (for trace files) the chunk-decode bookkeeping,
+// small enough that the buffers stay cache-resident.
+const batchSize = 256
+
 // Run executes one stream per CPU to completion and returns the collected
 // statistics. The number of streams must equal the machine's CPU count.
 func (m *Machine) Run(streams []trace.Stream) (*stats.Run, error) {
-	if len(streams) != len(m.cpus) {
-		return nil, fmt.Errorf("machine: %d streams for %d CPUs", len(streams), len(m.cpus))
+	if err := m.Start(streams); err != nil {
+		return nil, err
 	}
-	var q event.Queue
-	var waiting []*node.CPU // CPUs parked at a barrier
+	return m.Finish()
+}
+
+// Start binds one stream per CPU and readies the event loop without
+// executing anything. Use it with RunUntilRefs/RunUntilCounter to pause a
+// run at a snapshot point; plain Run wraps Start+Finish.
+func (m *Machine) Start(streams []trace.Stream) error {
+	if m.started {
+		return fmt.Errorf("machine: Start on an already-started machine")
+	}
+	if len(streams) != len(m.cpus) {
+		return fmt.Errorf("machine: %d streams for %d CPUs", len(streams), len(m.cpus))
+	}
+	m.bind(streams)
+	for _, c := range m.cpus {
+		c.Actor.Clock = 0
+		m.q.Push(&c.Actor)
+	}
+	m.active = len(m.cpus)
+	m.started = true
+	return nil
+}
+
+// bind attaches streams to CPUs and sets up batch delivery for streams
+// that support it.
+func (m *Machine) bind(streams []trace.Stream) {
+	if m.batch == nil {
+		m.batch = make([]refBuffer, len(m.cpus))
+	}
 	for i, c := range m.cpus {
 		c.Stream = streams[i]
-		c.Actor.Clock = 0
-		q.Push(&c.Actor)
+		rb := &m.batch[i]
+		rb.src, _ = streams[i].(trace.Batcher)
+		rb.buf = nil
+		rb.pos = 0
 	}
-	active := len(m.cpus)
-	release := func() {
-		// All still-running CPUs have reached the barrier: everyone
-		// resumes at the latest arrival time.
-		var maxT int64
-		for _, w := range waiting {
-			if w.Actor.Clock > maxT {
-				maxT = w.Actor.Clock
-			}
-		}
-		for _, w := range waiting {
-			w.Actor.Clock = maxT
-			q.Push(&w.Actor)
-		}
-		waiting = waiting[:0]
+}
+
+// Finish runs the bound streams to completion and returns the collected
+// statistics.
+func (m *Machine) Finish() (*stats.Run, error) {
+	if !m.started {
+		return nil, fmt.Errorf("machine: Finish before Start")
 	}
+	m.loop(0, 0, false)
+	m.finalize()
+	return m.run, m.verifyErr
+}
+
+// RunUntilRefs executes until the machine has processed at least n
+// references (or the run completes), pausing between references. It
+// reports whether the run completed.
+func (m *Machine) RunUntilRefs(n int64) (done bool, err error) {
+	if !m.started {
+		return false, fmt.Errorf("machine: run before Start")
+	}
+	if n <= 0 {
+		return m.q.Len() == 0, nil
+	}
+	return m.loop(n, 0, false), nil
+}
+
+// RunUntilCounter executes until some R-NUMA refetch counter has reached
+// the watermark w (or the run completes), pausing between references. A
+// paused machine's counter state is identical to that of a run under any
+// relocation threshold > w, which is what makes threshold-sweep forking
+// sound: pause at w = T-1, snapshot, and the snapshot is a valid prefix
+// for a threshold-T run. It reports whether the run completed.
+func (m *Machine) RunUntilCounter(w uint32) (done bool, err error) {
+	if !m.started {
+		return false, fmt.Errorf("machine: run before Start")
+	}
+	return m.loop(0, w, true), nil
+}
+
+// nextRef pulls the CPU's next trace record, through the batch buffer
+// when the stream supports bulk delivery.
+func (m *Machine) nextRef(c *node.CPU) (trace.Ref, bool) {
+	rb := &m.batch[c.Global]
+	if rb.pos < len(rb.buf) {
+		r := rb.buf[rb.pos]
+		rb.pos++
+		c.Consumed++
+		return r, true
+	}
+	if rb.src != nil {
+		rb.buf = rb.src.NextBatch(batchSize)
+		if len(rb.buf) > 0 {
+			rb.pos = 1
+			c.Consumed++
+			return rb.buf[0], true
+		}
+		return trace.Ref{}, false
+	}
+	r, ok := c.Stream.Next()
+	if ok {
+		c.Consumed++
+	}
+	return r, ok
+}
+
+// release resumes every barrier-parked CPU at the latest arrival time:
+// all still-running CPUs have reached the barrier.
+func (m *Machine) release() {
+	var maxT int64
+	for _, w := range m.waiting {
+		if w.Actor.Clock > maxT {
+			maxT = w.Actor.Clock
+		}
+	}
+	for _, w := range m.waiting {
+		w.Actor.Clock = maxT
+		w.AtBarrier = false
+		m.q.Push(&w.Actor)
+	}
+	m.waiting = m.waiting[:0]
+}
+
+// loop is the discrete-event engine: always advance the CPU with the
+// globally smallest clock. With pauseRefs > 0 it returns (done=false)
+// once run.Refs reaches pauseRefs; with pauseCounter set it returns once
+// counterHigh reaches pauseAt. Pauses land between references, with all
+// machine state consistent, so a Snapshot taken at a pause point is a
+// complete prefix of the run. It reports whether the run completed.
+func (m *Machine) loop(pauseRefs int64, pauseAt uint32, pauseCounter bool) (done bool) {
+	q := &m.q
 	for {
-		a := q.Pop()
+		a := q.Peek()
 		if a == nil {
-			break
+			return true
+		}
+		if pauseRefs > 0 && m.run.Refs >= pauseRefs {
+			return false
+		}
+		if pauseCounter && m.counterHigh >= pauseAt {
+			return false
 		}
 		c := m.cpus[a.ID]
 		var ref trace.Ref
 		if c.HasPending {
 			ref, c.HasPending = c.Pending, false
 		} else {
-			r, ok := c.Stream.Next()
+			r, ok := m.nextRef(c)
 			if !ok {
 				c.Done = true
 				c.Finish = a.Clock
-				active--
-				if len(waiting) > 0 && len(waiting) == active {
-					release()
+				q.Remove(a)
+				m.active--
+				if len(m.waiting) > 0 && len(m.waiting) == m.active {
+					m.release()
 				}
 				continue
 			}
 			ref = r
 			if ref.Gap > 0 {
 				// The compute gap advances this CPU's clock before the
-				// reference issues; if another CPU is now globally
+				// reference issues; if another CPU is now strictly
 				// earlier, defer the reference so events stay causally
-				// ordered.
+				// ordered. Peeking the runner-up clock directly lets the
+				// common (no-deferral) case fold the gap and the access
+				// latency into a single heap update.
 				a.Clock += int64(ref.Gap)
-				if top := q.Peek(); top != nil && top.Clock < a.Clock {
+				if s, ok := q.SecondClock(); ok && s < a.Clock {
+					q.Update(a)
 					c.Pending, c.HasPending = ref, true
-					q.Push(a)
 					continue
 				}
 			}
 		}
 		if ref.Barrier {
-			waiting = append(waiting, c)
-			if len(waiting) == active {
-				release()
+			q.Remove(a)
+			c.AtBarrier = true
+			m.waiting = append(m.waiting, c)
+			if len(m.waiting) == m.active {
+				m.release()
 			}
 			continue
 		}
 		lat := m.access(c, a.Clock, ref)
 		a.Clock += lat
 		c.Refs++
-		q.Push(a)
+		q.Update(a)
 	}
-	m.finalize()
-	return m.run, m.verifyErr
 }
 
 func (m *Machine) finalize() {

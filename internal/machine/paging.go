@@ -38,6 +38,7 @@ func (m *Machine) scomaAllocate(nd *node.Node, now int64, page addr.PageNum) int
 	}
 	frame := pc.Allocate(page, now)
 	nd.PT.MapSCOMA(page, frame)
+	m.markSCOMA(page)
 	m.run.Allocations++
 	m.run.TLBShootdowns++
 	m.run.FlushedBlocks += int64(flushed)
@@ -60,6 +61,7 @@ func (m *Machine) replaceVictim(nd *node.Node, now int64) int {
 	flushed := m.flushSCOMAPage(nd, victim, vidx)
 	pc.Evict(vidx)
 	nd.PT.Unmap(victim)
+	m.unmarkSCOMA(victim)
 	if nd.RAD.Reactive() {
 		// A future remapping starts with a fresh counter (this is what
 		// makes pages "bounce" slowly rather than thrash: a replaced page
@@ -127,39 +129,44 @@ func (m *Machine) relocate(nd *node.Node, now int64, page addr.PageNum) int64 {
 	}
 
 	// Gather the node's cached blocks of this page: block cache entries
-	// plus any L1 lines (which may be newer).
-	type moved struct {
-		tag   pagecache.TagState
-		dirty bool
-		ver   uint32
+	// plus any L1 lines (which may be newer). The merge table and gather
+	// buffers are machine-owned scratch so this path stays allocation-free.
+	if len(m.relocMoved) < m.bpp {
+		m.relocMoved = make([]relocMoved, m.bpp)
 	}
-	blocks := make(map[int]moved)
-	for _, e := range nd.RAD.BlockCache.PageEntries(m.g, page) {
+	m.relocUsed = m.relocUsed[:0]
+	m.bcScratch = nd.RAD.BlockCache.AppendPageEntries(m.g, page, m.bcScratch[:0])
+	for _, e := range m.bcScratch {
 		t := pagecache.TagReadOnly
 		if e.State == blockcache.ReadWrite {
 			t = pagecache.TagReadWrite
 		}
-		blocks[m.g.OffsetOf(e.Block)] = moved{tag: t, dirty: e.Dirty, ver: e.Version}
+		off := m.g.OffsetOf(e.Block)
+		m.relocMoved[off] = relocMoved{present: true, tag: t, dirty: e.Dirty, ver: e.Version}
+		m.relocUsed = append(m.relocUsed, off)
 	}
 	for _, l1 := range nd.L1s {
-		for _, ln := range l1.FindPage(m.g, page) {
+		m.l1Scratch = l1.AppendFindPage(m.g, page, m.l1Scratch[:0])
+		for _, ln := range m.l1Scratch {
 			off := m.g.OffsetOf(ln.Block)
-			mv, ok := blocks[off]
-			if !ok {
+			mv := &m.relocMoved[off]
+			if !mv.present {
 				// L1-only copy (read-only block whose block-cache entry
 				// was evicted silently).
-				mv = moved{tag: pagecache.TagReadOnly, ver: ln.Version}
+				*mv = relocMoved{present: true, tag: pagecache.TagReadOnly, ver: ln.Version}
+				m.relocUsed = append(m.relocUsed, off)
 			}
 			if ln.State.Dirty() {
 				mv.tag, mv.dirty, mv.ver = pagecache.TagReadWrite, true, ln.Version
 			}
-			blocks[off] = mv
 		}
 	}
 
 	frame := pc.Allocate(page, now)
-	for off, mv := range blocks {
+	for _, off := range m.relocUsed {
+		mv := &m.relocMoved[off]
 		pc.SetBlock(frame, off, mv.tag, mv.dirty, mv.ver)
+		mv.present = false
 	}
 	nd.RAD.BlockCache.InvalidatePage(m.g, page)
 	for _, l1 := range nd.L1s {
@@ -167,11 +174,12 @@ func (m *Machine) relocate(nd *node.Node, now int64, page addr.PageNum) int64 {
 	}
 	nd.PT.Unmap(page)
 	nd.PT.MapSCOMA(page, frame)
+	m.markSCOMA(page)
 	nd.RAD.Counters.Reset(page)
 
 	m.run.Relocations++
 	m.run.TLBShootdowns++
-	lat += m.costs.PageOpCost(len(blocks))
+	lat += m.costs.PageOpCost(len(m.relocUsed))
 	return lat
 }
 
@@ -183,6 +191,7 @@ func (m *Machine) demote(nd *node.Node, now int64, page addr.PageNum, frame int)
 	flushed := m.flushSCOMAPage(nd, page, frame)
 	pc.Evict(frame)
 	nd.PT.Unmap(page)
+	m.unmarkSCOMA(page)
 	nd.PT.MapCC(page)
 	nd.RAD.Counters.Reset(page)
 	m.run.Demotions++

@@ -30,6 +30,15 @@ type CPU struct {
 	Pending    trace.Ref
 	HasPending bool
 
+	// AtBarrier marks a CPU parked at a barrier awaiting release (part of
+	// the engine state a machine snapshot must capture).
+	AtBarrier bool
+
+	// Consumed counts trace records pulled from Stream so far, barriers
+	// included and a Pending reference included: it is the stream cursor a
+	// forked replay seeks to before resuming.
+	Consumed int64
+
 	Actor event.Actor
 
 	// Per-CPU counters.

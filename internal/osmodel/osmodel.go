@@ -122,3 +122,29 @@ func (t *PageTable) Mapped() int { return t.mapped }
 
 // Faults reports how many mapping installs occurred.
 func (t *PageTable) Faults() int64 { return t.faults }
+
+// State returns a deep copy of the table's state (snapshot support): the
+// dense entry table trimmed of trailing unmapped pages, plus the fault
+// tally.
+func (t *PageTable) State() (entries []Mapping, faults int64) {
+	n := len(t.entries)
+	for n > 0 && t.entries[n-1].Kind == Unmapped {
+		n--
+	}
+	entries = make([]Mapping, n)
+	copy(entries, t.entries[:n])
+	return entries, t.faults
+}
+
+// SetState replaces the table's state (snapshot restore). The mapped
+// count is recomputed from the entries.
+func (t *PageTable) SetState(entries []Mapping, faults int64) {
+	t.entries = append(t.entries[:0], entries...)
+	t.mapped = 0
+	for _, e := range t.entries {
+		if e.Kind != Unmapped {
+			t.mapped++
+		}
+	}
+	t.faults = faults
+}

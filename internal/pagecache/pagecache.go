@@ -6,7 +6,11 @@
 // reordered only on remote misses, not on every reference.
 package pagecache
 
-import "rnuma/internal/addr"
+import (
+	"fmt"
+
+	"rnuma/internal/addr"
+)
 
 // TagState is the fine-grain access-control state of one block in a frame
 // (the paper's two bits per block).
@@ -126,6 +130,9 @@ func New(frames, blocksPerPage int) *Cache {
 }
 
 // NewWithPolicy builds a page cache with an explicit replacement policy.
+// Every frame's tag/dirty/version arrays are carved out of flat backing
+// slices up front, so Allocate never allocates: frame turnover sits on the
+// simulator's page-operation path.
 func NewWithPolicy(frames, blocksPerPage int, p Policy) *Cache {
 	c := &Cache{
 		frames:        make([]Frame, frames),
@@ -133,6 +140,18 @@ func NewWithPolicy(frames, blocksPerPage int, p Policy) *Cache {
 		free:          make([]int, 0, frames),
 		blocksPerPage: blocksPerPage,
 		policy:        p,
+	}
+	tags := make([]TagState, frames*blocksPerPage)
+	dirty := make([]bool, frames*blocksPerPage)
+	versions := make([]uint32, frames*blocksPerPage)
+	wasValid := make([]bool, frames*blocksPerPage)
+	for i := range c.frames {
+		f := &c.frames[i]
+		lo, hi := i*blocksPerPage, (i+1)*blocksPerPage
+		f.Tags = tags[lo:hi:hi]
+		f.Dirty = dirty[lo:hi:hi]
+		f.Versions = versions[lo:hi:hi]
+		f.wasValid = wasValid[lo:hi:hi]
 	}
 	for i := frames - 1; i >= 0; i-- {
 		c.free = append(c.free, i)
@@ -208,18 +227,11 @@ func (c *Cache) Allocate(p addr.PageNum, now int64) int {
 	idx := c.free[len(c.free)-1]
 	c.free = c.free[:len(c.free)-1]
 	f := &c.frames[idx]
-	if cap(f.Tags) < c.blocksPerPage {
-		f.Tags = make([]TagState, c.blocksPerPage)
-		f.Dirty = make([]bool, c.blocksPerPage)
-		f.Versions = make([]uint32, c.blocksPerPage)
-		f.wasValid = make([]bool, c.blocksPerPage)
-	} else {
-		for i := 0; i < c.blocksPerPage; i++ {
-			f.Tags[i] = TagInvalid
-			f.Dirty[i] = false
-			f.Versions[i] = 0
-			f.wasValid[i] = false
-		}
+	for i := 0; i < c.blocksPerPage; i++ {
+		f.Tags[i] = TagInvalid
+		f.Dirty[i] = false
+		f.Versions[i] = 0
+		f.wasValid[i] = false
 	}
 	f.Page = p
 	f.InUse = true
@@ -306,3 +318,120 @@ func (c *Cache) Hits() int64         { return c.hits }
 func (c *Cache) Misses() int64       { return c.misses }
 func (c *Cache) Allocations() int64  { return c.allocations }
 func (c *Cache) Replacements() int64 { return c.replacements }
+
+// FrameState is one frame's complete state in exported form (snapshot
+// support). Free frames carry nil block slices: their contents are reset
+// on the next Allocate, so only the free-stack position matters.
+type FrameState struct {
+	Page       addr.PageNum
+	InUse      bool
+	LastMiss   int64
+	MissStreak int
+	Tags       []TagState
+	Dirty      []bool
+	Versions   []uint32
+	WasValid   []bool
+}
+
+// State is the page cache's complete state in exported form. Free lists
+// frame indices in stack order; its order decides which frame the next
+// Allocate picks, so restores must preserve it exactly.
+type State struct {
+	Frames []FrameState
+	Free   []int
+
+	Hits, Misses, Allocations, Replacements int64
+}
+
+// State returns a deep copy of the cache's state (snapshot support).
+func (c *Cache) State() State {
+	s := State{
+		Frames:       make([]FrameState, len(c.frames)),
+		Free:         append([]int(nil), c.free...),
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Allocations:  c.allocations,
+		Replacements: c.replacements,
+	}
+	for i := range c.frames {
+		f := &c.frames[i]
+		fs := &s.Frames[i]
+		fs.Page, fs.InUse, fs.LastMiss, fs.MissStreak = f.Page, f.InUse, f.LastMiss, f.MissStreak
+		if f.InUse {
+			fs.Tags = append([]TagState(nil), f.Tags...)
+			fs.Dirty = append([]bool(nil), f.Dirty...)
+			fs.Versions = append([]uint32(nil), f.Versions...)
+			fs.WasValid = append([]bool(nil), f.wasValid...)
+		}
+	}
+	return s
+}
+
+// SetState replaces the cache's state (snapshot restore), validating the
+// snapshot's shape against this cache's frame count and page size. The
+// per-frame valid/dirty tallies are recomputed from the restored tags.
+func (c *Cache) SetState(s State) error {
+	if len(s.Frames) != len(c.frames) {
+		return fmt.Errorf("pagecache: snapshot has %d frames, cache has %d", len(s.Frames), len(c.frames))
+	}
+	if len(s.Free) > len(c.frames) {
+		return fmt.Errorf("pagecache: snapshot frees %d of %d frames", len(s.Free), len(c.frames))
+	}
+	onFree := make([]bool, len(c.frames))
+	for _, idx := range s.Free {
+		if idx < 0 || idx >= len(c.frames) {
+			return fmt.Errorf("pagecache: free index %d out of range", idx)
+		}
+		if onFree[idx] {
+			return fmt.Errorf("pagecache: frame %d freed twice", idx)
+		}
+		if s.Frames[idx].InUse {
+			return fmt.Errorf("pagecache: frame %d both free and in use", idx)
+		}
+		onFree[idx] = true
+	}
+	byPage := make(map[addr.PageNum]int, len(c.frames))
+	for i := range s.Frames {
+		fs := &s.Frames[i]
+		if !fs.InUse {
+			if !onFree[i] {
+				return fmt.Errorf("pagecache: frame %d neither free nor in use", i)
+			}
+			continue
+		}
+		if len(fs.Tags) != c.blocksPerPage || len(fs.Dirty) != c.blocksPerPage ||
+			len(fs.Versions) != c.blocksPerPage || len(fs.WasValid) != c.blocksPerPage {
+			return fmt.Errorf("pagecache: frame %d snapshot sized for %d blocks/page, cache has %d",
+				i, len(fs.Tags), c.blocksPerPage)
+		}
+		if _, dup := byPage[fs.Page]; dup {
+			return fmt.Errorf("pagecache: page %d mapped to two frames", fs.Page)
+		}
+		byPage[fs.Page] = i
+	}
+	for i := range c.frames {
+		f := &c.frames[i]
+		fs := &s.Frames[i]
+		f.Page, f.InUse, f.LastMiss, f.MissStreak = fs.Page, fs.InUse, fs.LastMiss, fs.MissStreak
+		f.valid, f.dirty = 0, 0
+		if !fs.InUse {
+			continue
+		}
+		copy(f.Tags, fs.Tags)
+		copy(f.Dirty, fs.Dirty)
+		copy(f.Versions, fs.Versions)
+		copy(f.wasValid, fs.WasValid)
+		for off := 0; off < c.blocksPerPage; off++ {
+			if f.Tags[off] != TagInvalid {
+				f.valid++
+			}
+			if f.Dirty[off] {
+				f.dirty++
+			}
+		}
+	}
+	c.free = append(c.free[:0], s.Free...)
+	c.byPage = byPage
+	c.hits, c.misses, c.allocations, c.replacements = s.Hits, s.Misses, s.Allocations, s.Replacements
+	return nil
+}

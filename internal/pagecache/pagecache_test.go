@@ -296,3 +296,28 @@ func TestPolicyStrings(t *testing.T) {
 		t.Error("unknown policy should render ?")
 	}
 }
+
+// TestLRMAllocationFree pins the replacement hot path: with the cache
+// full, a pick-victim/evict/allocate cycle (the LRM replacement S-COMA
+// performs on every page-cache miss) never allocates.
+func TestLRMAllocationFree(t *testing.T) {
+	c := New(4, 8)
+	for p := 0; p < 4; p++ {
+		c.Allocate(addr.PageNum(p), int64(p))
+	}
+	now := int64(100)
+	next := addr.PageNum(10)
+	if n := testing.AllocsPerRun(500, func() {
+		idx, ok := c.PickVictim()
+		if !ok {
+			t.Fatal("full cache has no victim")
+		}
+		c.Evict(idx)
+		c.Allocate(next, now)
+		c.SetBlock(idx, 3, TagReadWrite, true, uint32(now))
+		next = (next + 1) % 16
+		now++
+	}); n != 0 {
+		t.Errorf("steady-state LRM replacement allocates %.1f times", n)
+	}
+}

@@ -78,6 +78,21 @@ func NewRun() *Run {
 	}
 }
 
+// Clone returns a deep copy of the run (snapshot support): the counter
+// maps are copied, so the clone and the original accumulate independently.
+func (r *Run) Clone() *Run {
+	c := *r
+	c.RefetchByPage = make(map[PageKey]int64, len(r.RefetchByPage))
+	for k, v := range r.RefetchByPage {
+		c.RefetchByPage[k] = v
+	}
+	c.PerNodeReplacements = make(map[addr.NodeID]int64, len(r.PerNodeReplacements))
+	for k, v := range r.PerNodeReplacements {
+		c.PerNodeReplacements[k] = v
+	}
+	return &c
+}
+
 // AddRefetch records one refetch for the (node, page) pair.
 func (r *Run) AddRefetch(n addr.NodeID, p addr.PageNum) {
 	r.Refetches++
@@ -149,6 +164,24 @@ func (c *PageCounter) Total() int64 {
 // Materialize copies the nonzero entries into the sparse map form.
 func (c *PageCounter) Materialize(into map[PageKey]int64) {
 	c.Each(func(k PageKey, v int64) { into[k] = v })
+}
+
+// State returns the counter table's raw form (snapshot support): the
+// node stride and a copy of the dense page-major count slice.
+func (c *PageCounter) State() (nodes int, counts []int64) {
+	return c.nodes, append([]int64(nil), c.counts...)
+}
+
+// PageCounterFromState rebuilds a counter table from its raw form
+// (snapshot restore). The count slice is copied.
+func PageCounterFromState(nodes int, counts []int64) (*PageCounter, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("stats: page counter with %d nodes", nodes)
+	}
+	if len(counts)%nodes != 0 {
+		return nil, fmt.Errorf("stats: %d counts not a multiple of %d nodes", len(counts), nodes)
+	}
+	return &PageCounter{nodes: nodes, counts: append([]int64(nil), counts...)}, nil
 }
 
 // TotalPageOps returns allocations+replacements+relocations, the page

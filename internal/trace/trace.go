@@ -4,7 +4,11 @@
 // materializing full traces.
 package trace
 
-import "rnuma/internal/addr"
+import (
+	"fmt"
+
+	"rnuma/internal/addr"
+)
 
 // Ref is one data memory reference, or a barrier marker.
 type Ref struct {
@@ -31,6 +35,28 @@ type Stream interface {
 	Next() (Ref, bool)
 }
 
+// Batcher is an optional Stream extension for bulk delivery: NextBatch
+// returns a view of up to max consecutive references (empty at end of
+// program). The view aliases stream-owned storage and is valid only
+// until the next call on the stream — the machine's event loop drains it
+// before pulling again, amortizing the per-Next interface call (and, for
+// decoded trace files, the per-record decode) across the batch with no
+// copying.
+type Batcher interface {
+	Stream
+	NextBatch(max int) []Ref
+}
+
+// Seeker is an optional Stream extension for forked replay: Seek
+// positions the stream so the next record returned is record number n
+// (records consumed so far), counting barriers. The tracefile Reader
+// implements it with chunk-index skipping so a fork does not re-decode
+// the shared prefix; in-memory streams implement it by moving a cursor.
+type Seeker interface {
+	Stream
+	SeekRecord(n int64) error
+}
+
 // SliceStream replays a pre-built reference slice.
 type SliceStream struct {
 	refs []Ref
@@ -48,6 +74,26 @@ func (s *SliceStream) Next() (Ref, bool) {
 	r := s.refs[s.pos]
 	s.pos++
 	return r, true
+}
+
+// NextBatch implements Batcher.
+func (s *SliceStream) NextBatch(max int) []Ref {
+	n := len(s.refs) - s.pos
+	if n > max {
+		n = max
+	}
+	out := s.refs[s.pos : s.pos+n]
+	s.pos += n
+	return out
+}
+
+// Seek implements Seeker.
+func (s *SliceStream) SeekRecord(n int64) error {
+	if n < 0 || n > int64(len(s.refs)) {
+		return fmt.Errorf("trace: seek to record %d of %d", n, len(s.refs))
+	}
+	s.pos = int(n)
+	return nil
 }
 
 // Len returns the total number of references in the slice.

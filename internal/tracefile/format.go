@@ -32,7 +32,12 @@
 //	  cpu        uvarint  stream index, < cpus
 //	  count      uvarint  records in this chunk, >= 1
 //	  flags      byte     bit 0: payload is DEFLATE-compressed
+//	                      bit 1: a page seed follows (see below)
 //	  rawLen     uvarint  decoded payload size (present only when bit 0 set)
+//	  seed       varint   the CPU's page-delta accumulator value at chunk
+//	             start (present only when bit 1 set); makes the chunk
+//	             independently decodable, so a seeking reader can skip
+//	             whole prefix chunks without decoding them
 //	  byteLen    uvarint  stored payload size that follows
 //	  payload    byteLen bytes; after optional DEFLATE decompression,
 //	             exactly count records spanning rawLen (or byteLen) bytes
@@ -69,7 +74,6 @@ package tracefile
 
 import (
 	"fmt"
-	"io"
 
 	"rnuma/internal/addr"
 )
@@ -131,8 +135,14 @@ const (
 // Version-2 chunk flag bits.
 const (
 	chunkDeflate = 1 << 0
+	// chunkSeed marks a chunk carrying its page-delta seed, making it
+	// decodable without the chunks before it (the Seek fast path). The
+	// Writer sets it on every version-2 chunk; files without it (written
+	// before the flag existed) still decode and seek, just without
+	// whole-chunk skipping.
+	chunkSeed = 1 << 1
 
-	chunkFlagsKnown = chunkDeflate
+	chunkFlagsKnown = chunkDeflate | chunkSeed
 )
 
 // Header describes the recorded machine shape and page placement; it is
@@ -199,19 +209,4 @@ func (h Header) HomeFunc() func(addr.PageNum) addr.NodeID {
 		}
 		return addr.NodeID(p) % nodes
 	}
-}
-
-// byteCounter counts bytes consumed through a ByteReader; chunk decoding
-// uses it to verify payload lengths.
-type byteCounter struct {
-	r io.ByteReader
-	n int64
-}
-
-func (c *byteCounter) ReadByte() (byte, error) {
-	b, err := c.r.ReadByte()
-	if err == nil {
-		c.n++
-	}
-	return b, err
 }

@@ -199,12 +199,27 @@ func TestCPUFoldInterleave(t *testing.T) {
 		}
 	}
 
-	// Non-divisible folds are rejected; growing and equal counts degrade
-	// to the modulo behavior.
-	var buf bytes.Buffer
-	if _, err := Retarget(&buf, bytes.NewReader(data), RetargetSpec{CPUs: 3, Nodes: 3, CPUFold: FoldInterleave}); err == nil || !strings.Contains(err.Error(), "not evenly divided") {
-		t.Fatalf("4->3 interleave fold: err = %v", err)
+	// Non-divisible folds use weighted contiguous groups: 4 -> 3 puts
+	// source CPUs 0,1 on target 0 and CPUs 2,3 on targets 1,2.
+	odd := retargetBytes(t, data, RetargetSpec{CPUs: 3, Nodes: 3, CPUFold: FoldInterleave})
+	oddH, oddRefs := decode(t, odd)
+	if oddH.CPUs != 3 {
+		t.Fatalf("CPUs = %d, want 3", oddH.CPUs)
 	}
+	group := []int{0, 0, 1, 2} // weighted groups 2,1,1
+	wantOdd := make([][]trace.Ref, 3)
+	for i := 0; i < 30; i++ {
+		for c := 0; c < 4; c++ {
+			wantOdd[group[c]] = append(wantOdd[group[c]], refs[c][i])
+		}
+	}
+	for c := range wantOdd {
+		if !reflect.DeepEqual(oddRefs[c], wantOdd[c]) {
+			t.Fatalf("cpu %d: weighted interleave-folded stream differs", c)
+		}
+	}
+
+	// Growing and equal counts degrade to the modulo behavior.
 	grow := retargetBytes(t, data, RetargetSpec{CPUs: 8, CPUFold: FoldInterleave})
 	growH, growRefs := decode(t, grow)
 	if growH.CPUs != 8 {

@@ -34,11 +34,13 @@ type Reader struct {
 	queues   [][]trace.Ref // decoded records awaiting delivery, per CPU
 	heads    []int         // pop position within each queue
 	lastPage []int64       // per-CPU delta-decoding state
+	skip     []int64       // per-CPU records still to discard (Seek)
+	needSeed []bool        // per-CPU: skipped a chunk wholesale, delta state stale
 	total    uint64        // records decoded across all chunks
 	done     bool          // end marker consumed
 	streams  []trace.Stream
 
-	chunkBuf []byte       // v2 stored-payload staging buffer
+	chunkBuf []byte       // stored-payload staging buffer
 	rawBuf   bytes.Buffer // v2 decompressed-payload staging buffer
 	fr       io.ReadCloser
 }
@@ -57,10 +59,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 	d.queues = make([][]trace.Ref, d.h.CPUs)
 	d.heads = make([]int, d.h.CPUs)
 	d.lastPage = make([]int64, d.h.CPUs)
+	d.skip = make([]int64, d.h.CPUs)
+	d.needSeed = make([]bool, d.h.CPUs)
 	d.streams = make([]trace.Stream, d.h.CPUs)
 	for i := range d.streams {
-		cpu := i
-		d.streams[i] = trace.FuncStream(func() (trace.Ref, bool) { return d.next(cpu) })
+		d.streams[i] = &readerStream{d: d, cpu: i}
 	}
 	return d, nil
 }
@@ -167,23 +170,97 @@ func (d *Reader) Streams() []trace.Stream { return d.streams }
 // file ends the streams early and parks the error here.
 func (d *Reader) Err() error { return d.err }
 
-// next delivers the CPU's next record, demuxing chunks on demand.
-func (d *Reader) next(cpu int) (trace.Ref, bool) {
-	for d.heads[cpu] >= len(d.queues[cpu]) {
-		d.queues[cpu] = d.queues[cpu][:0]
-		d.heads[cpu] = 0
+// readerStream is one CPU's view of the demuxed trace. It implements
+// trace.Stream, trace.Batcher (bulk delivery straight out of the demux
+// queue), and trace.Seeker (forward seek with whole-chunk skipping).
+type readerStream struct {
+	d         *Reader
+	cpu       int
+	delivered int64 // records delivered or skipped so far
+}
+
+// fill ensures the CPU's queue has at least one deliverable record,
+// reading chunks as needed. It reports false at end of stream or on a
+// decode error.
+func (s *readerStream) fill() bool {
+	d := s.d
+	for d.heads[s.cpu] >= len(d.queues[s.cpu]) {
+		d.queues[s.cpu] = d.queues[s.cpu][:0]
+		d.heads[s.cpu] = 0
 		if d.done || d.err != nil {
-			return trace.Ref{}, false
+			return false
 		}
 		d.readChunk()
 	}
-	r := d.queues[cpu][d.heads[cpu]]
-	d.heads[cpu]++
+	return true
+}
+
+// Next implements trace.Stream.
+func (s *readerStream) Next() (trace.Ref, bool) {
+	if !s.fill() {
+		return trace.Ref{}, false
+	}
+	d := s.d
+	r := d.queues[s.cpu][d.heads[s.cpu]]
+	d.heads[s.cpu]++
+	s.delivered++
 	return r, true
 }
 
+// NextBatch implements trace.Batcher: it returns a view of up to max
+// queued records straight out of the demux queue (no copy), reading
+// chunks to refill an empty queue. The view is valid until the next call
+// on this stream.
+func (s *readerStream) NextBatch(max int) []trace.Ref {
+	if !s.fill() {
+		return nil
+	}
+	d := s.d
+	q := d.queues[s.cpu]
+	head := d.heads[s.cpu]
+	n := len(q) - head
+	if n > max {
+		n = max
+	}
+	d.heads[s.cpu] = head + n
+	s.delivered += int64(n)
+	return q[head : head+n]
+}
+
+// Seek implements trace.Seeker: it positions the stream so the next
+// record delivered is record n. Seeks are forward-only (the underlying
+// reader is streaming). The skip is recorded lazily and satisfied as
+// chunks are read; chunks that carry a page seed and fall entirely
+// inside the skipped prefix are discarded without decoding — seek all
+// streams before pulling any of them so whole-chunk skipping sees every
+// CPU's cursor.
+func (s *readerStream) SeekRecord(n int64) error {
+	d := s.d
+	if d.err != nil {
+		return d.err
+	}
+	rel := n - s.delivered
+	if rel < 0 {
+		return fmt.Errorf("tracefile: backward seek to record %d (already at %d)", n, s.delivered)
+	}
+	// Drop already-decoded queued records first.
+	if avail := int64(len(d.queues[s.cpu]) - d.heads[s.cpu]); avail > 0 && rel > 0 {
+		take := avail
+		if rel < take {
+			take = rel
+		}
+		d.heads[s.cpu] += int(take)
+		rel -= take
+	}
+	d.skip[s.cpu] += rel
+	s.delivered = n
+	return nil
+}
+
 // readChunk consumes one chunk (or the end marker) from the file,
-// appending its records to the owning CPU's queue.
+// appending its records to the owning CPU's queue — except records still
+// owed to a pending Seek, which are discarded, wholesale when the chunk
+// carries a seed and lies entirely inside the skipped prefix.
 func (d *Reader) readChunk() {
 	fail := func(err error) { d.err = err }
 
@@ -222,15 +299,19 @@ func (d *Reader) readChunk() {
 		return
 	}
 
-	var src io.ByteReader = d.br
-	rawLen := uint64(0) // decoded payload size the records must span
+	var payload []byte
 	if d.version >= VersionV2 {
-		payload, n, err := d.chunkPayload()
+		var skipped bool
+		payload, skipped, err = d.chunkPayload(int(cpu), count)
 		if err != nil {
 			fail(err)
 			return
 		}
-		src, rawLen = payload, n
+		if skipped {
+			d.skip[cpu] -= int64(count)
+			d.total += count
+			return
+		}
 	} else {
 		byteLen, err := binary.ReadUvarint(d.br)
 		if err != nil {
@@ -241,139 +322,200 @@ func (d *Reader) readChunk() {
 			fail(fmt.Errorf("tracefile: chunk length %d exceeds limit %d", byteLen, maxChunkLen))
 			return
 		}
-		rawLen = byteLen
-	}
-	// Every record is at least one byte, so count > rawLen cannot be
-	// satisfied by the payload; reject before buffering anything.
-	if count == 0 || count > rawLen {
-		fail(fmt.Errorf("tracefile: chunk count %d inconsistent with %d payload bytes", count, rawLen))
-		return
-	}
-	cr := &byteCounter{r: src}
-	for i := uint64(0); i < count; i++ {
-		r, err := d.decodeRecord(cr, int(cpu))
-		if err != nil {
-			fail(err)
+		if cap(d.chunkBuf) < int(byteLen) {
+			d.chunkBuf = make([]byte, byteLen)
+		}
+		payload = d.chunkBuf[:byteLen]
+		if _, err := io.ReadFull(d.br, payload); err != nil {
+			fail(fmt.Errorf("tracefile: reading chunk payload: %w", eofIsUnexpected(err)))
 			return
 		}
-		d.queues[cpu] = append(d.queues[cpu], r)
-		d.total++
 	}
-	if cr.n != int64(rawLen) {
-		fail(fmt.Errorf("tracefile: chunk decoded %d bytes, header declared %d", cr.n, rawLen))
+	// Every record is at least one byte, so count > len(payload) cannot
+	// be satisfied; reject before decoding anything.
+	if count == 0 || count > uint64(len(payload)) {
+		fail(fmt.Errorf("tracefile: chunk count %d inconsistent with %d payload bytes", count, len(payload)))
+		return
+	}
+	if d.needSeed[cpu] {
+		// A previous chunk for this CPU was skipped without decoding, so
+		// the delta accumulator is stale; only a seeded chunk (which
+		// chunkPayload reseeded above) may follow.
+		fail(fmt.Errorf("tracefile: unseeded chunk for cpu %d after a skipped chunk", cpu))
+		return
+	}
+
+	// Batch-decode the payload in one tight loop with the per-CPU decode
+	// state held in locals. The skipped prefix (records owed to a pending
+	// Seek) is decoded for its delta side effects but not queued.
+	q := d.queues[cpu]
+	skip := d.skip[cpu]
+	last := d.lastPage[cpu]
+	maxPage := int64(d.h.SharedPages)
+	maxOff := uint64(d.h.Geometry.BlocksPerPage())
+	pos := 0
+	var decErr error
+	decoded := uint64(0)
+	for ; decoded < count; decoded++ {
+		if pos >= len(payload) {
+			decErr = fmt.Errorf("tracefile: record truncated at payload byte %d", pos)
+			break
+		}
+		flags := payload[pos]
+		pos++
+		if flags&^byte(flagsKnown) != 0 {
+			decErr = fmt.Errorf("tracefile: unknown record flags %#x", flags)
+			break
+		}
+		var r trace.Ref
+		r.Write = flags&flagWrite != 0
+		r.Barrier = flags&flagBarrier != 0
+		if flags&flagDelta != 0 {
+			delta, n := binary.Varint(payload[pos:])
+			if n <= 0 {
+				decErr = fmt.Errorf("tracefile: reading page delta: %w", io.ErrUnexpectedEOF)
+				break
+			}
+			pos += n
+			last += delta
+			// Keep the running page inside a sane window even across
+			// barrier records (whose pages are never dereferenced), so
+			// repeated deltas cannot overflow the accumulator.
+			if last < -(1<<40) || last > 1<<40 {
+				decErr = fmt.Errorf("tracefile: page delta walked to %d, out of range", last)
+				break
+			}
+		}
+		if !r.Barrier {
+			if last < 0 || last >= maxPage {
+				decErr = fmt.Errorf("tracefile: page %d outside the %d-page segment", last, maxPage)
+				break
+			}
+			r.Page = addr.PageNum(last)
+		}
+		if flags&flagOff != 0 {
+			off, n := binary.Uvarint(payload[pos:])
+			if n <= 0 {
+				decErr = fmt.Errorf("tracefile: reading block offset: %w", io.ErrUnexpectedEOF)
+				break
+			}
+			pos += n
+			if off >= maxOff {
+				decErr = fmt.Errorf("tracefile: block offset %d outside the %d-block page", off, maxOff)
+				break
+			}
+			r.Off = uint16(off)
+		}
+		if flags&flagGap != 0 {
+			gap, n := binary.Uvarint(payload[pos:])
+			if n <= 0 {
+				decErr = fmt.Errorf("tracefile: reading gap: %w", io.ErrUnexpectedEOF)
+				break
+			}
+			pos += n
+			if gap > 0xFFFF {
+				decErr = fmt.Errorf("tracefile: gap %d overflows 16 bits", gap)
+				break
+			}
+			r.Gap = uint16(gap)
+		}
+		if skip > 0 {
+			skip--
+		} else {
+			q = append(q, r)
+		}
+	}
+	d.queues[cpu] = q
+	d.skip[cpu] = skip
+	d.lastPage[cpu] = last
+	d.total += decoded
+	if decErr != nil {
+		fail(decErr)
+		return
+	}
+	if pos != len(payload) {
+		fail(fmt.Errorf("tracefile: chunk decoded %d bytes, header declared %d", pos, len(payload)))
 	}
 }
 
 // chunkPayload reads a version-2 chunk's flags and payload, decompressing
-// if needed, and returns a reader over the decoded record bytes plus
-// their length.
-func (d *Reader) chunkPayload() (*bytes.Reader, uint64, error) {
+// if needed, and returns the decoded record bytes. When the chunk carries
+// a page seed and every record falls inside the CPU's pending skip, the
+// payload is discarded unread and skipped=true is returned — the Seek
+// fast path that makes forking from a snapshot cheap.
+func (d *Reader) chunkPayload(cpu int, count uint64) (payload []byte, skipped bool, err error) {
 	flags, err := d.br.ReadByte()
 	if err != nil {
-		return nil, 0, fmt.Errorf("tracefile: reading chunk flags: %w", eofIsUnexpected(err))
+		return nil, false, fmt.Errorf("tracefile: reading chunk flags: %w", eofIsUnexpected(err))
 	}
 	if flags&^byte(chunkFlagsKnown) != 0 {
-		return nil, 0, fmt.Errorf("tracefile: unknown chunk flags %#x", flags)
+		return nil, false, fmt.Errorf("tracefile: unknown chunk flags %#x", flags)
 	}
 	rawLen := uint64(0)
 	if flags&chunkDeflate != 0 {
 		rawLen, err = binary.ReadUvarint(d.br)
 		if err != nil {
-			return nil, 0, fmt.Errorf("tracefile: reading chunk raw length: %w", eofIsUnexpected(err))
+			return nil, false, fmt.Errorf("tracefile: reading chunk raw length: %w", eofIsUnexpected(err))
 		}
 		if rawLen > maxChunkLen {
-			return nil, 0, fmt.Errorf("tracefile: chunk raw length %d exceeds limit %d", rawLen, maxChunkLen)
+			return nil, false, fmt.Errorf("tracefile: chunk raw length %d exceeds limit %d", rawLen, maxChunkLen)
 		}
+	}
+	if flags&chunkSeed != 0 {
+		seed, err := binary.ReadVarint(d.br)
+		if err != nil {
+			return nil, false, fmt.Errorf("tracefile: reading chunk seed: %w", eofIsUnexpected(err))
+		}
+		if seed < -(1<<40) || seed > 1<<40 {
+			return nil, false, fmt.Errorf("tracefile: chunk seed %d out of range", seed)
+		}
+		d.lastPage[cpu] = seed
+		d.needSeed[cpu] = false
 	}
 	byteLen, err := binary.ReadUvarint(d.br)
 	if err != nil {
-		return nil, 0, fmt.Errorf("tracefile: reading chunk length: %w", eofIsUnexpected(err))
+		return nil, false, fmt.Errorf("tracefile: reading chunk length: %w", eofIsUnexpected(err))
 	}
 	if byteLen > maxChunkLen {
-		return nil, 0, fmt.Errorf("tracefile: chunk length %d exceeds limit %d", byteLen, maxChunkLen)
+		return nil, false, fmt.Errorf("tracefile: chunk length %d exceeds limit %d", byteLen, maxChunkLen)
+	}
+	if flags&chunkSeed != 0 && count > 0 && d.skip[cpu] >= int64(count) {
+		// The whole chunk precedes the seek target: skip the stored bytes
+		// without inflating or decoding. The next chunk for this CPU
+		// reseeds the delta chain.
+		if _, err := d.br.Discard(int(byteLen)); err != nil {
+			return nil, false, fmt.Errorf("tracefile: skipping chunk payload: %w", eofIsUnexpected(err))
+		}
+		d.needSeed[cpu] = true
+		return nil, true, nil
 	}
 	if cap(d.chunkBuf) < int(byteLen) {
 		d.chunkBuf = make([]byte, byteLen)
 	}
 	stored := d.chunkBuf[:byteLen]
 	if _, err := io.ReadFull(d.br, stored); err != nil {
-		return nil, 0, fmt.Errorf("tracefile: reading chunk payload: %w", eofIsUnexpected(err))
+		return nil, false, fmt.Errorf("tracefile: reading chunk payload: %w", eofIsUnexpected(err))
 	}
 	if flags&chunkDeflate == 0 {
-		return bytes.NewReader(stored), byteLen, nil
+		return stored, false, nil
 	}
 
 	if d.fr == nil {
 		d.fr = flate.NewReader(bytes.NewReader(stored))
 	} else if err := d.fr.(flate.Resetter).Reset(bytes.NewReader(stored), nil); err != nil {
-		return nil, 0, fmt.Errorf("tracefile: resetting inflate: %w", err)
+		return nil, false, fmt.Errorf("tracefile: resetting inflate: %w", err)
 	}
 	d.rawBuf.Reset()
 	// Cap the copy one past the declared size so an over-long stream is
 	// detected without unbounded buffering.
 	n, err := io.Copy(&d.rawBuf, io.LimitReader(d.fr, int64(rawLen)+1))
 	if err != nil {
-		return nil, 0, fmt.Errorf("tracefile: inflating chunk: %w", eofIsUnexpected(err))
+		return nil, false, fmt.Errorf("tracefile: inflating chunk: %w", eofIsUnexpected(err))
 	}
 	if uint64(n) != rawLen {
-		return nil, 0, fmt.Errorf("tracefile: chunk inflated to %d bytes, header declared %d", n, rawLen)
+		return nil, false, fmt.Errorf("tracefile: chunk inflated to %d bytes, header declared %d", n, rawLen)
 	}
-	return bytes.NewReader(d.rawBuf.Bytes()), rawLen, nil
-}
-
-// decodeRecord decodes one record, updating the CPU's page-delta state.
-func (d *Reader) decodeRecord(cr *byteCounter, cpu int) (trace.Ref, error) {
-	flags, err := cr.ReadByte()
-	if err != nil {
-		return trace.Ref{}, fmt.Errorf("tracefile: reading record flags: %w", eofIsUnexpected(err))
-	}
-	if flags&^byte(flagsKnown) != 0 {
-		return trace.Ref{}, fmt.Errorf("tracefile: unknown record flags %#x", flags)
-	}
-	var r trace.Ref
-	r.Write = flags&flagWrite != 0
-	r.Barrier = flags&flagBarrier != 0
-	if flags&flagDelta != 0 {
-		delta, err := binary.ReadVarint(cr)
-		if err != nil {
-			return trace.Ref{}, fmt.Errorf("tracefile: reading page delta: %w", eofIsUnexpected(err))
-		}
-		d.lastPage[cpu] += delta
-		// Keep the running page inside a sane window even across barrier
-		// records (whose pages are never dereferenced), so repeated
-		// deltas cannot overflow the accumulator.
-		if d.lastPage[cpu] < -(1<<40) || d.lastPage[cpu] > 1<<40 {
-			return trace.Ref{}, fmt.Errorf("tracefile: page delta walked to %d, out of range", d.lastPage[cpu])
-		}
-	}
-	p := d.lastPage[cpu]
-	if !r.Barrier {
-		if p < 0 || p >= int64(d.h.SharedPages) {
-			return trace.Ref{}, fmt.Errorf("tracefile: page %d outside the %d-page segment", p, d.h.SharedPages)
-		}
-		r.Page = addr.PageNum(p)
-	}
-	if flags&flagOff != 0 {
-		off, err := binary.ReadUvarint(cr)
-		if err != nil {
-			return trace.Ref{}, fmt.Errorf("tracefile: reading block offset: %w", eofIsUnexpected(err))
-		}
-		if off >= uint64(d.h.Geometry.BlocksPerPage()) {
-			return trace.Ref{}, fmt.Errorf("tracefile: block offset %d outside the %d-block page", off, d.h.Geometry.BlocksPerPage())
-		}
-		r.Off = uint16(off)
-	}
-	if flags&flagGap != 0 {
-		gap, err := binary.ReadUvarint(cr)
-		if err != nil {
-			return trace.Ref{}, fmt.Errorf("tracefile: reading gap: %w", eofIsUnexpected(err))
-		}
-		if gap > 0xFFFF {
-			return trace.Ref{}, fmt.Errorf("tracefile: gap %d overflows 16 bits", gap)
-		}
-		r.Gap = uint16(gap)
-	}
-	return r, nil
+	return d.rawBuf.Bytes(), false, nil
 }
 
 // Drain decodes the remaining records without delivering them, returning

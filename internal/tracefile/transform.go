@@ -211,11 +211,13 @@ const (
 	// (and the only behavior earlier versions had).
 	FoldModulo CPUFoldPolicy = iota
 	// FoldInterleave folds contiguous source CPU groups onto each target
-	// CPU (source CPU c maps to c / (srcCPUs/cpus)): neighboring CPUs —
-	// a source node's worth at a time — land together, preserving
-	// per-node reference locality for asymmetric-machine studies. The
-	// source CPU count must divide evenly by the target's. When the CPU
-	// count grows or stays equal it behaves exactly like FoldModulo.
+	// CPU: neighboring CPUs — a source node's worth at a time — land
+	// together, preserving per-node reference locality for
+	// asymmetric-machine studies. When the source count does not divide
+	// evenly, the remainder spreads over the lowest-numbered target CPUs
+	// (the first srcCPUs%cpus targets each absorb one extra source CPU),
+	// so group sizes differ by at most one. When the CPU count grows or
+	// stays equal it behaves exactly like FoldModulo.
 	FoldInterleave
 )
 
@@ -242,11 +244,18 @@ func CPUFoldByName(name string) (CPUFoldPolicy, error) {
 // resolve returns the source-CPU to target-CPU map for a fold.
 func (p CPUFoldPolicy) resolve(srcCPUs, cpus int) (func(int) int, error) {
 	if p == FoldInterleave && srcCPUs > cpus {
-		if srcCPUs%cpus != 0 {
-			return nil, fmt.Errorf("tracefile: interleave fold of %d CPUs onto %d (not evenly divided)", srcCPUs, cpus)
-		}
-		group := srcCPUs / cpus
-		return func(c int) int { return c / group }, nil
+		// Weighted contiguous groups: the first `big` target CPUs take
+		// size+1 source CPUs each, the rest take size, so a 10->4 fold
+		// yields groups 3,3,2,2 instead of rejecting the shape.
+		size := srcCPUs / cpus
+		big := srcCPUs % cpus
+		boundary := big * (size + 1)
+		return func(c int) int {
+			if c < boundary {
+				return c / (size + 1)
+			}
+			return big + (c-boundary)/size
+		}, nil
 	}
 	return func(c int) int { return c % cpus }, nil
 }

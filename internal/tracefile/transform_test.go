@@ -486,3 +486,32 @@ func TestRetargetRejectsBadShape(t *testing.T) {
 		t.Error("unknown policy name accepted")
 	}
 }
+
+// TestPolicyNamesAndFoldStrings pins the CLI-facing spellings: every
+// built-in policy resolves by name (with its aliases), reports that
+// name back, unknown names are rejected, and fold policies print the
+// flag spelling.
+func TestPolicyNamesAndFoldStrings(t *testing.T) {
+	for arg, want := range map[string]string{
+		"":           "identity",
+		"identity":   "identity",
+		"roundrobin": "roundrobin",
+		"rr":         "roundrobin",
+		"modulo":     "modulo",
+		"fold":       "modulo",
+	} {
+		p, err := PolicyByName(arg)
+		if err != nil {
+			t.Fatalf("PolicyByName(%q): %v", arg, err)
+		}
+		if p.Name() != want {
+			t.Errorf("PolicyByName(%q).Name() = %q, want %q", arg, p.Name(), want)
+		}
+	}
+	if _, err := PolicyByName("bogus"); err == nil {
+		t.Error("unknown policy name accepted")
+	}
+	if FoldModulo.String() != "modulo" || FoldInterleave.String() != "interleave" {
+		t.Errorf("fold spellings: %q, %q", FoldModulo, FoldInterleave)
+	}
+}

@@ -26,13 +26,14 @@ type Writer struct {
 	version  int  // on-disk format version (VersionV1 or VersionV2)
 	compress bool // version 2 only: DEFLATE chunk payloads
 
-	pending  [][]byte // per-CPU encoded records awaiting a chunk flush
-	counts   []int    // records pending per CPU
-	lastPage []int64  // per-CPU delta-encoding state
-	total    uint64   // records written across all CPUs
-	bytes    int64    // bytes emitted (header + chunks), before Close's end marker
-	scratch  []byte
-	closed   bool
+	pending    [][]byte // per-CPU encoded records awaiting a chunk flush
+	counts     []int    // records pending per CPU
+	lastPage   []int64  // per-CPU delta-encoding state
+	chunkStart []int64  // lastPage at each pending chunk's first record (the seed)
+	total      uint64   // records written across all CPUs
+	bytes      int64    // bytes emitted (header + chunks), before Close's end marker
+	scratch    []byte
+	closed     bool
 
 	fw   *flate.Writer // reused across chunk flushes
 	cbuf bytes.Buffer  // compressed-chunk staging buffer
@@ -71,13 +72,14 @@ func NewWriter(w io.Writer, h Header, opts ...WriterOption) (*Writer, error) {
 		return nil, err
 	}
 	tw := &Writer{
-		w:        bufio.NewWriter(w),
-		h:        h,
-		version:  VersionV2,
-		compress: true,
-		pending:  make([][]byte, h.CPUs),
-		counts:   make([]int, h.CPUs),
-		lastPage: make([]int64, h.CPUs),
+		w:          bufio.NewWriter(w),
+		h:          h,
+		version:    VersionV2,
+		compress:   true,
+		pending:    make([][]byte, h.CPUs),
+		counts:     make([]int, h.CPUs),
+		lastPage:   make([]int64, h.CPUs),
+		chunkStart: make([]int64, h.CPUs),
 	}
 	for _, o := range opts {
 		if err := o(tw); err != nil {
@@ -158,6 +160,12 @@ func (tw *Writer) Append(cpu int, r trace.Ref) error {
 		}
 	}
 
+	if tw.counts[cpu] == 0 {
+		// First record of a fresh chunk: remember the delta accumulator so
+		// the chunk header can carry it as the seek seed.
+		tw.chunkStart[cpu] = tw.lastPage[cpu]
+	}
+
 	buf := tw.scratch[:0]
 	var flags byte
 	if r.Write {
@@ -220,16 +228,17 @@ func (tw *Writer) flushChunk(cpu int) {
 		tw.write(hdr)
 		tw.write(raw)
 	default: // VersionV2
-		payload, flags := raw, byte(0)
+		payload, flags := raw, byte(chunkSeed)
 		if tw.compress {
 			if packed, ok := tw.deflate(raw); ok {
-				payload, flags = packed, chunkDeflate
+				payload, flags = packed, flags|chunkDeflate
 			}
 		}
 		hdr = append(hdr, flags)
 		if flags&chunkDeflate != 0 {
 			hdr = binary.AppendUvarint(hdr, uint64(len(raw)))
 		}
+		hdr = binary.AppendVarint(hdr, tw.chunkStart[cpu])
 		hdr = binary.AppendUvarint(hdr, uint64(len(payload)))
 		tw.write(hdr)
 		tw.write(payload)

@@ -167,6 +167,11 @@ type Builder struct {
 	// localPages[cpu] are per-CPU private pages used for compute filler.
 	localPages [][]addr.PageNum
 	localPos   []int
+
+	// rot is RotContig's reusable result buffer; builders call RotContig
+	// once per page visit, so the scratch keeps trace generation from
+	// allocating per page.
+	rot []int
 }
 
 // NewBuilder starts a builder. seed is the generator's built-in RNG seed;
@@ -276,12 +281,18 @@ func (b *Builder) Finish(name, desc, input string) *Workload {
 // are not aligned to page boundaries the way naive strided synthetic
 // patterns would be, and without it sparse patterns collapse the
 // direct-mapped block cache onto a handful of sets.
+//
+// The returned slice is builder-owned scratch, valid until the next
+// RotContig call: consume it before requesting another page's offsets.
 func (b *Builder) RotContig(p addr.PageNum, count int) []int {
 	if count > b.bpp {
 		count = b.bpp
 	}
+	if cap(b.rot) < count {
+		b.rot = make([]int, count)
+	}
+	out := b.rot[:count]
 	base := int(uint32(p)*37) & (b.bpp - 1)
-	out := make([]int, count)
 	for j := 0; j < count; j++ {
 		out[j] = (base + j) & (b.bpp - 1)
 	}
