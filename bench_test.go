@@ -25,6 +25,7 @@ import (
 	"rnuma/internal/model"
 	"rnuma/internal/pagecache"
 	"rnuma/internal/stats"
+	"rnuma/internal/telemetry"
 	"rnuma/internal/trace"
 	"rnuma/internal/tracefile"
 	"rnuma/internal/workloads"
@@ -453,6 +454,37 @@ func BenchmarkReplayVsGenerate(b *testing.B) {
 			refs = run.Refs
 		}
 		b.ReportMetric(float64(refs), "refs/run")
+	})
+	// The probed replay bounds the telemetry tax at the default 64Ki-ref
+	// window: the acceptance bar is within 10% of the plain replay above
+	// (the per-reference cost is one int64 compare; the window flush
+	// amortizes to noise).
+	b.Run("replay-telemetry", func(b *testing.B) {
+		var intervals int
+		for i := 0; i < b.N; i++ {
+			d, err := tracefile.NewReader(bytes.NewReader(encoded.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := d.Header()
+			m, err := machine.New(sys, machine.WithHomes(h.HomeFunc()), machine.WithPages(h.SharedPages),
+				machine.WithTelemetry(telemetry.Config{Window: telemetry.DefaultWindow}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			run, err := m.Run(d.Streams())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := d.Err(); err != nil {
+				b.Fatal(err)
+			}
+			if run.Timeline == nil {
+				b.Fatal("probed replay captured no timeline")
+			}
+			intervals = len(run.Timeline.Intervals)
+		}
+		b.ReportMetric(float64(intervals), "intervals")
 	})
 }
 

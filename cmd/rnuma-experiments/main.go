@@ -2,10 +2,10 @@
 //
 // Usage:
 //
-//	rnuma-experiments [-exp all|fig5|table4|fig6|fig7|fig8|fig9|model|lu|sweep|dilate|geometry]
+//	rnuma-experiments [-exp all|fig5|table4|fig6|fig7|fig8|fig9|model|lu|sweep|dilate|geometry|timeline]
 //	                  [-apps barnes,lu,...] [-specs a.json,b.json]
 //	                  [-traces x.trace,...] [-scale 1.0] [-seed 0]
-//	                  [-parallel N] [-v]
+//	                  [-parallel N] [-v] [-progress] [-window N]
 //	                  [-sweep-trace x.trace] [-sweep-app em3d] [-sweep-nodes 4,8,16]
 //	                  [-sweep-axis nodes|dilate|block|page|threshold] [-sweep-values ...]
 //	                  [-dilate-factors 1/2,1,2,4] [-geometry-axis block|page] [-geometry-values ...]
@@ -34,10 +34,17 @@
 //     default 1/2,1,2,4) — the "faster processors" study: x1/2 halves
 //     every compute gap, doubling the relative cost of memory;
 //   - -exp geometry sweeps the block or page size (-geometry-axis,
-//     -geometry-values) through geometry retargeting.
+//     -geometry-values) through geometry retargeting;
+//   - -exp timeline runs a probed threshold fork sweep (-sweep-values,
+//     default 16,64) and renders each point's time-resolved telemetry:
+//     interval series, relocation bursts, and traffic matrix.
 //
 // These experiments need a trace, so they run only when selected by
 // name, never under -exp all.
+//
+// -window N attaches the telemetry sampling probe (window N references)
+// to every simulation; -progress reports scheduler throughput to stderr
+// while a parallel plan executes.
 //
 // -diff a.trace,b.trace replays both captures under one configuration
 // (-diff-protocol) and prints the per-counter stats delta table — the
@@ -50,6 +57,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -58,13 +66,14 @@ import (
 	"rnuma/internal/model"
 	"rnuma/internal/report"
 	"rnuma/internal/stats"
+	"rnuma/internal/telemetry"
 	"rnuma/internal/tracefile"
 	"rnuma/internal/workloads"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: all, fig5, table4, fig6, fig7, fig8, fig9, model, lu, sweep")
+		exp        = flag.String("exp", "all", "experiment: all, fig5, table4, fig6, fig7, fig8, fig9, model, lu, sweep, dilate, geometry, timeline")
 		apps       = flag.String("apps", "", "comma-separated application subset (default: all ten)")
 		specs      = flag.String("specs", "", "comma-separated workload spec files to add as applications")
 		traces     = flag.String("traces", "", "comma-separated recorded trace files to add as applications")
@@ -82,6 +91,8 @@ func main() {
 		geomVals   = flag.String("geometry-values", "", "comma-separated sizes in bytes (default 16,32,64,128 for block; 2048,4096,8192 for page)")
 		diffPair   = flag.String("diff", "", "two traces \"a.trace,b.trace\" to replay and diff counter-by-counter")
 		diffProto  = flag.String("diff-protocol", "rnuma", "protocol for -diff: ccnuma, scoma, rnuma, ideal")
+		window     = flag.Int64("window", 0, "telemetry window in references (0 = off; -exp timeline defaults it)")
+		progress   = flag.Bool("progress", false, "report scheduler progress (jobs done, refs/s) to stderr")
 	)
 	flag.Parse()
 
@@ -95,6 +106,12 @@ func main() {
 	if *verbose {
 		h.Log = os.Stderr
 	}
+	if *progress {
+		h.Progress = os.Stderr
+	}
+	// -window attaches the sampling probe to every simulation the harness
+	// runs; figures are unaffected (they read counters, not timelines).
+	h.Telemetry = telemetry.Config{Window: *window}
 
 	die := func(err error) {
 		if err != nil {
@@ -293,6 +310,52 @@ func main() {
 			die(fmt.Errorf("-geometry-axis must be block or page, got %q", *geomAxis))
 		}
 		sensitivity(axis, *geomVals)
+	}
+
+	// -exp timeline renders the time-resolved telemetry story: one probed
+	// fork sweep over the requested R-NUMA thresholds (-sweep-values,
+	// default "16,64"), then each point's interval series, relocation
+	// bursts, and traffic matrix — how the same trace's reactive behavior
+	// shifts when the threshold moves. Needs a trace, so like the other
+	// sensitivity experiments it never runs under -exp all.
+	if *exp == "timeline" {
+		csv := *sweepVals
+		if csv == "" {
+			csv = "16,64"
+		}
+		var thresholds []int
+		for _, s := range splitList(csv) {
+			T, err := strconv.Atoi(s)
+			if err != nil || T < 1 {
+				die(fmt.Errorf("bad -sweep-values threshold %q for -exp timeline", s))
+			}
+			thresholds = append(thresholds, T)
+		}
+		sort.Ints(thresholds)
+		tcfg := h.Telemetry
+		if !tcfg.Enabled() {
+			tcfg = telemetry.Config{Window: telemetry.DefaultWindow}
+		}
+		var (
+			data []byte
+			name string
+		)
+		if *sweepTrace != "" {
+			b, err := os.ReadFile(*sweepTrace)
+			die(err)
+			data, name = b, *sweepTrace
+		} else {
+			data, name = record(), *sweepApp
+		}
+		runs, err := harness.ThresholdForkRunsProbe(data, config.Base(config.RNUMA), thresholds, tcfg)
+		die(err)
+		for i, T := range thresholds {
+			if i > 0 && T == thresholds[i-1] {
+				continue
+			}
+			report.Timeline(os.Stdout, fmt.Sprintf("%s, R-NUMA T=%d", name, T), runs[T].Timeline)
+			sep()
+		}
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 //	rnuma-sim -app moldyn -protocol rnuma [-bc 128] [-pc 327680] [-T 64]
 //	          [-scale 1.0] [-seed 0] [-nodes 8] [-cpus 4] [-soft] [-ideal]
-//	          [-record out.rntr] [-parallel N] [-v]
+//	          [-record out.rntr] [-parallel N] [-v] [-cpuprofile f] [-memprofile f]
 //	rnuma-sim -trace file.trace [...]   (replay a recorded trace; "-" = stdin)
 //	rnuma-sim -spec file.json   [...]   (build a declarative spec workload)
 //
@@ -33,6 +33,7 @@ import (
 	"rnuma/internal/config"
 	"rnuma/internal/harness"
 	"rnuma/internal/machine"
+	"rnuma/internal/profiling"
 	"rnuma/internal/report"
 	"rnuma/internal/tracefile"
 	"rnuma/internal/workloads"
@@ -56,6 +57,8 @@ func main() {
 		record    = flag.String("record", "", "record the live run's references to this trace file (tee)")
 		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		verbose   = flag.Bool("v", false, "log progress")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -87,14 +90,20 @@ func main() {
 		h.Log = os.Stderr
 	}
 
-	if *record != "" {
-		if err := recordRun(sys, *appName, *specPath, *tracePath, *record, *scale, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "rnuma-sim: %v\n", err)
-			os.Exit(1)
-		}
-		return
+	stop, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rnuma-sim: %v\n", err)
+		os.Exit(1)
 	}
-	if err := run(h, sys, *appName, *tracePath, *specPath); err != nil {
+	if *record != "" {
+		err = recordRun(sys, *appName, *specPath, *tracePath, *record, *scale, *seed)
+	} else {
+		err = run(h, sys, *appName, *tracePath, *specPath)
+	}
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "rnuma-sim: %v\n", err)
 		os.Exit(1)
 	}

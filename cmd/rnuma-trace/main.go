@@ -16,8 +16,9 @@
 //	rnuma-trace diffstats <a> <b> [-protocol ccnuma|scoma|rnuma] [-bc B] [-pc P] [-T N] [-soft] [-ideal] [-v]
 //	rnuma-trace info   <file>
 //	rnuma-trace replay <file> [-protocol ccnuma|scoma|rnuma] [-bc B] [-pc P] [-T N] [-soft] [-ideal]
-//	rnuma-trace snapshot <file> -refs N [-o snap.rnss] [-protocol P] [-bc B] [-pc P] [-T N] [-soft] [-ideal]
-//	rnuma-trace resume <file> -snap snap.rnss [-T N]
+//	                  [-window N] [-timeline out.json] [-events out.json] [-cpuprofile f] [-memprofile f]
+//	rnuma-trace snapshot <file> -refs N [-o snap.rnss] [-window N] [-protocol P] [-bc B] [-pc P] [-T N] [-soft] [-ideal]
+//	rnuma-trace resume <file> -snap snap.rnss [-T N] [-timeline out.json] [-events out.json]
 //
 // snapshot replays a trace up to a reference count, then serializes the
 // paused machine's complete state to a checkpoint file; resume restores
@@ -55,9 +56,22 @@
 //
 // Exit status: 0 on success, 1 on errors (and on diff/diffstats
 // difference), 2 on usage errors.
+//
+// replay's telemetry flags drive the sampling probe: -window N closes an
+// interval every N references and prints the timeline report; -timeline
+// and -events export the interval series and the relocation event log as
+// JSON (either defaults the window to 64Ki when -window is omitted).
+// snapshot -window checkpoints a probed replay — the checkpoint carries
+// the probe's cursor, so resume continues the interval series
+// bit-identically, even from a mid-window pause. diffstats -tol P loosens
+// the exact-match gate into a band: timing counters (cycle totals) may
+// drift within ±P percent (warned, exit 0), while any structural counter
+// or refetch-distribution change still exits 1. -cpuprofile/-memprofile
+// write pprof profiles covering the replay itself.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -69,9 +83,12 @@ import (
 	"rnuma/internal/addr"
 	"rnuma/internal/config"
 	"rnuma/internal/harness"
+	"rnuma/internal/machine"
+	"rnuma/internal/profiling"
 	"rnuma/internal/report"
 	"rnuma/internal/spec"
 	"rnuma/internal/stats"
+	"rnuma/internal/telemetry"
 	"rnuma/internal/tracefile"
 	"rnuma/internal/tracefile/snapfile"
 	"rnuma/internal/workloads"
@@ -173,16 +190,20 @@ subcommands:
       scale every compute gap by a rational factor (model faster/slower CPUs)
   diff   <a> <b>
       compare two traces record by record; exits 1 when they differ
-  diffstats <a> <b> [-protocol P] [-bc B] [-pc P] [-T N] [-soft] [-ideal] [-v]
+  diffstats <a> <b> [-protocol P] [-bc B] [-pc P] [-T N] [-soft] [-ideal] [-v] [-tol P]
       replay both traces under one system and print the per-counter delta
-      table; exits 1 when the runs differ
+      table; exits 1 when the runs differ (-tol P tolerates timing-counter
+      drift within ±P percent, structural changes still fail)
   info   <file>
       print a trace's header, format version, home histogram, and per-CPU record counts
   replay <file> [-protocol P] [-bc B] [-pc P] [-T N] [-soft] [-ideal]
-      run a trace through the simulated machine of its recorded shape
-  snapshot <file> -refs N [-o snap.rnss] [-protocol P] [-bc B] [-pc P] [-T N] [-soft] [-ideal]
+         [-window N] [-timeline f.json] [-events f.json] [-cpuprofile f] [-memprofile f]
+      run a trace through the simulated machine of its recorded shape;
+      -window samples telemetry every N refs, -timeline/-events export it
+  snapshot <file> -refs N [-o snap.rnss] [-window N] [-protocol P] [-bc B] [-pc P] [-T N] [-soft] [-ideal]
       replay a trace up to N references and checkpoint the paused machine
-  resume <file> -snap snap.rnss [-T N]
+      (-window checkpoints a telemetry probe along with it)
+  resume <file> -snap snap.rnss [-T N] [-timeline f.json] [-events f.json]
       restore a checkpoint and finish the run (optionally at a new threshold)
 `, strings.Join(workloads.Names(), ", "))
 }
@@ -251,6 +272,68 @@ func systemFlags(fs *flag.FlagSet) func() (config.System, error) {
 		}
 		return sys, nil
 	}
+}
+
+// telemetryFlags are replay's sampling-probe flags; resolve the config
+// after fs.Parse. Requesting a JSON export without an explicit window
+// defaults the window instead of silently exporting an empty capture.
+func telemetryFlags(fs *flag.FlagSet) (cfg func() telemetry.Config, timelineOut, eventsOut *string) {
+	window := fs.Int64("window", 0,
+		fmt.Sprintf("telemetry window in references (0 = off; %d when -timeline/-events is given)", telemetry.DefaultWindow))
+	timelineOut = fs.String("timeline", "", `write the telemetry timeline (intervals + events) as JSON ("-" = stdout)`)
+	eventsOut = fs.String("events", "", `write the relocation event log as JSON ("-" = stdout)`)
+	cfg = func() telemetry.Config {
+		w := *window
+		if w == 0 && (*timelineOut != "" || *eventsOut != "") {
+			w = telemetry.DefaultWindow
+		}
+		return telemetry.Config{Window: w}
+	}
+	return
+}
+
+// exportTimeline writes the telemetry JSON artifacts: the full timeline
+// (intervals + events) to timelinePath, the event log alone to
+// eventsPath. Empty paths skip; "-" writes to stdout.
+func (c cli) exportTimeline(timelinePath, eventsPath string, tl *telemetry.Timeline) error {
+	if timelinePath == "" && eventsPath == "" {
+		return nil
+	}
+	if tl == nil {
+		return fmt.Errorf("no telemetry captured (probe disabled)")
+	}
+	if err := c.writeJSON(timelinePath, tl); err != nil {
+		return err
+	}
+	if eventsPath == "" {
+		return nil
+	}
+	events := tl.Events
+	if events == nil {
+		events = []telemetry.Event{} // a run with no crossings exports [], not null
+	}
+	return c.writeJSON(eventsPath, struct {
+		Window int64             `json:"window"`
+		Nodes  int               `json:"nodes"`
+		Events []telemetry.Event `json:"events"`
+	}{tl.Window, tl.Nodes, events})
+}
+
+// writeJSON marshals v (indented) to path; "" skips, "-" means stdout.
+func (c cli) writeJSON(path string, v any) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = c.stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func (c cli) cmdRecord(args []string) error {
@@ -633,6 +716,7 @@ func (c cli) cmdDiffStats(args []string) error {
 	fs := c.flagSet("diffstats")
 	system := systemFlags(fs)
 	verbose := fs.Bool("v", false, "list unchanged counters too")
+	tol := fs.Float64("tol", 0, "tolerance band in percent on timing counters (0 = require exact match)")
 	a, b, paths, err := c.openPair(fs, args)
 	if err != nil {
 		return err
@@ -654,6 +738,15 @@ func (c cli) cmdDiffStats(args []string) error {
 	d := stats.Diff(runA, runB)
 	fmt.Fprintf(c.stdout, "diffstats %s %s (%s)\n\n", paths[0], paths[1], sys.Name)
 	report.DeltaTable(c.stdout, paths[0], paths[1], d, *verbose)
+	if *tol > 0 {
+		res := d.Tolerance(*tol)
+		fmt.Fprintln(c.stdout)
+		report.ToleranceSummary(c.stdout, &res)
+		if !res.OK() {
+			return errDiffer
+		}
+		return nil
+	}
 	if !d.Identical() {
 		return errDiffer
 	}
@@ -781,6 +874,7 @@ func (c cli) cmdSnapshot(args []string) error {
 	tracePath := fs.String("trace", "", `trace file ("-" = stdin; also accepted positionally)`)
 	out := fs.String("o", "", "checkpoint output file (default <trace>.rnss)")
 	refs := fs.Int64("refs", 0, "pause after this many references (required)")
+	window := fs.Int64("window", 0, "telemetry window in references (0 = off); the checkpoint carries the probe cursor")
 	system := systemFlags(fs)
 	target, err := c.parseWithTarget(fs, args)
 	if err != nil {
@@ -802,7 +896,8 @@ func (c cli) cmdSnapshot(args []string) error {
 	if err != nil {
 		return err
 	}
-	m, sys, err := harness.NewTraceMachine(d.Header(), sys)
+	m, sys, err := harness.NewTraceMachine(d.Header(), sys,
+		machine.WithTelemetry(telemetry.Config{Window: *window}))
 	if err != nil {
 		return err
 	}
@@ -845,6 +940,8 @@ func (c cli) cmdResume(args []string) error {
 	tracePath := fs.String("trace", "", `trace file ("-" = stdin; also accepted positionally)`)
 	snapPath := fs.String("snap", "", "checkpoint file written by snapshot (required)")
 	thr := fs.Int("T", 0, "override the R-NUMA relocation threshold (0 = keep the checkpoint's)")
+	timelineOut := fs.String("timeline", "", `write the continued telemetry timeline as JSON ("-" = stdout)`)
+	eventsOut := fs.String("events", "", `write the relocation event log as JSON ("-" = stdout)`)
 	target, err := c.parseWithTarget(fs, args)
 	if err != nil {
 		return err
@@ -869,7 +966,14 @@ func (c cli) cmdResume(args []string) error {
 	if err != nil {
 		return err
 	}
-	m, sys, err := harness.NewTraceMachine(d.Header(), sys)
+	// A probed checkpoint must resume on a probed machine (and vice
+	// versa): reconstruct the telemetry configuration from the cursor the
+	// checkpoint carries, so the continued series picks up mid-window.
+	var tcfg telemetry.Config
+	if snap.Probe != nil {
+		tcfg.Window = snap.Probe.Window
+	}
+	m, sys, err := harness.NewTraceMachine(d.Header(), sys, machine.WithTelemetry(tcfg))
 	if err != nil {
 		return err
 	}
@@ -888,6 +992,13 @@ func (c cli) cmdResume(args []string) error {
 	}
 	fmt.Fprintf(c.stdout, "resume %s from %s (workload %s)\n", name, *snapPath, d.Header().Name)
 	report.RunSummary(c.stdout, sys.Name, run)
+	if run.Timeline != nil {
+		fmt.Fprintln(c.stdout)
+		report.Timeline(c.stdout, name, run.Timeline)
+	}
+	if err := c.exportTimeline(*timelineOut, *eventsOut, run.Timeline); err != nil {
+		return err
+	}
 
 	// Match replay's output: a file trace re-replays on the ideal
 	// machine for the normalization line (stdin can't be read twice).
@@ -907,6 +1018,9 @@ func (c cli) cmdReplay(args []string) error {
 	fs := c.flagSet("replay")
 	tracePath := fs.String("trace", "", `trace file ("-" = stdin; also accepted positionally)`)
 	system := systemFlags(fs)
+	tcfg, timelineOut, eventsOut := telemetryFlags(fs)
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the replay to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	target, err := c.parseWithTarget(fs, args)
 	if err != nil {
 		return err
@@ -921,12 +1035,26 @@ func (c cli) cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
-	run, hdr, err := harness.ReplayTrace(r, sys)
+	stop, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	run, hdr, err := harness.ReplayTrace(r, sys, machine.WithTelemetry(tcfg()))
+	if perr := stop(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(c.stdout, "trace: %s (workload %s, %d nodes x %d CPUs)\n", name, hdr.Name, hdr.Nodes, hdr.CPUs/hdr.Nodes)
 	report.RunSummary(c.stdout, sys.Name, run)
+	if run.Timeline != nil {
+		fmt.Fprintln(c.stdout)
+		report.Timeline(c.stdout, name, run.Timeline)
+	}
+	if err := c.exportTimeline(*timelineOut, *eventsOut, run.Timeline); err != nil {
+		return err
+	}
 
 	// A file (unlike stdin) can be replayed a second time for the
 	// ideal-machine normalization every figure uses.

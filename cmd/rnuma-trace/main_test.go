@@ -385,3 +385,134 @@ func TestSnapshotResumeCLI(t *testing.T) {
 		t.Errorf("resume with a missing checkpoint exited %d, want 1", code)
 	}
 }
+
+// TestTelemetryCLI: replay with a window renders the timeline report and
+// exports JSON artifacts; a probed snapshot resumes into the identical
+// series (byte-for-byte JSON); -timeline without -window defaults the
+// window instead of exporting nothing.
+func TestTelemetryCLI(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "fft.trace")
+	if err := os.WriteFile(tracePath, record(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tlPath := filepath.Join(dir, "tl.json")
+	evPath := filepath.Join(dir, "ev.json")
+	code, stdout, stderr := runCLI(t, nil, "replay", tracePath, "-window", "4096", "-timeline", tlPath, "-events", evPath)
+	if code != 0 {
+		t.Fatalf("probed replay exited %d: %s", code, stderr)
+	}
+	for _, want := range []string{"TIMELINE —", "window 4096 refs", "traffic"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("replay output missing %q:\n%s", want, stdout)
+		}
+	}
+	tl, err := os.ReadFile(tlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tl), `"intervals"`) {
+		t.Errorf("timeline JSON missing intervals:\n%.200s", tl)
+	}
+	ev, err := os.ReadFile(evPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(ev), `"events"`) {
+		t.Errorf("events JSON missing events key:\n%.200s", ev)
+	}
+
+	// -timeline without -window defaults the window (65536) rather than
+	// silently capturing nothing; "-" streams the JSON to stdout.
+	code, stdout, stderr = runCLI(t, nil, "replay", tracePath, "-timeline", "-")
+	if code != 0 {
+		t.Fatalf("defaulted-window replay exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, `"window": 65536`) {
+		t.Errorf("defaulted window missing from stdout JSON:\n%.400s", stdout)
+	}
+
+	// A probed checkpoint taken mid-window resumes into the exact series
+	// the uninterrupted replay produced.
+	snapPath := filepath.Join(dir, "probed.rnss")
+	code, _, stderr = runCLI(t, nil, "snapshot", tracePath, "-refs", "5000", "-window", "4096", "-o", snapPath)
+	if code != 0 {
+		t.Fatalf("probed snapshot exited %d: %s", code, stderr)
+	}
+	resumedPath := filepath.Join(dir, "resumed.json")
+	code, stdout, stderr = runCLI(t, nil, "resume", tracePath, "-snap", snapPath, "-timeline", resumedPath)
+	if code != 0 {
+		t.Fatalf("probed resume exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "TIMELINE —") {
+		t.Errorf("probed resume renders no timeline:\n%s", stdout)
+	}
+	resumed, err := os.ReadFile(resumedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tl, resumed) {
+		t.Error("resumed timeline JSON differs from the uninterrupted replay's")
+	}
+
+	// An unprobed checkpoint cannot export a timeline.
+	plainSnap := filepath.Join(dir, "plain.rnss")
+	if code, _, stderr := runCLI(t, nil, "snapshot", tracePath, "-refs", "5000", "-o", plainSnap); code != 0 {
+		t.Fatalf("plain snapshot exited %d: %s", code, stderr)
+	}
+	if code, _, _ := runCLI(t, nil, "resume", tracePath, "-snap", plainSnap, "-timeline", resumedPath); code != 1 {
+		t.Errorf("resume of an unprobed checkpoint with -timeline exited %d, want 1", code)
+	}
+}
+
+// TestDiffStatsTolerance: -tol keeps structural differences fatal while
+// tolerating banded timing drift; identical runs pass any band.
+func TestDiffStatsTolerance(t *testing.T) {
+	data := record(t)
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "fft.trace")
+	if err := os.WriteFile(orig, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr := runCLI(t, nil, "diffstats", orig, orig, "-tol", "5")
+	if code != 0 {
+		t.Fatalf("identical diffstats -tol exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "tolerance ±5%") || !strings.Contains(stdout, "ok: runs identical") {
+		t.Errorf("tolerance summary missing:\n%s", stdout)
+	}
+
+	// A structurally different trace (a prefix cut) fails even under an
+	// absurdly wide band.
+	code, cut, stderr := runCLI(t, data, "cut", "-", "-to", "100", "-o", "-")
+	if code != 0 {
+		t.Fatalf("cut exited %d: %s", code, stderr)
+	}
+	cutPath := filepath.Join(dir, "cut.trace")
+	if err := os.WriteFile(cutPath, []byte(cut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runCLI(t, nil, "diffstats", orig, cutPath, "-tol", "99")
+	if code != 1 {
+		t.Fatalf("structural diffstats -tol exited %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "structural") || !strings.Contains(stdout, "FAIL") {
+		t.Errorf("structural failure not reported:\n%s", stdout)
+	}
+
+	// A dilated trace differs only in timing: a generous band passes it
+	// (with warnings when anything moved), the default exact mode fails it.
+	code, dilated, stderr := runCLI(t, data, "dilate", "-", "-factor", "101/100", "-o", "-")
+	if code != 0 {
+		t.Fatalf("dilate exited %d: %s", code, stderr)
+	}
+	dilPath := filepath.Join(dir, "dilated.trace")
+	if err := os.WriteFile(dilPath, []byte(dilated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, stdout, _ = runCLI(t, nil, "diffstats", orig, dilPath, "-tol", "50"); code != 0 {
+		t.Fatalf("timing-only diffstats -tol 50 exited %d:\n%s", code, stdout)
+	}
+}

@@ -40,7 +40,18 @@
 //   - internal/stats — the per-run counter set, plus Diff: the
 //     per-counter delta table (absolute + relative + refetch-map
 //     digest) between two runs that rnuma-trace diffstats and
-//     rnuma-experiments -diff render
+//     rnuma-experiments -diff render, and its Tolerance classification
+//     (timing counters may drift within a band, structural counters
+//     must match exactly) behind diffstats -tol
+//   - internal/telemetry — the reference-windowed sampling probe: every
+//     N references it emits the windowed counter deltas as an interval
+//     series, a per-window node-to-node remote-fetch traffic matrix,
+//     and a log of relocation events; off by default, free when off,
+//     and schedule-independent — serial, parallel, trunk-and-fork, and
+//     snapshot-resumed replays produce bit-identical timelines because
+//     checkpoints carry the probe cursor
+//   - internal/profiling — shared -cpuprofile/-memprofile plumbing for
+//     rnuma-sim and rnuma-trace replay
 //   - internal/harness — the experiment-plan layer and concurrent
 //     scheduler that regenerate every table and figure; spec files and
 //     recorded traces register as workload sources whose memo keys hash

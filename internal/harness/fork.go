@@ -8,6 +8,7 @@ import (
 	"rnuma/internal/config"
 	"rnuma/internal/machine"
 	"rnuma/internal/stats"
+	"rnuma/internal/telemetry"
 	"rnuma/internal/tracefile"
 )
 
@@ -36,6 +37,21 @@ import (
 // to its completed run and is bit-identical to len(thresholds)
 // independent full replays (TestForkReplayIdentity pins this).
 func ThresholdForkRuns(data []byte, sys config.System, thresholds []int) (map[int]*stats.Run, error) {
+	return ThresholdForkRunsProbe(data, sys, thresholds, telemetry.Config{})
+}
+
+// ThresholdForkRunsProbe is ThresholdForkRuns with a telemetry probe
+// attached to the trunk and every fork, so each point's Run carries an
+// interval series and event log bit-identical to a full probed replay.
+//
+// Fork points generally fall mid-window (the trunk pauses at a counter
+// watermark, not a reference count — running it further to reach a window
+// boundary would be unsound, since a counter could cross the fork's
+// threshold in between). Exactness comes instead from the snapshot
+// carrying the probe's cursor: cumulative counters at the last boundary
+// and the partial traffic matrix, from which the restored fork closes its
+// next window exactly as an uninterrupted replay would.
+func ThresholdForkRunsProbe(data []byte, sys config.System, thresholds []int, tcfg telemetry.Config) (map[int]*stats.Run, error) {
 	if len(thresholds) == 0 {
 		return nil, fmt.Errorf("harness: threshold fork over no values")
 	}
@@ -54,7 +70,7 @@ func ThresholdForkRuns(data []byte, sys config.System, thresholds []int) (map[in
 	tmax := ts[len(ts)-1]
 	sysMax := sys
 	sysMax.Threshold = tmax
-	trunk, _, err := NewTraceMachine(hdr, sysMax)
+	trunk, _, err := NewTraceMachine(hdr, sysMax, machine.WithTelemetry(tcfg))
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +100,7 @@ func ThresholdForkRuns(data []byte, sys config.System, thresholds []int) (map[in
 		}
 		fsys := sys
 		fsys.Threshold = T
-		run, err := forkRun(data, hdr, fsys, snap)
+		run, err := forkRun(data, hdr, fsys, snap, tcfg)
 		if err != nil {
 			return nil, fmt.Errorf("harness: fork at T=%d: %w", T, err)
 		}
@@ -111,8 +127,8 @@ func ThresholdForkRuns(data []byte, sys config.System, thresholds []int) (map[in
 // fresh set of trace streams to the consumed positions (the reader
 // skips whole compressed chunks, so the seek is cheap), and replays the
 // remaining suffix to completion.
-func forkRun(data []byte, hdr tracefile.Header, sys config.System, snap *machine.Snapshot) (*stats.Run, error) {
-	m, _, err := NewTraceMachine(hdr, sys)
+func forkRun(data []byte, hdr tracefile.Header, sys config.System, snap *machine.Snapshot, tcfg telemetry.Config) (*stats.Run, error) {
+	m, _, err := NewTraceMachine(hdr, sys, machine.WithTelemetry(tcfg))
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +188,7 @@ func (h *Harness) forkThresholdPoints(data []byte, pts []sweepPoint) error {
 		thresholds = append(thresholds, p.rn.Threshold)
 	}
 	h.logf("forking  %-9s threshold sweep from one trunk at T=%d", pts[0].app, thresholds[len(thresholds)-1])
-	runs, err := ThresholdForkRuns(data, pts[len(pts)-1].rn, thresholds)
+	runs, err := ThresholdForkRunsProbe(data, pts[len(pts)-1].rn, thresholds, h.Telemetry)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"rnuma/internal/config"
+	"rnuma/internal/telemetry"
 	"rnuma/internal/tracefile"
 )
 
@@ -49,7 +50,7 @@ func TestForkReplayIdentity(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%v: snapshot: %v", app, p, err)
 			}
-			forked, err := forkRun(data, hdr, sys, snap)
+			forked, err := forkRun(data, hdr, sys, snap, telemetry.Config{})
 			if err != nil {
 				t.Fatalf("%s/%v: fork: %v", app, p, err)
 			}

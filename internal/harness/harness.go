@@ -21,6 +21,7 @@ import (
 	"rnuma/internal/config"
 	"rnuma/internal/machine"
 	"rnuma/internal/stats"
+	"rnuma/internal/telemetry"
 	"rnuma/internal/workloads"
 )
 
@@ -39,6 +40,16 @@ type Harness struct {
 	// prefetched: 0 means GOMAXPROCS, 1 forces serial execution. Individual
 	// Run calls are always synchronous; Workers only governs plan fan-out.
 	Workers int
+	// Telemetry, when enabled (Window > 0), attaches a sampling probe to
+	// every machine the harness builds: each memoized Run then carries a
+	// telemetry.Timeline alongside its counters. The memo cache stays
+	// keyed on (app, system) alone because the configuration is
+	// harness-wide and a probe never changes a run's counters.
+	Telemetry telemetry.Config
+	// Progress, if non-nil, receives periodic jobs-done/total + refs/sec
+	// lines while Prefetch executes a plan (CLIs pass os.Stderr under
+	// -progress).
+	Progress io.Writer
 
 	mu      sync.Mutex // guards cache and sources
 	logMu   sync.Mutex // serializes progress lines
@@ -144,12 +155,15 @@ func (h *Harness) simulate(j Job) (*stats.Run, error) {
 	}
 	defer check() //nolint:errcheck // error path below already reported one
 
-	opts := make([]machine.Option, 0, len(j.opts)+2)
+	opts := make([]machine.Option, 0, len(j.opts)+3)
 	opts = append(opts, j.opts...)
 	if !j.skipHomes {
 		opts = append(opts, machine.WithHomes(w.Homes))
 	}
 	opts = append(opts, machine.WithPages(w.SharedPages))
+	if h.Telemetry.Enabled() {
+		opts = append(opts, machine.WithTelemetry(h.Telemetry))
+	}
 	m, err := machine.New(j.Sys, opts...)
 	if err != nil {
 		return nil, err

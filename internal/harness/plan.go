@@ -1,8 +1,11 @@
 package harness
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"rnuma/internal/config"
 	"rnuma/internal/machine"
@@ -160,6 +163,10 @@ func (h *Harness) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// progressPeriod is how often Prefetch reports scheduler progress when
+// the harness has a Progress writer.
+const progressPeriod = 2 * time.Second
+
 // Prefetch executes the plan's jobs across the harness's worker pool,
 // filling the memo cache. Figures assembled afterwards read every result
 // from the cache, so their output is byte-identical to a serial run; only
@@ -176,6 +183,8 @@ func (h *Harness) Prefetch(p *Plan) {
 	if w <= 1 || len(jobs) < 2 {
 		return // serial mode: assembly runs each job on first use
 	}
+	var done, refs atomic.Int64
+	finish := h.progressLoop(len(jobs), &done, &refs)
 	ch := make(chan Job)
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
@@ -183,7 +192,11 @@ func (h *Harness) Prefetch(p *Plan) {
 		go func() {
 			defer wg.Done()
 			for j := range ch {
-				h.runJob(j) //nolint:errcheck // cached; assembly reports it
+				run, _ := h.runJob(j) //nolint:errcheck // cached; assembly reports it
+				if run != nil {
+					refs.Add(run.Refs)
+				}
+				done.Add(1)
 			}
 		}()
 	}
@@ -192,6 +205,43 @@ func (h *Harness) Prefetch(p *Plan) {
 	}
 	close(ch)
 	wg.Wait()
+	finish()
+}
+
+// progressLoop starts the periodic progress reporter (a no-op without a
+// Progress writer) and returns the function that stops it and emits the
+// final jobs/refs/throughput summary line.
+func (h *Harness) progressLoop(total int, done, refs *atomic.Int64) (finish func()) {
+	if h.Progress == nil {
+		return func() {}
+	}
+	start := time.Now()
+	line := func() {
+		el := time.Since(start).Seconds()
+		if el <= 0 {
+			el = 1e-9
+		}
+		r := refs.Load()
+		fmt.Fprintf(h.Progress, "progress: %d/%d jobs, %.2fM refs, %.2fM refs/s\n",
+			done.Load(), total, float64(r)/1e6, float64(r)/1e6/el)
+	}
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(progressPeriod)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				line()
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		line()
+	}
 }
 
 // RunPlan executes the plan and returns its results keyed by Job.Key, in

@@ -16,14 +16,16 @@ import (
 // while the node/CPU counts, geometry, segment size, and page placement
 // come from the trace header. This is the one-shot path the CLIs use for
 // replay and run-diffing; it bypasses the harness memo cache (no Harness
-// receiver) because the callers replay each input exactly once.
-func ReplayTrace(r io.Reader, sys config.System) (*stats.Run, tracefile.Header, error) {
+// receiver) because the callers replay each input exactly once. Extra
+// machine options (e.g. machine.WithTelemetry) apply after the
+// header-derived ones.
+func ReplayTrace(r io.Reader, sys config.System, opts ...machine.Option) (*stats.Run, tracefile.Header, error) {
 	d, err := tracefile.NewReader(r)
 	if err != nil {
 		return nil, tracefile.Header{}, err
 	}
 	h := d.Header()
-	m, _, err := NewTraceMachine(h, sys)
+	m, _, err := NewTraceMachine(h, sys, opts...)
 	if err != nil {
 		return nil, h, err
 	}
@@ -43,7 +45,7 @@ func ReplayTrace(r io.Reader, sys config.System) (*stats.Run, tracefile.Header, 
 // header. Returns the merged configuration alongside the machine
 // (ReplayTrace, the snapshot/resume CLI, and fork sweeps all share this
 // construction, which is what makes their machines state-compatible).
-func NewTraceMachine(h tracefile.Header, sys config.System) (*machine.Machine, config.System, error) {
+func NewTraceMachine(h tracefile.Header, sys config.System, opts ...machine.Option) (*machine.Machine, config.System, error) {
 	if h.Nodes < 1 || h.CPUs%h.Nodes != 0 {
 		return nil, sys, fmt.Errorf("harness: trace has %d CPUs on %d nodes (not evenly divided)", h.CPUs, h.Nodes)
 	}
@@ -53,18 +55,19 @@ func NewTraceMachine(h tracefile.Header, sys config.System) (*machine.Machine, c
 	if err := sys.Validate(); err != nil {
 		return nil, sys, err
 	}
-	m, err := machine.New(sys, machine.WithHomes(h.HomeFunc()), machine.WithPages(h.SharedPages))
+	all := append([]machine.Option{machine.WithHomes(h.HomeFunc()), machine.WithPages(h.SharedPages)}, opts...)
+	m, err := machine.New(sys, all...)
 	return m, sys, err
 }
 
 // ReplayTraceFile is ReplayTrace over a trace file on disk.
-func ReplayTraceFile(path string, sys config.System) (*stats.Run, tracefile.Header, error) {
+func ReplayTraceFile(path string, sys config.System, opts ...machine.Option) (*stats.Run, tracefile.Header, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, tracefile.Header{}, fmt.Errorf("harness: %w", err)
 	}
 	defer f.Close()
-	run, h, err := ReplayTrace(f, sys)
+	run, h, err := ReplayTrace(f, sys, opts...)
 	if err != nil {
 		return nil, h, fmt.Errorf("%s: %w", path, err)
 	}

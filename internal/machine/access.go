@@ -299,6 +299,9 @@ func (m *Machine) ccFill(nd *node.Node, now int64, page addr.PageNum, b addr.Blo
 		}
 		if crossed {
 			// Threshold crossed: the OS relocates the page to S-COMA.
+			if m.probe != nil {
+				m.probe.Relocation(m.run.Refs, nd.ID, page, n)
+			}
 			lat += m.relocate(nd, now+lat, page)
 		}
 	}

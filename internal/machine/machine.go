@@ -12,6 +12,7 @@ package machine
 
 import (
 	"fmt"
+	"math"
 
 	"rnuma/internal/addr"
 	"rnuma/internal/blockcache"
@@ -23,6 +24,7 @@ import (
 	"rnuma/internal/node"
 	"rnuma/internal/pagecache"
 	"rnuma/internal/stats"
+	"rnuma/internal/telemetry"
 	"rnuma/internal/trace"
 )
 
@@ -87,6 +89,12 @@ type Machine struct {
 	run      *stats.Run
 	refetch  *stats.PageCounter // per-(node,page) refetches, materialized at finalize
 	perNodeR []int64            // per-node replacement counts, materialized at finalize
+
+	// Telemetry probe (nil when disabled). probeNext caches the probe's
+	// next window boundary — MaxInt64 with no probe — so the per-reference
+	// cost of disabled telemetry is one always-false int64 compare.
+	probe     *telemetry.Probe
+	probeNext int64
 
 	// naiveCounting is an ablation switch: feed the R-NUMA counters on
 	// every remote fetch instead of only on refetches, deliberately
@@ -197,20 +205,37 @@ func WithNaiveCounting() Option {
 	return func(m *Machine) { m.naiveCounting = true }
 }
 
+// WithTelemetry attaches a sampling probe that closes an interval every
+// cfg.Window references and records relocation events and per-window
+// remote-traffic matrices. The run's stats.Run carries the resulting
+// Timeline. A disabled configuration (Window <= 0) is a no-op, so callers
+// can thread a zero Config through unconditionally.
+func WithTelemetry(cfg telemetry.Config) Option {
+	return func(m *Machine) {
+		if !cfg.Enabled() {
+			return
+		}
+		m.probe = telemetry.NewProbe(cfg, m.sys.Nodes)
+		m.run.Timeline = m.probe.Timeline()
+		m.probeNext = m.probe.NextBoundary()
+	}
+}
+
 // New builds a machine for the given system configuration.
 func New(sys config.System, opts ...Option) (*Machine, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
 	m := &Machine{
-		sys:      sys,
-		g:        sys.Geometry,
-		bpp:      sys.Geometry.BlocksPerPage(),
-		costs:    sys.Costs,
-		dir:      directory.New(sys.Nodes),
-		run:      stats.NewRun(),
-		refetch:  stats.NewPageCounter(sys.Nodes, 0),
-		perNodeR: make([]int64, sys.Nodes),
+		sys:       sys,
+		g:         sys.Geometry,
+		bpp:       sys.Geometry.BlocksPerPage(),
+		costs:     sys.Costs,
+		dir:       directory.New(sys.Nodes),
+		run:       stats.NewRun(),
+		refetch:   stats.NewPageCounter(sys.Nodes, 0),
+		perNodeR:  make([]int64, sys.Nodes),
+		probeNext: math.MaxInt64,
 	}
 	for i := 0; i < sys.Nodes; i++ {
 		nd := node.New(sys, addr.NodeID(i))
@@ -467,10 +492,49 @@ func (m *Machine) loop(pauseRefs int64, pauseAt uint32, pauseCounter bool) (done
 		a.Clock += lat
 		c.Refs++
 		q.Update(a)
+		if m.run.Refs >= m.probeNext {
+			m.probeFlush()
+		}
+	}
+}
+
+// probeFlush closes the telemetry window ending at the current reference
+// count. Kept out of loop's body so the probe-off hot path stays a single
+// compare with no call.
+func (m *Machine) probeFlush() {
+	m.probe.Flush(m.counterSample(), m.run.Refs)
+	m.probeNext = m.probe.NextBoundary()
+}
+
+// counterSample projects the run's cumulative counters into the windowed
+// subset the interval series tracks.
+func (m *Machine) counterSample() telemetry.Counters {
+	r := m.run
+	return telemetry.Counters{
+		Refs:           r.Refs,
+		L1Hits:         r.L1Hits,
+		LocalFills:     r.LocalFills,
+		BlockCacheHits: r.BlockCacheHits,
+		PageCacheHits:  r.PageCacheHits,
+		RemoteFetches:  r.RemoteFetches,
+		Refetches:      r.Refetches,
+		Upgrades:       r.Upgrades,
+		PageFaults:     r.PageFaults,
+		Allocations:    r.Allocations,
+		Replacements:   r.Replacements,
+		Relocations:    r.Relocations,
+		Demotions:      r.Demotions,
+		InvalsSent:     r.InvalsSent,
+		WritebacksHome: r.WritebacksHome,
 	}
 }
 
 func (m *Machine) finalize() {
+	if m.probe != nil {
+		// Close the trailing partial window (a no-op if the run ended
+		// exactly on a boundary).
+		m.probe.Flush(m.counterSample(), m.run.Refs)
+	}
 	var exec int64
 	for _, c := range m.cpus {
 		if c.Finish > exec {

@@ -67,6 +67,9 @@ func (m *Machine) remoteFetch(nd *node.Node, now int64, page addr.PageNum, b add
 	}
 
 	m.run.RemoteFetches++
+	if m.probe != nil {
+		m.probe.AddTraffic(nd.ID, home)
+	}
 	return lat, ver, res.Refetch
 }
 

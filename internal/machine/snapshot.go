@@ -12,6 +12,7 @@ import (
 	"rnuma/internal/osmodel"
 	"rnuma/internal/pagecache"
 	"rnuma/internal/stats"
+	"rnuma/internal/telemetry"
 	"rnuma/internal/trace"
 )
 
@@ -60,6 +61,13 @@ type Snapshot struct {
 	RefetchNodes  int
 	RefetchCounts []int64
 	PerNodeRepl   []int64
+
+	// Probe is the telemetry probe's cursor, present exactly when the
+	// machine ran with telemetry. The timeline itself rides on Run; the
+	// cursor is what lets a restored machine continue its interval series
+	// bit-identically even when the snapshot point falls mid-window (as
+	// threshold-sweep fork points generally do).
+	Probe *telemetry.ProbeState
 }
 
 // NodeState is one node's captured state.
@@ -143,6 +151,10 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 	}
 	s.DirBlocks, s.DirEntries = m.dir.State()
 	s.RefetchNodes, s.RefetchCounts = m.refetch.State()
+	if m.probe != nil {
+		st := m.probe.State()
+		s.Probe = &st
+	}
 	s.Nodes = make([]NodeState, len(m.nodes))
 	for i, nd := range m.nodes {
 		ns := &s.Nodes[i]
@@ -198,6 +210,9 @@ func (m *Machine) compatible(s *Snapshot) error {
 	}
 	if s.NaiveCounting != m.naiveCounting {
 		return fmt.Errorf("machine: snapshot naive-counting mode (%v) differs from this machine's (%v)", s.NaiveCounting, m.naiveCounting)
+	}
+	if (s.Probe != nil) != (m.probe != nil) {
+		return fmt.Errorf("machine: snapshot telemetry presence (%v) differs from this machine's (%v)", s.Probe != nil, m.probe != nil)
 	}
 	return nil
 }
@@ -304,6 +319,14 @@ func (m *Machine) Restore(s *Snapshot) error {
 	m.perNodeR = append(m.perNodeR[:0], s.PerNodeRepl...)
 	m.nextVersion = s.NextVersion
 	m.counterHigh = s.CounterHigh
+	if m.probe != nil {
+		// Re-attach the probe to the restored run's timeline and install
+		// the captured cursor so the next flush continues the series.
+		if err := m.probe.Restore(*s.Probe, m.run.Timeline); err != nil {
+			return err
+		}
+		m.probeNext = m.probe.NextBoundary()
+	}
 	return nil
 }
 

@@ -1,0 +1,54 @@
+// Package profiling is the CLIs' shared pprof plumbing: one call starts
+// the requested profiles, the returned stop function flushes them. The
+// bench gate tells us *that* a hot path regressed; these profiles are how
+// a regression gets diagnosed.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile and/or arranges a heap profile according to
+// the (possibly empty) file paths. The returned stop function stops the
+// CPU profile and writes the heap profile; call it exactly once, after
+// the workload under measurement has finished. Start(_, "") with both
+// paths empty returns a no-op stop.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			// An explicit collection first, so the profile reflects live
+			// objects rather than whatever the last automatic GC left.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("profiling: %w", err)
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}

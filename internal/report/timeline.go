@@ -1,0 +1,228 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rnuma/internal/stats"
+	"rnuma/internal/telemetry"
+)
+
+// timelineMaxRows bounds the interval table: longer series elide their
+// middle (the elision is announced, never silent) while the sparklines
+// still cover every window.
+const timelineMaxRows = 64
+
+// sparkRamp maps a per-window value, scaled against the series maximum,
+// to one ASCII column of increasing ink.
+const sparkRamp = " .:-=+*#%@"
+
+// spark renders vals as an ASCII sparkline of at most width columns,
+// bucketing (by sum) when the series is longer than the width.
+func spark(vals []int64, width int) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	cols := vals
+	if len(vals) > width {
+		cols = make([]int64, width)
+		for i, v := range vals {
+			cols[i*width/len(vals)] += v
+		}
+	}
+	var max int64
+	for _, v := range cols {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range cols {
+		if max == 0 {
+			b.WriteByte(sparkRamp[0])
+			continue
+		}
+		i := int(v * int64(len(sparkRamp)-1) / max)
+		b.WriteByte(sparkRamp[i])
+	}
+	return b.String()
+}
+
+// Timeline renders a run's telemetry capture: the interval table,
+// per-window sparklines of the reactive activity, a relocation-burst
+// summary, and the whole-run traffic matrix.
+func Timeline(w io.Writer, name string, tl *telemetry.Timeline) {
+	if tl == nil {
+		fmt.Fprintf(w, "TIMELINE — %s: no telemetry captured (probe disabled)\n", name)
+		return
+	}
+	fmt.Fprintf(w, "TIMELINE — %s (window %d refs, %d nodes, %d intervals, %d relocation events)\n",
+		name, tl.Window, tl.Nodes, len(tl.Intervals), len(tl.Events))
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "%6s %12s %9s %9s %9s %9s %9s %9s %9s\n",
+		"win", "endRef", "remote", "refetch", "reloc", "repl", "alloc", "bchit", "pchit")
+	fmt.Fprintln(w, strings.Repeat("-", 92))
+	row := func(iv telemetry.Interval) {
+		d := iv.Delta
+		fmt.Fprintf(w, "%6d %12d %9d %9d %9d %9d %9d %9d %9d\n",
+			iv.Index, iv.EndRef, d.RemoteFetches, d.Refetches, d.Relocations,
+			d.Replacements, d.Allocations, d.BlockCacheHits, d.PageCacheHits)
+	}
+	if n := len(tl.Intervals); n <= timelineMaxRows {
+		for _, iv := range tl.Intervals {
+			row(iv)
+		}
+	} else {
+		head, tail := timelineMaxRows*3/4, timelineMaxRows/4
+		for _, iv := range tl.Intervals[:head] {
+			row(iv)
+		}
+		fmt.Fprintf(w, "%6s %12s (%d intervals elided)\n", "...", "...", n-head-tail)
+		for _, iv := range tl.Intervals[n-tail:] {
+			row(iv)
+		}
+	}
+
+	fmt.Fprintln(w)
+	series := func(pick func(telemetry.Counters) int64) []int64 {
+		vals := make([]int64, len(tl.Intervals))
+		for i, iv := range tl.Intervals {
+			vals[i] = pick(iv.Delta)
+		}
+		return vals
+	}
+	const sparkWidth = 72
+	fmt.Fprintf(w, "remote  |%s|\n", spark(series(func(c telemetry.Counters) int64 { return c.RemoteFetches }), sparkWidth))
+	fmt.Fprintf(w, "refetch |%s|\n", spark(series(func(c telemetry.Counters) int64 { return c.Refetches }), sparkWidth))
+	fmt.Fprintf(w, "reloc   |%s|\n", spark(series(func(c telemetry.Counters) int64 { return c.Relocations }), sparkWidth))
+
+	relocationBursts(w, tl)
+	trafficMatrix(w, tl)
+}
+
+// relocationBursts summarizes the event log by window: the busiest
+// windows, each with its relocation count, distinct pages, and nodes.
+func relocationBursts(w io.Writer, tl *telemetry.Timeline) {
+	fmt.Fprintln(w)
+	if len(tl.Events) == 0 {
+		fmt.Fprintln(w, "relocation bursts: none (no page crossed the threshold)")
+		return
+	}
+	type burst struct {
+		window int64
+		count  int
+		pages  map[addrPage]struct{}
+		nodes  map[int]struct{}
+	}
+	byWin := make(map[int64]*burst)
+	for _, e := range tl.Events {
+		b := byWin[e.Window]
+		if b == nil {
+			b = &burst{window: e.Window, pages: make(map[addrPage]struct{}), nodes: make(map[int]struct{})}
+			byWin[e.Window] = b
+		}
+		b.count++
+		b.pages[addrPage(e.Page)] = struct{}{}
+		b.nodes[int(e.Node)] = struct{}{}
+	}
+	bursts := make([]*burst, 0, len(byWin))
+	for _, b := range byWin {
+		bursts = append(bursts, b)
+	}
+	sort.Slice(bursts, func(i, j int) bool {
+		if bursts[i].count != bursts[j].count {
+			return bursts[i].count > bursts[j].count
+		}
+		return bursts[i].window < bursts[j].window
+	})
+	fmt.Fprintf(w, "relocation bursts: %d events across %d of %d windows; busiest:\n",
+		len(tl.Events), len(bursts), len(tl.Intervals))
+	for i, b := range bursts {
+		if i == 3 {
+			break
+		}
+		fmt.Fprintf(w, "  window %-5d refs (%d, %d]: %d relocations, %d pages, %d nodes\n",
+			b.window, b.window*tl.Window, (b.window+1)*tl.Window, b.count, len(b.pages), len(b.nodes))
+	}
+	first := tl.Events[0]
+	fmt.Fprintf(w, "  first crossing: page %d on node %d at ref %d (count %d)\n",
+		first.Page, first.Node, first.Ref, first.Count)
+}
+
+// addrPage keys the burst page sets without importing addr just for a map
+// key type.
+type addrPage uint64
+
+// trafficMatrix renders the whole-run requester×home remote-fetch matrix
+// (small machines only; bigger shapes print a per-node total line).
+func trafficMatrix(w io.Writer, tl *telemetry.Timeline) {
+	total := tl.TotalTraffic()
+	var sum int64
+	for _, v := range total {
+		sum += v
+	}
+	fmt.Fprintln(w)
+	if sum == 0 {
+		fmt.Fprintln(w, "traffic matrix: no remote fetches")
+		return
+	}
+	if tl.Nodes > 16 {
+		fmt.Fprintf(w, "traffic per requester node (%d remote fetches total):\n ", sum)
+		for src := 0; src < tl.Nodes; src++ {
+			var rowSum int64
+			for dst := 0; dst < tl.Nodes; dst++ {
+				rowSum += total[src*tl.Nodes+dst]
+			}
+			fmt.Fprintf(w, " n%d=%d", src, rowSum)
+		}
+		fmt.Fprintln(w)
+		return
+	}
+	fmt.Fprintf(w, "traffic matrix (remote fetches, requester row × home column; %d total):\n", sum)
+	fmt.Fprintf(w, "%8s", "")
+	for dst := 0; dst < tl.Nodes; dst++ {
+		fmt.Fprintf(w, " %8s", fmt.Sprintf("h%d", dst))
+	}
+	fmt.Fprintln(w)
+	for src := 0; src < tl.Nodes; src++ {
+		fmt.Fprintf(w, "%8s", fmt.Sprintf("n%d", src))
+		for dst := 0; dst < tl.Nodes; dst++ {
+			fmt.Fprintf(w, " %8d", total[src*tl.Nodes+dst])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ToleranceSummary renders a tolerance-mode classification under a
+// DeltaTable: which counter changes are structural (fail), which timing
+// changes exceeded the band (fail), and which stayed within it (warn).
+func ToleranceSummary(w io.Writer, r *stats.ToleranceResult) {
+	fmt.Fprintf(w, "tolerance ±%.3g%% on timing counters (%s):\n", r.Pct, "ExecCycles, BusWaitCycles, NIWaitCycles, RADWaitCycles")
+	for _, c := range r.Structural {
+		fmt.Fprintf(w, "  FAIL %-20s %+d (structural counter)\n", c.Name, c.Delta)
+	}
+	if r.RefetchDiffers {
+		fmt.Fprintln(w, "  FAIL refetch distribution differs (structural)")
+	}
+	for _, c := range r.OutOfBand {
+		rel := "new"
+		if pct, ok := c.RelPct(); ok {
+			rel = fmt.Sprintf("%+.2f%%", pct)
+		}
+		fmt.Fprintf(w, "  FAIL %-20s %s exceeds the band\n", c.Name, rel)
+	}
+	for _, c := range r.WithinBand {
+		pct, _ := c.RelPct()
+		fmt.Fprintf(w, "  warn %-20s %+.2f%% within the band\n", c.Name, pct)
+	}
+	if r.OK() {
+		if len(r.WithinBand) == 0 {
+			fmt.Fprintln(w, "  ok: runs identical")
+		} else {
+			fmt.Fprintln(w, "  ok: only timing counters moved, all within the band")
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"rnuma/internal/stats"
+	"rnuma/internal/telemetry"
+)
+
+// burstTimeline builds a small capture with activity in every branch the
+// renderer has: a quiet window, a busy window with traffic, and events.
+func burstTimeline() *telemetry.Timeline {
+	return &telemetry.Timeline{
+		Window: 100,
+		Nodes:  2,
+		Intervals: []telemetry.Interval{
+			{Index: 0, StartRef: 0, EndRef: 100},
+			{
+				Index: 1, StartRef: 100, EndRef: 180,
+				Delta:   telemetry.Counters{Refs: 80, RemoteFetches: 7, Refetches: 5, Relocations: 2},
+				Traffic: []int64{0, 3, 4, 0},
+			},
+		},
+		Events: []telemetry.Event{
+			{Ref: 150, Window: 1, Node: 1, Page: 42, Count: 8},
+			{Ref: 160, Window: 1, Node: 0, Page: 43, Count: 8},
+		},
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	var b strings.Builder
+	Timeline(&b, "em3d", burstTimeline())
+	out := b.String()
+	for _, want := range []string{
+		"TIMELINE — em3d (window 100 refs, 2 nodes, 2 intervals, 2 relocation events)",
+		"remote", "refetch", "reloc",
+		"remote  |", // sparklines
+		"relocation bursts: 2 events across 1 of 2 windows",
+		"refs (100, 200]: 2 relocations, 2 pages, 2 nodes",
+		"first crossing: page 42 on node 1 at ref 150 (count 8)",
+		"traffic matrix (remote fetches, requester row × home column; 7 total)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimelineNilAndQuiet(t *testing.T) {
+	var b strings.Builder
+	Timeline(&b, "fft", nil)
+	if !strings.Contains(b.String(), "no telemetry captured (probe disabled)") {
+		t.Errorf("nil timeline rendered %q", b.String())
+	}
+
+	b.Reset()
+	quiet := &telemetry.Timeline{Window: 10, Nodes: 2,
+		Intervals: []telemetry.Interval{{Index: 0, EndRef: 10, Delta: telemetry.Counters{Refs: 10}}}}
+	Timeline(&b, "quiet", quiet)
+	out := b.String()
+	if !strings.Contains(out, "relocation bursts: none") {
+		t.Errorf("quiet timeline missing the no-events line:\n%s", out)
+	}
+	if !strings.Contains(out, "traffic matrix: no remote fetches") {
+		t.Errorf("quiet timeline missing the no-traffic line:\n%s", out)
+	}
+}
+
+// TestTimelineElidesLongSeries: past timelineMaxRows the table keeps head
+// and tail and announces what it dropped; the sparkline still spans every
+// window (bucketed to the fixed width).
+func TestTimelineElidesLongSeries(t *testing.T) {
+	const n = 200
+	tl := &telemetry.Timeline{Window: 10, Nodes: 2}
+	for i := 0; i < n; i++ {
+		tl.Intervals = append(tl.Intervals, telemetry.Interval{
+			Index: int64(i), StartRef: int64(i) * 10, EndRef: int64(i+1) * 10,
+			Delta: telemetry.Counters{Refs: 10, RemoteFetches: int64(i % 3)},
+		})
+	}
+	var b strings.Builder
+	Timeline(&b, "long", tl)
+	out := b.String()
+	elided := n - timelineMaxRows*3/4 - timelineMaxRows/4 // 200 - 48 head - 16 tail
+	if !strings.Contains(out, "(136 intervals elided)") || elided != 136 {
+		t.Errorf("long timeline elision wrong (want %d elided):\n%s", elided, out)
+	}
+	// The table shows head+tail+marker rows, not all 200.
+	if rows := strings.Count(out, "\n"); rows > 100 {
+		t.Errorf("elided table still prints %d lines", rows)
+	}
+}
+
+// TestTimelineWideMachineTraffic: machines past 16 nodes get per-node
+// totals instead of an n×n matrix.
+func TestTimelineWideMachineTraffic(t *testing.T) {
+	const nodes = 32
+	tl := &telemetry.Timeline{Window: 10, Nodes: nodes,
+		Intervals: []telemetry.Interval{{Index: 0, EndRef: 10,
+			Delta: telemetry.Counters{RemoteFetches: 5}, Traffic: make([]int64, nodes*nodes)}}}
+	tl.Intervals[0].Traffic[0*nodes+1] = 5
+	var b strings.Builder
+	Timeline(&b, "wide", tl)
+	out := b.String()
+	if !strings.Contains(out, "traffic per requester node (5 remote fetches total):") {
+		t.Errorf("wide machine did not fall back to per-node totals:\n%s", out)
+	}
+	if !strings.Contains(out, "n0=5") || !strings.Contains(out, "n1=0") {
+		t.Errorf("per-node totals wrong:\n%s", out)
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if s := spark(nil, 10); s != "" {
+		t.Errorf("empty series sparks %q", s)
+	}
+	if s := spark([]int64{0, 0}, 10); s != "  " {
+		t.Errorf("all-zero series sparks %q", s)
+	}
+	s := spark([]int64{0, 5, 10}, 10)
+	if len(s) != 3 || s[0] != ' ' || s[2] != '@' {
+		t.Errorf("short series sparks %q", s)
+	}
+	// Longer than the width: bucketed by sum, still exactly width columns.
+	long := make([]int64, 100)
+	long[99] = 7
+	s = spark(long, 10)
+	if len(s) != 10 || s[9] != '@' || s[0] != ' ' {
+		t.Errorf("bucketed series sparks %q", s)
+	}
+}
+
+func TestToleranceSummaryRendering(t *testing.T) {
+	var b strings.Builder
+	ToleranceSummary(&b, &stats.ToleranceResult{Pct: 5,
+		Structural:     []stats.CounterDelta{{Name: "RemoteFetches", Delta: 3}},
+		OutOfBand:      []stats.CounterDelta{{Name: "NIWaitCycles", A: 0, B: 5, Delta: 5}},
+		WithinBand:     []stats.CounterDelta{{Name: "ExecCycles", A: 1000, B: 1009, Delta: 9}},
+		RefetchDiffers: true,
+	})
+	out := b.String()
+	for _, want := range []string{
+		"tolerance ±5% on timing counters",
+		"FAIL RemoteFetches        +3 (structural counter)",
+		"FAIL refetch distribution differs",
+		"FAIL NIWaitCycles         new exceeds the band",
+		"warn ExecCycles           +0.90% within the band",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tolerance summary missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ok:") {
+		t.Error("failing summary printed an ok line")
+	}
+
+	b.Reset()
+	ToleranceSummary(&b, &stats.ToleranceResult{Pct: 5})
+	if !strings.Contains(b.String(), "ok: runs identical") {
+		t.Errorf("identical summary rendered %q", b.String())
+	}
+
+	b.Reset()
+	ToleranceSummary(&b, &stats.ToleranceResult{Pct: 5,
+		WithinBand: []stats.CounterDelta{{Name: "ExecCycles", A: 1000, B: 1009, Delta: 9}}})
+	if !strings.Contains(b.String(), "ok: only timing counters moved, all within the band") {
+		t.Errorf("within-band summary rendered %q", b.String())
+	}
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+
+	"rnuma/internal/telemetry"
+)
+
+// TestRunCloneIndependence: a clone shares nothing mutable with the
+// original — counter maps and the telemetry timeline are deep copies.
+func TestRunCloneIndependence(t *testing.T) {
+	r := sampleRun()
+	r.PerNodeReplacements[3] = 7
+	r.Timeline = &telemetry.Timeline{
+		Window:    64,
+		Nodes:     2,
+		Intervals: []telemetry.Interval{{Index: 0, EndRef: 64, Traffic: []int64{0, 1, 2, 0}}},
+		Events:    []telemetry.Event{{Ref: 10, Node: 1, Page: 5, Count: 8}},
+	}
+
+	c := r.Clone()
+	if !reflect.DeepEqual(r, c) {
+		t.Fatal("clone differs from original before mutation")
+	}
+	c.AddRefetch(9, 9)
+	c.PerNodeReplacements[3]++
+	c.Timeline.Intervals[0].Traffic[0] = 99
+	c.Timeline.Events[0].Count = 1
+	if _, ok := r.RefetchByPage[PageKey{Node: 9, Page: 9}]; ok {
+		t.Error("clone shares the refetch map")
+	}
+	if r.PerNodeReplacements[3] != 7 {
+		t.Error("clone shares the replacement map")
+	}
+	if r.Timeline.Intervals[0].Traffic[0] != 0 || r.Timeline.Events[0].Count != 8 {
+		t.Error("clone shares timeline storage")
+	}
+
+	// A nil timeline stays nil (the common unprobed case).
+	plain := sampleRun()
+	if c := plain.Clone(); c.Timeline != nil {
+		t.Error("cloning an unprobed run invented a timeline")
+	}
+}
+
+// TestPageCounterStateRoundTrip: State/PageCounterFromState is the
+// snapshot path — the rebuilt table matches, the slices don't alias,
+// and malformed raw forms are rejected.
+func TestPageCounterStateRoundTrip(t *testing.T) {
+	c := NewPageCounter(2, 4)
+	c.Add(1, 3, 5)
+	c.Add(0, 0, 2)
+
+	nodes, counts := c.State()
+	counts[0] = 99 // State copies; the table must not see this
+	if c.Get(0, 0) != 2 {
+		t.Error("State aliases the live count slice")
+	}
+	counts[0] = 2
+
+	r, err := PageCounterFromState(nodes, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Get(1, 3) != 5 || r.Get(0, 0) != 2 || r.Total() != c.Total() {
+		t.Error("rebuilt table disagrees with the original")
+	}
+	counts[0] = 99
+	if r.Get(0, 0) != 2 {
+		t.Error("rebuilt table aliases the raw slice")
+	}
+
+	if _, err := PageCounterFromState(0, nil); err == nil {
+		t.Error("zero-node raw form accepted")
+	}
+	if _, err := PageCounterFromState(2, make([]int64, 3)); err == nil {
+		t.Error("ragged raw form accepted")
+	}
+}

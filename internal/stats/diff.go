@@ -3,6 +3,7 @@ package stats
 import (
 	"crypto/sha256"
 	"fmt"
+	"math"
 	"reflect"
 	"sort"
 )
@@ -58,6 +59,68 @@ type RunDelta struct {
 func (d *RunDelta) Identical() bool {
 	return d.Differing == 0 && d.RefetchPagesDiffering == 0 &&
 		d.RefetchDigestA == d.RefetchDigestB
+}
+
+// TimingCounter reports whether a counter name measures timing or
+// contention (cycle totals) rather than structure (event counts). The
+// distinction drives diffstats' tolerance mode: a change that shifts only
+// cycle totals is a performance delta a CI gate may accept within a band,
+// while any structural counter change means the two replays took
+// different protocol actions and must always fail.
+func TimingCounter(name string) bool {
+	switch name {
+	case "ExecCycles", "BusWaitCycles", "NIWaitCycles", "RADWaitCycles":
+		return true
+	}
+	return false
+}
+
+// ToleranceResult classifies a RunDelta under a ±pct band on timing
+// counters: structural differences always fail; timing counters fail only
+// beyond the band.
+type ToleranceResult struct {
+	// Structural holds differing non-timing counters (always failures).
+	Structural []CounterDelta
+	// OutOfBand holds timing counters whose relative change exceeds the
+	// band (or appeared from zero), also failures.
+	OutOfBand []CounterDelta
+	// WithinBand holds timing counters that differ inside the band —
+	// reported as warnings, not failures.
+	WithinBand []CounterDelta
+	// RefetchDiffers reports a per-page refetch distribution change,
+	// which is structural regardless of the refetch totals.
+	RefetchDiffers bool
+	// Pct is the band the classification used.
+	Pct float64
+}
+
+// OK reports whether the delta passes under the tolerance: nothing
+// structural changed and every timing change stayed within the band.
+func (r *ToleranceResult) OK() bool {
+	return len(r.Structural) == 0 && len(r.OutOfBand) == 0 && !r.RefetchDiffers
+}
+
+// Tolerance classifies the delta under a ±pct band on timing counters.
+func (d *RunDelta) Tolerance(pct float64) ToleranceResult {
+	r := ToleranceResult{Pct: pct}
+	for _, c := range d.Counters {
+		if c.Delta == 0 {
+			continue
+		}
+		if !TimingCounter(c.Name) {
+			r.Structural = append(r.Structural, c)
+			continue
+		}
+		// A timing counter appearing from zero has no defined relative
+		// change; treat it as out of band rather than silently passing.
+		if rel, ok := c.RelPct(); ok && math.Abs(rel) <= pct {
+			r.WithinBand = append(r.WithinBand, c)
+		} else {
+			r.OutOfBand = append(r.OutOfBand, c)
+		}
+	}
+	r.RefetchDiffers = d.RefetchDigestA != d.RefetchDigestB
+	return r
 }
 
 // RefetchDigest hashes the run's sorted (node, page, count) refetch list

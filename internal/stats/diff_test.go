@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"rnuma/internal/addr"
+	"rnuma/internal/telemetry"
 )
 
 // sampleRun builds a run with a few counters and refetch entries set.
@@ -116,5 +117,85 @@ func TestCounterDeltaRelPct(t *testing.T) {
 	}
 	if pct, ok := (CounterDelta{A: 200, B: 100, Delta: -100}).RelPct(); !ok || pct != -50 {
 		t.Fatalf("200->100 rel = %v, %v", pct, ok)
+	}
+}
+
+// TestTimingCounterSet pins which counters the tolerance mode treats as
+// timing: exactly the cycle totals, nothing structural.
+func TestTimingCounterSet(t *testing.T) {
+	for _, name := range []string{"ExecCycles", "BusWaitCycles", "NIWaitCycles", "RADWaitCycles"} {
+		if !TimingCounter(name) {
+			t.Errorf("%s should be a timing counter", name)
+		}
+	}
+	for _, name := range []string{"Refs", "RemoteFetches", "Refetches", "Relocations", "Replacements", ""} {
+		if TimingCounter(name) {
+			t.Errorf("%s should be structural", name)
+		}
+	}
+}
+
+// TestToleranceClassification: timing counters pass inside the band and
+// fail outside it; any structural counter change fails regardless of the
+// band; refetch-distribution changes are structural.
+func TestToleranceClassification(t *testing.T) {
+	a, b := sampleRun(), sampleRun()
+	b.ExecCycles = 1009 // +0.9% on 1000
+
+	res := Diff(a, b).Tolerance(1)
+	if !res.OK() {
+		t.Fatalf("0.9%% timing drift fails a 1%% band: %+v", res)
+	}
+	if len(res.WithinBand) != 1 || res.WithinBand[0].Name != "ExecCycles" {
+		t.Fatalf("WithinBand = %+v, want just ExecCycles", res.WithinBand)
+	}
+
+	res = Diff(a, b).Tolerance(0.5)
+	if res.OK() || len(res.OutOfBand) != 1 {
+		t.Fatalf("0.9%% timing drift passes a 0.5%% band: %+v", res)
+	}
+
+	// A negative drift uses the band symmetrically.
+	b.ExecCycles = 991
+	if res := Diff(a, b).Tolerance(1); !res.OK() {
+		t.Fatalf("-0.9%% timing drift fails a 1%% band: %+v", res)
+	}
+
+	// Structural counters fail no matter how wide the band.
+	b = sampleRun()
+	b.RemoteFetches++
+	res = Diff(a, b).Tolerance(100)
+	if res.OK() || len(res.Structural) != 1 || res.Structural[0].Name != "RemoteFetches" {
+		t.Fatalf("structural change slipped through: %+v", res)
+	}
+
+	// A timing counter appearing from zero has no relative change and
+	// must not silently pass.
+	b = sampleRun()
+	b.NIWaitCycles = 5
+	if res := Diff(a, b).Tolerance(50); res.OK() || len(res.OutOfBand) != 1 {
+		t.Fatalf("timing counter from zero passed the band: %+v", res)
+	}
+
+	// Refetch distribution changes are structural even when the totals
+	// (and hence every counter) agree.
+	b = sampleRun()
+	delete(b.RefetchByPage, PageKey{Node: 1, Page: 7})
+	b.AddRefetch(3, 11)
+	b.AddRefetch(3, 11)
+	b.Refetches = a.Refetches // keep the counter itself equal
+	if res := Diff(a, b).Tolerance(100); res.OK() || !res.RefetchDiffers {
+		t.Fatalf("refetch redistribution passed: %+v", res)
+	}
+}
+
+// TestDiffIgnoresTimeline: the timeline rides on Run as a pointer, so the
+// reflective int64 walk never sees it — two runs equal on counters are
+// identical no matter what they captured.
+func TestDiffIgnoresTimeline(t *testing.T) {
+	a, b := sampleRun(), sampleRun()
+	b.Timeline = &telemetry.Timeline{Window: 64, Nodes: 2}
+	if d := Diff(a, b); !d.Identical() {
+		t.Fatalf("timeline presence made runs differ: %+v", d)
 	}
 }

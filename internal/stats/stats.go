@@ -10,6 +10,7 @@ import (
 
 	"rnuma/internal/addr"
 	"rnuma/internal/dense"
+	"rnuma/internal/telemetry"
 )
 
 // PageKey identifies a (node, page) pair: refetch counting in the paper is
@@ -68,6 +69,13 @@ type Run struct {
 	// PerNodeReplacements records which nodes performed page replacements
 	// (Section 5.5 attributes lu's sensitivity to two overloaded nodes).
 	PerNodeReplacements map[addr.NodeID]int64
+
+	// Timeline is the run's time-resolved telemetry capture (interval
+	// series, relocation event log, per-window traffic matrices), nil
+	// unless the machine ran with a probe attached. It rides on the Run
+	// so memoization, snapshots, and fork sweeps carry it alongside the
+	// counters it windows; Diff ignores it (non-int64 field).
+	Timeline *telemetry.Timeline
 }
 
 // NewRun returns an empty, ready-to-accumulate Run.
@@ -90,6 +98,7 @@ func (r *Run) Clone() *Run {
 	for k, v := range r.PerNodeReplacements {
 		c.PerNodeReplacements[k] = v
 	}
+	c.Timeline = r.Timeline.Clone()
 	return &c
 }
 

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+
+	"rnuma/internal/addr"
+)
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config must be disabled")
+	}
+	if (Config{Window: -1}).Enabled() {
+		t.Fatal("negative window must be disabled")
+	}
+	if !(Config{Window: 1}).Enabled() {
+		t.Fatal("positive window must be enabled")
+	}
+}
+
+func TestCountersSub(t *testing.T) {
+	a := Counters{Refs: 10, Refetches: 4, Relocations: 1}
+	b := Counters{Refs: 25, Refetches: 9, Relocations: 1}
+	d := b.Sub(a)
+	want := Counters{Refs: 15, Refetches: 5}
+	if d != want {
+		t.Fatalf("Sub = %+v, want %+v", d, want)
+	}
+}
+
+func TestProbeFlushSeries(t *testing.T) {
+	p := NewProbe(Config{Window: 100}, 2)
+	if p.NextBoundary() != 100 {
+		t.Fatalf("first boundary = %d, want 100", p.NextBoundary())
+	}
+
+	p.AddTraffic(addr.NodeID(0), addr.NodeID(1))
+	p.AddTraffic(addr.NodeID(0), addr.NodeID(1))
+	p.Flush(Counters{Refs: 100, RemoteFetches: 2}, 100)
+	if p.NextBoundary() != 200 {
+		t.Fatalf("second boundary = %d, want 200", p.NextBoundary())
+	}
+
+	// Quiet window: no traffic matrix should be materialized.
+	p.Flush(Counters{Refs: 200, RemoteFetches: 2}, 200)
+
+	// Trailing partial window.
+	p.AddTraffic(addr.NodeID(1), addr.NodeID(0))
+	p.Flush(Counters{Refs: 250, RemoteFetches: 3, Refetches: 1}, 250)
+	// End-of-run flush at the same ref must be a no-op.
+	p.Flush(Counters{Refs: 250, RemoteFetches: 3, Refetches: 1}, 250)
+
+	tl := p.Timeline()
+	if len(tl.Intervals) != 3 {
+		t.Fatalf("got %d intervals, want 3", len(tl.Intervals))
+	}
+	iv0, iv1, iv2 := tl.Intervals[0], tl.Intervals[1], tl.Intervals[2]
+	if iv0.Index != 0 || iv0.StartRef != 0 || iv0.EndRef != 100 {
+		t.Fatalf("interval 0 bounds: %+v", iv0)
+	}
+	if iv0.Delta.RemoteFetches != 2 || iv0.TrafficAt(0, 1, 2) != 2 {
+		t.Fatalf("interval 0 traffic: %+v", iv0)
+	}
+	if iv1.Traffic != nil || iv1.Delta.RemoteFetches != 0 {
+		t.Fatalf("quiet interval materialized traffic: %+v", iv1)
+	}
+	if iv2.StartRef != 200 || iv2.EndRef != 250 || iv2.Delta.Refs != 50 {
+		t.Fatalf("partial interval bounds: %+v", iv2)
+	}
+	if iv2.TrafficAt(1, 0, 2) != 1 {
+		t.Fatalf("partial interval traffic: %+v", iv2)
+	}
+
+	total := tl.TotalTraffic()
+	if want := []int64{0, 2, 1, 0}; !reflect.DeepEqual(total, want) {
+		t.Fatalf("TotalTraffic = %v, want %v", total, want)
+	}
+}
+
+func TestRelocationWindowOrdinal(t *testing.T) {
+	p := NewProbe(Config{Window: 100}, 1)
+	p.Relocation(1, 0, 7, 64)   // first ref of window 0
+	p.Relocation(100, 0, 8, 64) // last ref of window 0
+	p.Relocation(101, 0, 9, 64) // first ref of window 1
+	ev := p.Timeline().Events
+	if ev[0].Window != 0 || ev[1].Window != 0 || ev[2].Window != 1 {
+		t.Fatalf("event windows = %d,%d,%d, want 0,0,1", ev[0].Window, ev[1].Window, ev[2].Window)
+	}
+}
+
+func TestTimelineClone(t *testing.T) {
+	p := NewProbe(Config{Window: 10}, 2)
+	p.AddTraffic(0, 1)
+	p.Flush(Counters{Refs: 10, RemoteFetches: 1}, 10)
+	p.Relocation(5, 0, 3, 16)
+	tl := p.Timeline()
+
+	c := tl.Clone()
+	if !reflect.DeepEqual(tl, c) {
+		t.Fatal("clone differs from original")
+	}
+	c.Intervals[0].Traffic[0] = 99
+	c.Events[0].Page = 42
+	if tl.Intervals[0].Traffic[0] == 99 || tl.Events[0].Page == 42 {
+		t.Fatal("clone shares storage with original")
+	}
+	if (*Timeline)(nil).Clone() != nil {
+		t.Fatal("nil clone must stay nil")
+	}
+}
+
+func TestProbeStateRoundTrip(t *testing.T) {
+	p := NewProbe(Config{Window: 100}, 2)
+	p.Flush(Counters{Refs: 100, Refetches: 3}, 100)
+	p.AddTraffic(1, 0) // mid-window traffic: the cursor must carry it
+	st := p.State()
+	if st.Traffic == nil {
+		t.Fatal("dirty cursor must carry the partial traffic matrix")
+	}
+
+	// A fresh probe (as machine restore builds) continues the series.
+	q := NewProbe(Config{Window: 100}, 2)
+	tl := p.Timeline().Clone()
+	if err := q.Restore(st, tl); err != nil {
+		t.Fatal(err)
+	}
+	q.AddTraffic(1, 0)
+	q.Flush(Counters{Refs: 200, Refetches: 3}, 200)
+	if q.NextBoundary() != 300 {
+		t.Fatalf("boundary after restore+flush = %d, want 300", q.NextBoundary())
+	}
+	iv := tl.Intervals[1]
+	if iv.StartRef != 100 || iv.EndRef != 200 || iv.TrafficAt(1, 0, 2) != 2 {
+		t.Fatalf("restored interval: %+v", iv)
+	}
+
+	// Mismatched geometry must be rejected.
+	if err := NewProbe(Config{Window: 50}, 2).Restore(st, tl); err == nil {
+		t.Fatal("window mismatch accepted")
+	}
+	if err := NewProbe(Config{Window: 100}, 4).Restore(st, tl); err == nil {
+		t.Fatal("node-count mismatch accepted")
+	}
+	if err := q.Restore(st, nil); err == nil {
+		t.Fatal("nil timeline accepted")
+	}
+	bad := st
+	bad.Traffic = []int64{1}
+	if err := q.Restore(bad, tl); err == nil {
+		t.Fatal("short traffic matrix accepted")
+	}
+}
+
+func TestNewProbeDisabledPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewProbe with disabled config must panic")
+		}
+	}()
+	NewProbe(Config{}, 1)
+}
