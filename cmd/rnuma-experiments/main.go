@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	rnuma-experiments [-exp all|fig5|table4|fig6|fig7|fig8|fig9|model|lu|sweep|dilate|geometry|timeline]
+//	rnuma-experiments [-exp all|fig5|table4|fig6|fig7|fig8|fig9|model|lu|sweep|dilate|geometry|timeline|traffic]
 //	                  [-apps barnes,lu,...] [-specs a.json,b.json]
 //	                  [-traces x.trace,...] [-scale 1.0] [-seed 0]
 //	                  [-parallel N] [-v] [-progress] [-window N]
@@ -42,6 +42,13 @@
 // These experiments need a trace, so they run only when selected by
 // name, never under -exp all.
 //
+// -exp traffic -traffic scenario.json compiles a multi-tenant traffic
+// scenario (see internal/traffic) at the 8x4 base shape, replays the
+// merged mix under every protocol plus the ideal baseline, and prints the
+// normalized comparison followed by each protocol's per-client counter
+// split — how the tenants share (and steal) the machine. Like the other
+// file-driven experiments it runs only when selected by name.
+//
 // -window N attaches the telemetry sampling probe (window N references)
 // to every simulation; -progress reports scheduler throughput to stderr
 // while a parallel plan executes.
@@ -57,6 +64,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -73,26 +81,27 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: all, fig5, table4, fig6, fig7, fig8, fig9, model, lu, sweep, dilate, geometry, timeline")
-		apps       = flag.String("apps", "", "comma-separated application subset (default: all ten)")
-		specs      = flag.String("specs", "", "comma-separated workload spec files to add as applications")
-		traces     = flag.String("traces", "", "comma-separated recorded trace files to add as applications")
-		scale      = flag.Float64("scale", 1.0, "workload scale (iteration multiplier)")
-		seed       = flag.Int64("seed", 0, "workload RNG seed (0 = built-in fixed seeds)")
-		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		verbose    = flag.Bool("v", false, "log run progress")
-		sweepTrace = flag.String("sweep-trace", "", "recorded trace to sweep (default: record -sweep-app at the 8x4 base shape)")
-		sweepApp   = flag.String("sweep-app", "em3d", "catalog application to record for the sweep when no -sweep-trace is given")
-		sweepNodes = flag.String("sweep-nodes", "4,8,16", "comma-separated node counts for -exp sweep")
-		sweepAxis  = flag.String("sweep-axis", "nodes", "-exp sweep axis: nodes, dilate, block, page, threshold")
-		sweepVals  = flag.String("sweep-values", "", "comma-separated values for -sweep-axis (default per axis)")
-		dilateVals = flag.String("dilate-factors", "1/2,1,2,4", "comma-separated gap scale factors for -exp dilate")
-		geomAxis   = flag.String("geometry-axis", "block", "-exp geometry axis: block or page")
-		geomVals   = flag.String("geometry-values", "", "comma-separated sizes in bytes (default 16,32,64,128 for block; 2048,4096,8192 for page)")
-		diffPair   = flag.String("diff", "", "two traces \"a.trace,b.trace\" to replay and diff counter-by-counter")
-		diffProto  = flag.String("diff-protocol", "rnuma", "protocol for -diff: ccnuma, scoma, rnuma, ideal")
-		window     = flag.Int64("window", 0, "telemetry window in references (0 = off; -exp timeline defaults it)")
-		progress   = flag.Bool("progress", false, "report scheduler progress (jobs done, refs/s) to stderr")
+		exp         = flag.String("exp", "all", "experiment: all, fig5, table4, fig6, fig7, fig8, fig9, model, lu, sweep, dilate, geometry, timeline, traffic")
+		apps        = flag.String("apps", "", "comma-separated application subset (default: all ten)")
+		specs       = flag.String("specs", "", "comma-separated workload spec files to add as applications")
+		traces      = flag.String("traces", "", "comma-separated recorded trace files to add as applications")
+		scale       = flag.Float64("scale", 1.0, "workload scale (iteration multiplier)")
+		seed        = flag.Int64("seed", 0, "workload RNG seed (0 = built-in fixed seeds)")
+		parallel    = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		verbose     = flag.Bool("v", false, "log run progress")
+		sweepTrace  = flag.String("sweep-trace", "", "recorded trace to sweep (default: record -sweep-app at the 8x4 base shape)")
+		sweepApp    = flag.String("sweep-app", "em3d", "catalog application to record for the sweep when no -sweep-trace is given")
+		sweepNodes  = flag.String("sweep-nodes", "4,8,16", "comma-separated node counts for -exp sweep")
+		sweepAxis   = flag.String("sweep-axis", "nodes", "-exp sweep axis: nodes, dilate, block, page, threshold")
+		sweepVals   = flag.String("sweep-values", "", "comma-separated values for -sweep-axis (default per axis)")
+		dilateVals  = flag.String("dilate-factors", "1/2,1,2,4", "comma-separated gap scale factors for -exp dilate")
+		geomAxis    = flag.String("geometry-axis", "block", "-exp geometry axis: block or page")
+		geomVals    = flag.String("geometry-values", "", "comma-separated sizes in bytes (default 16,32,64,128 for block; 2048,4096,8192 for page)")
+		trafficSpec = flag.String("traffic", "", "traffic scenario file for -exp traffic")
+		diffPair    = flag.String("diff", "", "two traces \"a.trace,b.trace\" to replay and diff counter-by-counter")
+		diffProto   = flag.String("diff-protocol", "rnuma", "protocol for -diff: ccnuma, scoma, rnuma, ideal")
+		window      = flag.Int64("window", 0, "telemetry window in references (0 = off; -exp timeline defaults it)")
+		progress    = flag.Bool("progress", false, "report scheduler progress (jobs done, refs/s) to stderr")
 	)
 	flag.Parse()
 
@@ -310,6 +319,51 @@ func main() {
 			die(fmt.Errorf("-geometry-axis must be block or page, got %q", *geomAxis))
 		}
 		sensitivity(axis, *geomVals)
+	}
+
+	// -exp traffic replays a compiled multi-tenant scenario under every
+	// protocol (plus the ideal baseline for normalization) and breaks each
+	// run out per tenant. The scenario bakes in the scale and seed at
+	// compile time, exactly like a recorded trace.
+	if *exp == "traffic" {
+		if *trafficSpec == "" {
+			die(fmt.Errorf("-exp traffic needs -traffic <scenario.json>"))
+		}
+		data, err := os.ReadFile(*trafficSpec)
+		die(err)
+		cfg := workloads.DefaultConfig()
+		cfg.Scale, cfg.Seed = *scale, *seed
+		src, err := harness.TrafficSource(data, filepath.Dir(*trafficSpec), cfg)
+		die(err)
+		die(h.Register(src))
+		sc := src.Scenario()
+		systems := []config.System{
+			config.Base(config.CCNUMA), config.Base(config.SCOMA), config.Base(config.RNUMA),
+		}
+		h.Prefetch(harness.NewPlan().AddRuns([]string{src.Name()},
+			append(append([]config.System{}, systems...), config.Ideal())...))
+		ideal, err := h.Ideal(src.Name())
+		die(err)
+		fmt.Printf("TRAFFIC — scenario %s: %d tenants (%s), %d refs, %d pages\n\n",
+			sc.Name, len(sc.Clients), strings.Join(sc.Clients, ", "), sc.Records(), sc.SharedPages)
+		fmt.Printf("%-28s %10s %10s %10s %10s\n", "system", "norm-exec", "remote", "refetch", "reloc")
+		fmt.Println(strings.Repeat("-", 72))
+		runs := make([]*stats.Run, len(systems))
+		for i, sys := range systems {
+			run, err := h.Run(src.Name(), sys)
+			die(err)
+			runs[i] = run
+			norm := 0.0
+			if ideal.ExecCycles > 0 {
+				norm = run.Normalized(ideal)
+			}
+			fmt.Printf("%-28s %10.3f %10d %10d %10d\n", sys.Name, norm, run.RemoteFetches, run.Refetches, run.Relocations)
+		}
+		for i, sys := range systems {
+			fmt.Printf("\n%s:\n", sys.Name)
+			report.ClientTable(os.Stdout, runs[i])
+		}
+		sep()
 	}
 
 	// -exp timeline renders the time-resolved telemetry story: one probed

@@ -5,6 +5,7 @@
 //
 //	rnuma-trace record -app <name>  [-o out.trace] [-scale S] [-seed N] [-nodes N] [-cpus N] [-v1] [-raw]
 //	rnuma-trace gen    -spec <file> [-o out.trace] [-scale S] [-seed N] [-nodes N] [-cpus N] [-v1] [-raw]
+//	rnuma-trace gen    -traffic <file> [same sizing/format flags]
 //	rnuma-trace cut    <file> [-o out.trace] [-cpus 1,3] [-from N] [-to M] [-v1] [-raw]
 //	rnuma-trace cat    <a> <b> ... [-o out.trace] [-v1] [-raw]
 //	rnuma-trace retarget <file> [-o out.trace] [-nodes N] [-cpus N] [-pages P]
@@ -17,6 +18,7 @@
 //	rnuma-trace info   <file>
 //	rnuma-trace replay <file> [-protocol ccnuma|scoma|rnuma] [-bc B] [-pc P] [-T N] [-soft] [-ideal]
 //	                  [-window N] [-timeline out.json] [-events out.json] [-cpuprofile f] [-memprofile f]
+//	rnuma-trace replay -traffic <file> [-scale S] [-seed N] [-nodes N] [-cpus N] [same system/telemetry flags]
 //	rnuma-trace snapshot <file> -refs N [-o snap.rnss] [-window N] [-protocol P] [-bc B] [-pc P] [-T N] [-soft] [-ideal]
 //	rnuma-trace resume <file> -snap snap.rnss [-T N] [-timeline out.json] [-events out.json]
 //
@@ -41,7 +43,13 @@
 // transforms stream, so they compose with cut/cat piping.
 //
 // record captures a built-in application's reference streams; gen does
-// the same for a declarative JSON workload spec (see internal/spec). Both
+// the same for a declarative JSON workload spec (see internal/spec), or —
+// with -traffic — for a multi-tenant traffic scenario (see
+// internal/traffic), whose clients' streams it interleaves by arrival
+// time into one ordinary trace. replay -traffic compiles and runs a
+// scenario directly, keeping the per-client attribution the encoded
+// trace cannot carry: the report gains a per-client counter table and
+// per-client timeline sparklines. Both
 // write to stdout with -o - (the default is <name>.trace), so traces pipe
 // straight into `rnuma-sim -trace -`. cut slices a trace by per-CPU
 // record range and/or CPU subset, preserving the recorded machine shape
@@ -77,6 +85,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -91,6 +100,7 @@ import (
 	"rnuma/internal/telemetry"
 	"rnuma/internal/tracefile"
 	"rnuma/internal/tracefile/snapfile"
+	"rnuma/internal/traffic"
 	"rnuma/internal/workloads"
 )
 
@@ -177,6 +187,8 @@ subcommands:
       capture a built-in application's streams (apps: %s)
   gen    -spec <file> [-o file] [-scale S] [-seed N] [-nodes N] [-cpus N] [-v1] [-raw]
       build a declarative spec workload and capture its streams
+  gen    -traffic <file> [same sizing/format flags]
+      compile a multi-tenant traffic scenario into one merged trace
   cut    <file> [-o file] [-cpus 1,3] [-from N] [-to M] [-v1] [-raw]
       slice a trace: keep a per-CPU record range and/or a CPU subset
   cat    <a> <b> ... [-o file] [-v1] [-raw]
@@ -200,6 +212,9 @@ subcommands:
          [-window N] [-timeline f.json] [-events f.json] [-cpuprofile f] [-memprofile f]
       run a trace through the simulated machine of its recorded shape;
       -window samples telemetry every N refs, -timeline/-events export it
+  replay -traffic <file> [-scale S] [-seed N] [-nodes N] [-cpus N] [system/telemetry flags]
+      compile and run a traffic scenario with per-client attribution
+      (adds the per-client counter table and timeline sparklines)
   snapshot <file> -refs N [-o snap.rnss] [-window N] [-protocol P] [-bc B] [-pc P] [-T N] [-soft] [-ideal]
       replay a trace up to N references and checkpoint the paused machine
       (-window checkpoints a telemetry probe along with it)
@@ -358,13 +373,23 @@ func (c cli) cmdRecord(args []string) error {
 func (c cli) cmdGen(args []string) error {
 	fs := c.flagSet("gen")
 	specPath := fs.String("spec", "", `workload spec file ("-" = stdin)`)
+	trafficPath := fs.String("traffic", "", "traffic scenario file: compile its multi-tenant mix instead of a single spec")
 	scale, seed, nodes, cpus, out := sizingFlags(fs)
 	format := formatFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return errUsage
 	}
-	if *specPath == "" {
-		return fmt.Errorf("gen needs -spec <file>")
+	if (*specPath == "") == (*trafficPath == "") {
+		return fmt.Errorf("gen needs exactly one of -spec <file> or -traffic <file>")
+	}
+	if *trafficPath != "" {
+		cfg := workloads.Config{Nodes: *nodes, CPUsPerNode: *cpus, Geometry: addr.Default, Scale: *scale, Seed: *seed}
+		sc, err := loadTraffic(*trafficPath, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(c.stderr, "traffic %s: %d clients (%s)\n", sc.Name, len(sc.Clients), strings.Join(sc.Clients, ", "))
+		return c.capture(sc.Workload(), cfg, *out, format()...)
 	}
 	var (
 		s   *spec.Spec
@@ -388,6 +413,16 @@ func (c cli) cmdGen(args []string) error {
 		return err
 	}
 	return c.capture(w, cfg, *out, format()...)
+}
+
+// loadTraffic compiles a traffic scenario file for a machine shape; phase
+// paths resolve against the scenario file's directory.
+func loadTraffic(path string, cfg workloads.Config) (*traffic.Scenario, error) {
+	s, err := traffic.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return traffic.Compile(s, cfg, filepath.Dir(path))
 }
 
 // capture drains the workload into a trace file and reports the encoding
@@ -723,6 +758,12 @@ func (c cli) cmdDiffStats(args []string) error {
 	}
 	defer a.Close()
 	defer b.Close()
+	// A negative band is always a mistake (it can never pass), and before
+	// this guard it silently meant "exact match" — reject it loudly.
+	if *tol < 0 {
+		fmt.Fprintf(c.stderr, "rnuma-trace: -tol must be >= 0 percent, got %v\n", *tol)
+		return errUsage
+	}
 	sys, err := system()
 	if err != nil {
 		return err
@@ -1017,6 +1058,11 @@ func (c cli) cmdResume(args []string) error {
 func (c cli) cmdReplay(args []string) error {
 	fs := c.flagSet("replay")
 	tracePath := fs.String("trace", "", `trace file ("-" = stdin; also accepted positionally)`)
+	trafficPath := fs.String("traffic", "", "traffic scenario file: compile and replay its multi-tenant mix instead of a trace")
+	scale := fs.Float64("scale", 1.0, "workload scale (traffic mode only)")
+	seed := fs.Int64("seed", 0, "workload RNG seed (traffic mode only)")
+	nodes := fs.Int("nodes", 8, "SMP nodes (traffic mode only)")
+	cpus := fs.Int("cpus", 4, "CPUs per node (traffic mode only)")
 	system := systemFlags(fs)
 	tcfg, timelineOut, eventsOut := telemetryFlags(fs)
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the replay to this file")
@@ -1024,6 +1070,14 @@ func (c cli) cmdReplay(args []string) error {
 	target, err := c.parseWithTarget(fs, args)
 	if err != nil {
 		return err
+	}
+	if *trafficPath != "" {
+		if target != "" || *tracePath != "" {
+			return fmt.Errorf("replay takes a trace or -traffic, not both")
+		}
+		return c.replayTraffic(*trafficPath,
+			workloads.Config{Nodes: *nodes, CPUsPerNode: *cpus, Geometry: addr.Default, Scale: *scale, Seed: *seed},
+			system, tcfg, *timelineOut, *eventsOut, *cpuProfile, *memProfile)
 	}
 
 	r, name, err := c.openTrace(target, *tracePath)
@@ -1060,6 +1114,55 @@ func (c cli) cmdReplay(args []string) error {
 	// ideal-machine normalization every figure uses.
 	if name != "stdin" && sys.BlockCacheBytes != config.InfiniteBlockCache {
 		base, _, err := harness.ReplayTraceFile(name, config.Ideal())
+		if err != nil {
+			return err
+		}
+		if base.ExecCycles > 0 {
+			fmt.Fprintf(c.stdout, "  normalized exec time:  %.3f (vs infinite block cache)\n", run.Normalized(base))
+		}
+	}
+	return nil
+}
+
+// replayTraffic compiles a traffic scenario and runs its multi-tenant mix
+// through the machine, reporting the run summary, the per-client counter
+// split, and (when probed) the timeline with per-client sparklines.
+func (c cli) replayTraffic(path string, cfg workloads.Config,
+	system func() (config.System, error), tcfg func() telemetry.Config,
+	timelineOut, eventsOut, cpuProfile, memProfile string) error {
+	sc, err := loadTraffic(path, cfg)
+	if err != nil {
+		return err
+	}
+	sys, err := system()
+	if err != nil {
+		return err
+	}
+	stop, err := profiling.Start(cpuProfile, memProfile)
+	if err != nil {
+		return err
+	}
+	run, err := harness.RunWorkload(sc.Workload(), sc.Cfg, sys, machine.WithTelemetry(tcfg()))
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(c.stdout, "traffic: %s (%d clients, %d nodes x %d CPUs)\n",
+		sc.Name, len(sc.Clients), sc.Cfg.Nodes, sc.Cfg.CPUsPerNode)
+	report.RunSummary(c.stdout, sys.Name, run)
+	fmt.Fprintln(c.stdout)
+	report.ClientTable(c.stdout, run)
+	if run.Timeline != nil {
+		fmt.Fprintln(c.stdout)
+		report.Timeline(c.stdout, sc.Name, run.Timeline)
+	}
+	if err := c.exportTimeline(timelineOut, eventsOut, run.Timeline); err != nil {
+		return err
+	}
+	if sys.BlockCacheBytes != config.InfiniteBlockCache {
+		base, err := harness.RunWorkload(sc.Workload(), sc.Cfg, config.Ideal())
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"rnuma/internal/addr"
+	"rnuma/internal/tracefile"
 )
 
 // runCLI drives one in-process invocation of the command, returning the
@@ -514,5 +517,115 @@ func TestDiffStatsTolerance(t *testing.T) {
 	}
 	if code, stdout, _ = runCLI(t, nil, "diffstats", orig, dilPath, "-tol", "50"); code != 0 {
 		t.Fatalf("timing-only diffstats -tol 50 exited %d:\n%s", code, stdout)
+	}
+}
+
+// TestDiffStatsNegativeTol: a negative tolerance band can never pass and
+// used to silently mean "exact match"; it is now a usage error.
+func TestDiffStatsNegativeTol(t *testing.T) {
+	data := record(t)
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "fft.trace")
+	if err := os.WriteFile(orig, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI(t, nil, "diffstats", orig, orig, "-tol", "-5")
+	if code != 2 {
+		t.Fatalf("diffstats -tol -5 exited %d, want 2 (usage error)", code)
+	}
+	if !strings.Contains(stderr, "-tol") {
+		t.Errorf("stderr does not mention -tol:\n%s", stderr)
+	}
+}
+
+// TestInfoZeroReferenceTrace: info on a structurally valid trace with no
+// records and no shared pages must report zeros, not panic or divide by
+// zero in the home-map percentages.
+func TestInfoZeroReferenceTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := tracefile.NewWriter(&buf, tracefile.Header{
+		Name: "empty", Geometry: addr.Default, CPUs: 4, Nodes: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCLI(t, buf.Bytes(), "info", "-")
+	if code != 0 {
+		t.Fatalf("info on an empty trace exited %d: %s", code, stderr)
+	}
+	for _, want := range []string{"references:   0", "shared pages: 0", "2 nodes, 4 CPUs"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("info output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestTrafficGenAndReplay drives the committed example scenarios end to
+// end: gen -traffic produces an ordinary trace (info-readable), and
+// replay -traffic reports the per-client counter table and timeline.
+func TestTrafficGenAndReplay(t *testing.T) {
+	scenario := filepath.Join("..", "..", "examples", "scenarios", "steady-mix.json")
+
+	code, trc, stderr := runCLI(t, nil,
+		"gen", "-traffic", scenario, "-scale", "0.05", "-o", "-")
+	if code != 0 {
+		t.Fatalf("gen -traffic exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "2 clients (halo, hotcold)") {
+		t.Errorf("gen stderr missing the client summary:\n%s", stderr)
+	}
+	code, stdout, stderr := runCLI(t, []byte(trc), "info", "-")
+	if code != 0 {
+		t.Fatalf("info on a traffic trace exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "workload:     steady-mix") {
+		t.Errorf("info output missing the scenario name:\n%s", stdout)
+	}
+
+	code, stdout, stderr = runCLI(t, nil,
+		"replay", "-traffic", scenario, "-scale", "0.05", "-window", "4096")
+	if code != 0 {
+		t.Fatalf("replay -traffic exited %d: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"traffic: steady-mix (2 clients",
+		"CLIENTS",
+		"halo", "hotcold",
+		"per-client remote fetches:",
+		"normalized exec time:",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("replay -traffic output missing %q", want)
+		}
+	}
+
+	// A trace and -traffic together are ambiguous.
+	if code, _, _ := runCLI(t, nil, "replay", "x.trace", "-traffic", scenario); code != 1 {
+		t.Errorf("replay with both a trace and -traffic exited %d, want 1", code)
+	}
+	// gen needs exactly one source.
+	if code, _, _ := runCLI(t, nil, "gen", "-spec", "a.json", "-traffic", "b.json"); code != 1 {
+		t.Errorf("gen with -spec and -traffic exited %d, want 1", code)
+	}
+}
+
+func TestTrafficModeErrors(t *testing.T) {
+	scenario := filepath.Join("..", "..", "examples", "scenarios", "steady-mix.json")
+	if code, _, _ := runCLI(t, nil, "gen", "-traffic", "absent.json", "-o", "-"); code != 1 {
+		t.Errorf("gen -traffic on a missing file exited %d, want 1", code)
+	}
+	if code, _, _ := runCLI(t, nil, "replay", "-traffic", "absent.json"); code != 1 {
+		t.Errorf("replay -traffic on a missing file exited %d, want 1", code)
+	}
+	code, _, stderr := runCLI(t, nil, "replay", "-traffic", scenario, "-scale", "0.02", "-protocol", "doom")
+	if code != 1 || !strings.Contains(stderr, "doom") {
+		t.Errorf("replay -traffic -protocol doom exited %d (%s), want 1 naming the protocol", code, stderr)
+	}
+	if code, _, _ := runCLI(t, nil, "replay", "-traffic", scenario, "-scale", "0.02",
+		"-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "p")); code != 1 {
+		t.Errorf("replay -traffic with an unwritable -cpuprofile exited %d, want 1", code)
 	}
 }

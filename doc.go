@@ -23,6 +23,11 @@
 //     from the same primitives (new scenarios without code changes),
 //     including per-phase node subsets and zipf/explicit page-popularity
 //     distributions
+//   - internal/traffic — open-loop multi-tenant traffic scenarios
+//     layered on specs: named clients with rate fractions, deterministic
+//     arrival processes (poisson/gamma/weibull), time-varying load
+//     shapes, and an arrival-time merge into one replayable stream set
+//     with per-record client attribution (per-tenant stats/telemetry)
 //   - internal/tracefile — the binary trace capture/replay format
 //     (streaming writer, lazy demuxing reader with record-level seeking
 //     that skips whole compressed chunks undecoded, live-simulation tee,

@@ -164,6 +164,9 @@ func (h *Harness) simulate(j Job) (*stats.Run, error) {
 	if h.Telemetry.Enabled() {
 		opts = append(opts, machine.WithTelemetry(h.Telemetry))
 	}
+	if w.Attribution != nil {
+		opts = append(opts, machine.WithAttribution(w.Attribution))
+	}
 	m, err := machine.New(j.Sys, opts...)
 	if err != nil {
 		return nil, err

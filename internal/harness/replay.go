@@ -9,6 +9,7 @@ import (
 	"rnuma/internal/machine"
 	"rnuma/internal/stats"
 	"rnuma/internal/tracefile"
+	"rnuma/internal/workloads"
 )
 
 // ReplayTrace runs one recorded trace through a machine of its recorded
@@ -58,6 +59,40 @@ func NewTraceMachine(h tracefile.Header, sys config.System, opts ...machine.Opti
 	all := append([]machine.Option{machine.WithHomes(h.HomeFunc()), machine.WithPages(h.SharedPages)}, opts...)
 	m, err := machine.New(sys, all...)
 	return m, sys, err
+}
+
+// RunWorkload runs one built workload through a machine shaped by its
+// sizing config: the protocol, cache sizes, threshold, and costs come
+// from sys, the shape from cfg, and the page placement and attribution
+// from the workload itself. Like ReplayTrace it bypasses the memo cache —
+// it is the CLIs' one-shot path for compiled scenarios.
+func RunWorkload(w *workloads.Workload, cfg workloads.Config, sys config.System, opts ...machine.Option) (*stats.Run, error) {
+	sys.Geometry = cfg.Geometry
+	sys.Nodes = cfg.Nodes
+	sys.CPUsPerNode = cfg.CPUsPerNode
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	all := make([]machine.Option, 0, len(opts)+3)
+	all = append(all, machine.WithHomes(w.Homes), machine.WithPages(w.SharedPages))
+	if w.Attribution != nil {
+		all = append(all, machine.WithAttribution(w.Attribution))
+	}
+	all = append(all, opts...)
+	m, err := machine.New(sys, all...)
+	if err != nil {
+		return nil, err
+	}
+	run, err := m.Run(w.Streams)
+	if err != nil {
+		return nil, err
+	}
+	if w.Check != nil {
+		if err := w.Check(); err != nil {
+			return nil, err
+		}
+	}
+	return run, nil
 }
 
 // ReplayTraceFile is ReplayTrace over a trace file on disk.

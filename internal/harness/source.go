@@ -5,9 +5,11 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"rnuma/internal/spec"
 	"rnuma/internal/tracefile"
+	"rnuma/internal/traffic"
 	"rnuma/internal/workloads"
 )
 
@@ -203,6 +205,77 @@ func RetargetedTraceFileSource(path string, spec tracefile.RetargetSpec) (Source
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return src, nil
+}
+
+// ---------------------------------------------------------------------
+
+// TrafficScenarioSource serves a compiled multi-tenant traffic scenario
+// (the concrete Source so callers can reach the compiled Scenario). The
+// scenario is compiled once at registration (for one machine shape) and
+// handed out as fresh streams per Load.
+type TrafficScenarioSource struct {
+	sc  *traffic.Scenario
+	key string
+}
+
+// TrafficSource compiles an in-memory traffic spec for the given machine
+// configuration and wraps the scenario as a workload source. The memo key
+// combines the compiled streams' canonical hash (so two specs compiling
+// to the same scenario share simulations, like trace sources) with the
+// spec content hash (the attribution split is not part of the encoded
+// streams, but it does shape per-client results).
+func TrafficSource(data []byte, baseDir string, cfg workloads.Config) (*TrafficScenarioSource, error) {
+	s, err := traffic.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := traffic.Compile(s, cfg, baseDir)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if _, _, err := sc.Encode(&buf); err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	sum, _, err := tracefile.CanonicalHash(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	specSum := sha256.Sum256(data)
+	return &TrafficScenarioSource{
+		sc:  sc,
+		key: fmt.Sprintf("traffic:%s:%x:%x", sc.Name, sum[:8], specSum[:8]),
+	}, nil
+}
+
+// TrafficFileSource is TrafficSource for a traffic spec on disk; phase
+// paths resolve relative to the spec file's directory.
+func TrafficFileSource(path string, cfg workloads.Config) (*TrafficScenarioSource, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	src, err := TrafficSource(data, filepath.Dir(path), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return src, nil
+}
+
+func (t *TrafficScenarioSource) Name() string { return t.sc.Name }
+func (t *TrafficScenarioSource) Key() string  { return t.key }
+
+// Scenario exposes the compiled scenario (CLIs reuse the compilation for
+// reporting and export).
+func (t *TrafficScenarioSource) Scenario() *traffic.Scenario { return t.sc }
+
+func (t *TrafficScenarioSource) Load(cfg workloads.Config) (*workloads.Workload, error) {
+	want := t.sc.Cfg
+	if cfg.Geometry != want.Geometry || cfg.Nodes != want.Nodes || cfg.CPUsPerNode != want.CPUsPerNode {
+		return nil, fmt.Errorf("harness: traffic scenario %q compiled for %dx%d %v, machine wants %dx%d %v",
+			t.sc.Name, want.Nodes, want.CPUsPerNode, want.Geometry, cfg.Nodes, cfg.CPUsPerNode, cfg.Geometry)
+	}
+	return t.sc.Workload(), nil
 }
 
 func (t *traceSource) Name() string { return t.hdr.Name }

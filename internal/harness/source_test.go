@@ -12,6 +12,7 @@ import (
 	"rnuma/internal/config"
 	"rnuma/internal/machine"
 	"rnuma/internal/stats"
+	"rnuma/internal/telemetry"
 	"rnuma/internal/tracefile"
 	"rnuma/internal/workloads"
 )
@@ -360,5 +361,146 @@ func TestSeedReproducibility(t *testing.T) {
 	}
 	if a.ExecCycles == b.ExecCycles {
 		t.Error("seed change on one harness returned the cached run")
+	}
+}
+
+const testTrafficScenario = `{
+  "name": "mix-test",
+  "clients": [
+    {"name": "steady", "rate_fraction": 0.7,
+     "arrival": {"process": "poisson"},
+     "phases": [{"spec": "w.json"}]},
+    {"name": "bursty", "rate_fraction": 0.3,
+     "arrival": {"process": "gamma", "cv": 3},
+     "phases": [{"spec": "w.json"}]}
+  ]
+}`
+
+// writeTrafficScenario drops a scenario plus its phase spec into a temp
+// dir and returns the scenario path.
+func writeTrafficScenario(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "w.json"), []byte(testSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "mix.json")
+	if err := os.WriteFile(path, []byte(testTrafficScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTrafficSourceThroughHarness(t *testing.T) {
+	path := writeTrafficScenario(t)
+	cfg := workloads.DefaultConfig()
+	cfg.Scale = 0.05
+	src, err := TrafficFileSource(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Name() != "mix-test" {
+		t.Fatalf("source name = %q", src.Name())
+	}
+	if !strings.HasPrefix(src.Key(), "traffic:mix-test:") {
+		t.Fatalf("source key %q not content-derived", src.Key())
+	}
+	// The key is a pure function of the spec + shape: an independent
+	// compilation of the same file must memoize identically.
+	src2, err := TrafficFileSource(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Key() != src2.Key() {
+		t.Errorf("two compilations of one scenario produced keys %q vs %q", src.Key(), src2.Key())
+	}
+	// A scenario compiled for one shape refuses to load on another.
+	bad := cfg
+	bad.Nodes = 4
+	if _, err := src.Load(bad); err == nil {
+		t.Error("Load accepted a machine shape the scenario was not compiled for")
+	}
+
+	h := New(0.05)
+	if err := h.Register(src); err != nil {
+		t.Fatal(err)
+	}
+	run, err := h.Run("mix-test", config.Base(config.RNUMA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Clients) != 2 || run.Clients[0].Name != "steady" {
+		t.Fatalf("run carries client rows %+v, want steady+bursty", run.Clients)
+	}
+	if run.Clients[0].Counters.Refs+run.Clients[1].Counters.Refs != run.Refs {
+		t.Error("per-client refs do not sum to the machine total")
+	}
+}
+
+// TestTrafficParallelMatchesSerial pins the scenario determinism gate:
+// the same scenario prefetched across 8 workers must produce runs (and
+// timelines, including the per-client interval splits) bit-identical to
+// a serial harness.
+func TestTrafficParallelMatchesSerial(t *testing.T) {
+	path := writeTrafficScenario(t)
+	cfg := workloads.DefaultConfig()
+	cfg.Scale = 0.05
+	systems := []config.System{
+		config.Base(config.CCNUMA), config.Base(config.SCOMA),
+		config.Base(config.RNUMA), config.Ideal(),
+	}
+	collect := func(workers int) []*stats.Run {
+		src, err := TrafficFileSource(path, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := New(0.05)
+		h.Workers = workers
+		h.Telemetry = telemetry.Config{Window: 4096}
+		if err := h.Register(src); err != nil {
+			t.Fatal(err)
+		}
+		h.Prefetch(NewPlan().AddRuns([]string{src.Name()}, systems...))
+		runs := make([]*stats.Run, len(systems))
+		for i, sys := range systems {
+			if runs[i], err = h.Run(src.Name(), sys); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return runs
+	}
+	serial, parallel := collect(1), collect(8)
+	for i := range systems {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("system %s: serial and 8-worker runs differ", systems[i].Name)
+		}
+		if serial[i].Timeline == nil || len(serial[i].Timeline.Clients) != 2 {
+			t.Errorf("system %s: timeline missing per-client capture", systems[i].Name)
+		}
+	}
+}
+
+func TestTrafficSourceErrors(t *testing.T) {
+	cfg := workloads.DefaultConfig()
+	cfg.Scale = 0.05
+	if _, err := TrafficFileSource(filepath.Join(t.TempDir(), "nope.json"), cfg); err == nil {
+		t.Error("TrafficFileSource accepted a missing file")
+	}
+	if _, err := TrafficSource([]byte(`{"name":`), "", cfg); err == nil {
+		t.Error("TrafficSource accepted truncated JSON")
+	}
+	// A parseable scenario whose phase file does not exist fails at
+	// compile time, not at simulation time.
+	missing := `{"name": "m", "clients": [{"name": "a", "rate_fraction": 1,
+		"arrival": {"process": "poisson"}, "phases": [{"spec": "absent.json"}]}]}`
+	if _, err := TrafficSource([]byte(missing), t.TempDir(), cfg); err == nil {
+		t.Error("TrafficSource accepted a scenario with a missing phase file")
+	}
+	src, err := TrafficFileSource(writeTrafficScenario(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc := src.Scenario(); sc == nil || sc.Name != src.Name() {
+		t.Errorf("Scenario() = %+v, want the compiled scenario named %q", sc, src.Name())
 	}
 }

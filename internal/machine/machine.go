@@ -96,6 +96,16 @@ type Machine struct {
 	probe     *telemetry.Probe
 	probeNext int64
 
+	// Per-client attribution (nil for single-tenant runs): the RLE span
+	// cursors track which traffic client issued each CPU's next record,
+	// and every reference charges its counter deltas to exactly one
+	// client, so the per-client totals sum to the machine-level counters
+	// by construction.
+	attr         *trace.Attribution
+	attrCur      []attrCursor
+	clientTotals []telemetry.Counters
+	attrPrev     telemetry.Counters
+
 	// naiveCounting is an ablation switch: feed the R-NUMA counters on
 	// every remote fetch instead of only on refetches, deliberately
 	// breaking Section 3.1's capacity-vs-coherence distinction.
@@ -221,6 +231,60 @@ func WithTelemetry(cfg telemetry.Config) Option {
 	}
 }
 
+// attrCursor walks one CPU's attribution spans record by record.
+type attrCursor struct {
+	spans []trace.ClientSpan
+	idx   int   // next span to load
+	left  int64 // records remaining in the loaded span
+}
+
+// WithAttribution attaches per-client reference attribution (compiled
+// multi-tenant scenarios): every processed record advances its CPU's span
+// cursor, and each reference's counter deltas are charged to the client
+// that issued it. The resulting per-client totals land in stats.Run.Clients
+// and — when a telemetry probe is attached — in each interval's PerClient
+// split. A nil attribution is a no-op.
+func WithAttribution(a *trace.Attribution) Option {
+	return func(m *Machine) {
+		if a == nil {
+			return
+		}
+		m.attr = a
+		m.clientTotals = make([]telemetry.Counters, len(a.Clients))
+		m.attrCur = make([]attrCursor, len(m.cpus))
+		for i := range m.attrCur {
+			if i < len(a.Spans) {
+				m.attrCur[i].spans = a.Spans[i]
+			}
+		}
+	}
+}
+
+// attrAdvance consumes one record from the CPU's span cursor and returns
+// the client it belongs to. Exhaustion is an internal invariant violation:
+// the compiler emits spans covering every record of every stream.
+func (m *Machine) attrAdvance(cpu int) int32 {
+	cur := &m.attrCur[cpu]
+	if cur.left == 0 {
+		if cur.idx >= len(cur.spans) {
+			panic(fmt.Sprintf("machine: attribution spans for cpu %d exhausted", cpu))
+		}
+		cur.left = cur.spans[cur.idx].N
+		cur.idx++
+	}
+	cur.left--
+	return cur.spans[cur.idx-1].Client
+}
+
+// attrCharge charges the counter movement since the previous reference to
+// the client that issued the one just processed.
+func (m *Machine) attrCharge(cpu int) {
+	id := m.attrAdvance(cpu)
+	cur := m.counterSample()
+	m.clientTotals[id].Add(cur.Sub(m.attrPrev))
+	m.attrPrev = cur
+}
+
 // New builds a machine for the given system configuration.
 func New(sys config.System, opts ...Option) (*Machine, error) {
 	if err := sys.Validate(); err != nil {
@@ -322,6 +386,17 @@ func (m *Machine) Start(streams []trace.Stream) error {
 	}
 	if len(streams) != len(m.cpus) {
 		return fmt.Errorf("machine: %d streams for %d CPUs", len(streams), len(m.cpus))
+	}
+	if m.attr != nil {
+		if err := m.attr.Validate(); err != nil {
+			return err
+		}
+		if len(m.attr.Spans) != len(m.cpus) {
+			return fmt.Errorf("machine: attribution covers %d CPUs, machine has %d", len(m.attr.Spans), len(m.cpus))
+		}
+		if m.probe != nil {
+			m.probe.EnableClients(m.attr.Clients)
+		}
 	}
 	m.bind(streams)
 	for _, c := range m.cpus {
@@ -480,6 +555,11 @@ func (m *Machine) loop(pauseRefs int64, pauseAt uint32, pauseCounter bool) (done
 			}
 		}
 		if ref.Barrier {
+			if m.attr != nil {
+				// Barriers advance the span cursor (they are records) but
+				// move no windowed counter, so there is nothing to charge.
+				m.attrAdvance(c.Global)
+			}
 			q.Remove(a)
 			c.AtBarrier = true
 			m.waiting = append(m.waiting, c)
@@ -492,6 +572,9 @@ func (m *Machine) loop(pauseRefs int64, pauseAt uint32, pauseCounter bool) (done
 		a.Clock += lat
 		c.Refs++
 		q.Update(a)
+		if m.attr != nil {
+			m.attrCharge(c.Global)
+		}
 		if m.run.Refs >= m.probeNext {
 			m.probeFlush()
 		}
@@ -502,7 +585,11 @@ func (m *Machine) loop(pauseRefs int64, pauseAt uint32, pauseCounter bool) (done
 // count. Kept out of loop's body so the probe-off hot path stays a single
 // compare with no call.
 func (m *Machine) probeFlush() {
-	m.probe.Flush(m.counterSample(), m.run.Refs)
+	if m.attr != nil {
+		m.probe.FlushClients(m.counterSample(), m.run.Refs, m.clientTotals)
+	} else {
+		m.probe.Flush(m.counterSample(), m.run.Refs)
+	}
 	m.probeNext = m.probe.NextBoundary()
 }
 
@@ -533,7 +620,13 @@ func (m *Machine) finalize() {
 	if m.probe != nil {
 		// Close the trailing partial window (a no-op if the run ended
 		// exactly on a boundary).
-		m.probe.Flush(m.counterSample(), m.run.Refs)
+		m.probeFlush()
+	}
+	if m.attr != nil {
+		m.run.Clients = make([]stats.ClientStats, len(m.attr.Clients))
+		for i, name := range m.attr.Clients {
+			m.run.Clients[i] = stats.ClientStats{Name: name, Counters: m.clientTotals[i]}
+		}
 	}
 	var exec int64
 	for _, c := range m.cpus {

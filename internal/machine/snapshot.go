@@ -137,6 +137,9 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 	if m.verify {
 		return nil, fmt.Errorf("machine: Snapshot with verification enabled is unsupported")
 	}
+	if m.attr != nil {
+		return nil, fmt.Errorf("machine: Snapshot of an attributed (multi-tenant) run is unsupported")
+	}
 	s := &Snapshot{
 		Sys:           m.sys,
 		NaiveCounting: m.naiveCounting,

@@ -266,6 +266,27 @@ func Model(w io.Writer, p model.Params) {
 	}
 }
 
+// ClientTable renders the per-tenant counter split of a multi-tenant run
+// (a no-op for runs without attribution). The rows sum exactly to the
+// machine-level counters, since attribution charges every reference to
+// exactly one client.
+func ClientTable(w io.Writer, r *stats.Run) {
+	if len(r.Clients) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "CLIENTS — per-tenant counter split (rows sum to the machine totals)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-12s %12s %11s %10s %10s %8s %8s %11s\n",
+		"client", "refs", "l1hit", "remote", "refetch", "reloc", "repl", "remote/ref")
+	fmt.Fprintln(w, strings.Repeat("-", 88))
+	for _, c := range r.Clients {
+		ct := c.Counters
+		fmt.Fprintf(w, "%-12s %12d %11d %10d %10d %8d %8d %10.2f%%\n",
+			c.Name, ct.Refs, ct.L1Hits, ct.RemoteFetches, ct.Refetches,
+			ct.Relocations, ct.Replacements, 100*stats.Ratio(ct.RemoteFetches, ct.Refs))
+	}
+}
+
 // RunSummary renders one run's counters (the rnuma-sim tool output).
 func RunSummary(w io.Writer, name string, r *stats.Run) {
 	fmt.Fprintf(w, "run: %s\n", name)

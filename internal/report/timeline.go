@@ -99,6 +99,20 @@ func Timeline(w io.Writer, name string, tl *telemetry.Timeline) {
 	fmt.Fprintf(w, "refetch |%s|\n", spark(series(func(c telemetry.Counters) int64 { return c.Refetches }), sparkWidth))
 	fmt.Fprintf(w, "reloc   |%s|\n", spark(series(func(c telemetry.Counters) int64 { return c.Relocations }), sparkWidth))
 
+	if len(tl.Clients) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "per-client remote fetches:")
+		for ci, name := range tl.Clients {
+			vals := make([]int64, len(tl.Intervals))
+			for i, iv := range tl.Intervals {
+				if ci < len(iv.PerClient) {
+					vals[i] = iv.PerClient[ci].RemoteFetches
+				}
+			}
+			fmt.Fprintf(w, "  %-10s |%s|\n", name, spark(vals, sparkWidth))
+		}
+	}
+
 	relocationBursts(w, tl)
 	trafficMatrix(w, tl)
 }

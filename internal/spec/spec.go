@@ -317,6 +317,9 @@ func (s *Spec) Validate() error {
 			if st.Hot < 0 || st.Density < 0 || st.Repeats < 0 || st.Gap < 0 {
 				return fmt.Errorf("%s: negative field", where)
 			}
+			if n := staticSelectable(st, r); n > 0 && st.Hot > n {
+				return fmt.Errorf("%s: hot %d exceeds the %d selectable pages of region %q", where, st.Hot, n, r.Name)
+			}
 			if st.Gap > 0xFFFF {
 				return fmt.Errorf("%s: gap %d overflows 16 bits", where, st.Gap)
 			}
@@ -365,6 +368,24 @@ func validatePopular(st Step) error {
 		return fmt.Errorf("unknown dist %q (want zipf or explicit)", st.Dist)
 	}
 	return nil
+}
+
+// staticSelectable returns the step's selection size when it is knowable
+// without a machine config: a global region targeted whole, or a node
+// region targeted at a single node's slice (own/neighbor). Selections
+// whose size depends on the node count (all/all-remote on node regions,
+// share on global ones) return 0 and are sized at build time instead.
+func staticSelectable(st Step, r Region) int {
+	if r.Placement == "global" {
+		if st.From == "" || st.From == "all" {
+			return r.Pages
+		}
+		return 0
+	}
+	if st.From == "" || st.From == "own" || strings.HasPrefix(st.From, "neighbor:") {
+		return r.Pages
+	}
+	return 0
 }
 
 // fromSel is a parsed From selector.
@@ -457,8 +478,10 @@ func (s *Spec) Build(cfg workloads.Config) (*workloads.Workload, error) {
 	return b.Finish(s.Name, desc, "(spec)"), nil
 }
 
-// selection resolves the pages a node targets for a step.
-func selection(b *workloads.Builder, cfg workloads.Config, br *builtRegion, sel fromSel, st Step, n addr.NodeID) []addr.PageNum {
+// selection resolves the pages a node targets for a step. A hot count
+// exceeding the selection is an error, not a silent no-op: the knob names
+// a working-set size, and a typo'd one must not quietly mean "all pages".
+func selection(b *workloads.Builder, cfg workloads.Config, br *builtRegion, sel fromSel, st Step, n addr.NodeID) ([]addr.PageNum, error) {
 	var pages []addr.PageNum
 	switch sel.kind {
 	case "all":
@@ -480,7 +503,10 @@ func selection(b *workloads.Builder, cfg workloads.Config, br *builtRegion, sel 
 			pages = append(pages, br.perNode[b.Neighbor(n, d)]...)
 		}
 	}
-	if st.Hot > 0 && st.Hot < len(pages) {
+	if st.Hot > 0 {
+		if st.Hot > len(pages) {
+			return nil, fmt.Errorf("step %q on region %q: hot %d exceeds the %d selected pages", st.Op, st.Region, st.Hot, len(pages))
+		}
 		pages = pages[:st.Hot]
 	}
 	if st.Shuffle {
@@ -488,7 +514,7 @@ func selection(b *workloads.Builder, cfg workloads.Config, br *builtRegion, sel 
 		b.Rand().Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
 		pages = shuffled
 	}
-	return pages
+	return pages, nil
 }
 
 // phaseNodes resolves a phase's node subset against the machine config
@@ -542,7 +568,10 @@ func applyStep(b *workloads.Builder, cfg workloads.Config, regions map[string]*b
 		sweeps = 1
 	}
 	for _, n := range nodes {
-		pages := selection(b, cfg, br, sel, st, n)
+		pages, err := selection(b, cfg, br, sel, st, n)
+		if err != nil {
+			return err
+		}
 		switch st.Op {
 		case "sweep":
 			b.Sweep(n, pages, density, repeats, st.Write, st.Gap)

@@ -376,3 +376,106 @@ func TestExampleSpecs(t *testing.T) {
 		})
 	}
 }
+
+// specForFrom builds a one-step sweep spec with the given from selector.
+func specForFrom(from string, hot int) string {
+	st := fmt.Sprintf(`{"op": "sweep", "region": "a", "from": %q, "density": 4}`, from)
+	if from == "" {
+		st = `{"op": "sweep", "region": "a", "density": 4}`
+	}
+	if hot > 0 {
+		st = st[:len(st)-1] + fmt.Sprintf(`, "hot": %d}`, hot)
+	}
+	return fmt.Sprintf(`{
+	  "name": "fromtest",
+	  "regions": [{"name": "a", "pages": 4, "placement": "node"}],
+	  "phases": [{"steps": [%s]}]
+	}`, st)
+}
+
+// TestNeighborWraparound pins the ring semantics of from "neighbor:<d>"
+// when d reaches or exceeds the node count: distances wrap modulo the
+// ring, and a distance that is a multiple of the node count degenerates
+// to the CPU's own node.
+func TestNeighborWraparound(t *testing.T) {
+	cfg := testCfg() // 4 nodes
+	build := func(from string) [][]trace.Ref {
+		t.Helper()
+		s, err := Parse([]byte(specForFrom(from, 0)))
+		if err != nil {
+			t.Fatalf("from %q: %v", from, err)
+		}
+		w, err := s.Build(cfg)
+		if err != nil {
+			t.Fatalf("from %q: %v", from, err)
+		}
+		return drain(w)
+	}
+	same := func(a, b [][]trace.Ref) bool {
+		for c := range a {
+			if len(a[c]) != len(b[c]) {
+				return false
+			}
+			for i := range a[c] {
+				if a[c][i] != b[c][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !same(build("neighbor:5"), build("neighbor:1")) {
+		t.Error("neighbor:5 on 4 nodes should equal neighbor:1 (ring wrap)")
+	}
+	if !same(build("neighbor:4"), build("own")) {
+		t.Error("neighbor:4 on 4 nodes should equal own (full loop)")
+	}
+	if !same(build("neighbor:8"), build("own")) {
+		t.Error("neighbor:8 on 4 nodes should equal own (two full loops)")
+	}
+	if same(build("neighbor:1"), build("own")) {
+		t.Error("neighbor:1 should differ from own (sanity)")
+	}
+}
+
+// TestHotExceedsSelection pins the hot-set sizing contract: a hot set
+// larger than the step's selectable pages is an error, never a silent
+// "all pages" degrade — statically in Validate when the selection size is
+// machine-independent, otherwise at Build.
+func TestHotExceedsSelection(t *testing.T) {
+	cfg := testCfg() // 4 nodes
+
+	// Static: own-node sweep over a 4-page region selects 4 pages.
+	s, err := Parse([]byte(specForFrom("own", 5)))
+	if err == nil {
+		err = fmt.Errorf("Parse accepted it")
+	}
+	if !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("hot 5 on a 4-page own selection: got %v, want a hot-exceeds error from Validate", err)
+	}
+	// hot == selection size is the boundary and must pass.
+	s, err = Parse([]byte(specForFrom("own", 4)))
+	if err != nil {
+		t.Fatalf("hot 4 on a 4-page selection must validate: %v", err)
+	}
+	if _, err := s.Build(cfg); err != nil {
+		t.Errorf("hot 4 on a 4-page selection must build: %v", err)
+	}
+
+	// Machine-dependent: from "all" on a node region selects pages×nodes,
+	// so Validate cannot size it — Build must reject the oversized hot set.
+	s, err = Parse([]byte(specForFrom("all", 17)))
+	if err != nil {
+		t.Fatalf("hot 17 over from=all is machine-dependent and must pass Validate: %v", err)
+	}
+	if _, err := s.Build(cfg); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("hot 17 over 16 selected pages: Build returned %v, want a hot-exceeds error", err)
+	}
+	s, err = Parse([]byte(specForFrom("all", 16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Build(cfg); err != nil {
+		t.Errorf("hot 16 over 16 selected pages must build: %v", err)
+	}
+}

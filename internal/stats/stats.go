@@ -76,6 +76,19 @@ type Run struct {
 	// so memoization, snapshots, and fork sweeps carry it alongside the
 	// counters it windows; Diff ignores it (non-int64 field).
 	Timeline *telemetry.Timeline
+
+	// Clients splits the run's windowed counters per traffic client, in
+	// scenario order; nil unless the workload carried attribution. The
+	// per-client Counters sum exactly to the machine-level fields they
+	// mirror (attribution charges every reference to exactly one client).
+	// Diff ignores it (non-int64 field).
+	Clients []ClientStats
+}
+
+// ClientStats is one traffic client's share of a multi-tenant run.
+type ClientStats struct {
+	Name     string
+	Counters telemetry.Counters
 }
 
 // NewRun returns an empty, ready-to-accumulate Run.
@@ -99,6 +112,9 @@ func (r *Run) Clone() *Run {
 		c.PerNodeReplacements[k] = v
 	}
 	c.Timeline = r.Timeline.Clone()
+	if r.Clients != nil {
+		c.Clients = append([]ClientStats(nil), r.Clients...)
+	}
 	return &c
 }
 

@@ -79,6 +79,26 @@ func (c Counters) Sub(prev Counters) Counters {
 	}
 }
 
+// Add accumulates the component-wise sum c + d in place (per-client
+// attribution accumulates window deltas into per-tenant totals).
+func (c *Counters) Add(d Counters) {
+	c.Refs += d.Refs
+	c.L1Hits += d.L1Hits
+	c.LocalFills += d.LocalFills
+	c.BlockCacheHits += d.BlockCacheHits
+	c.PageCacheHits += d.PageCacheHits
+	c.RemoteFetches += d.RemoteFetches
+	c.Refetches += d.Refetches
+	c.Upgrades += d.Upgrades
+	c.PageFaults += d.PageFaults
+	c.Allocations += d.Allocations
+	c.Replacements += d.Replacements
+	c.Relocations += d.Relocations
+	c.Demotions += d.Demotions
+	c.InvalsSent += d.InvalsSent
+	c.WritebacksHome += d.WritebacksHome
+}
+
 // Interval is one window of the series: the counter deltas accumulated
 // over references (StartRef, EndRef], plus the window's remote-traffic
 // matrix when any remote fetch occurred.
@@ -101,6 +121,11 @@ type Interval struct {
 	// to home dst). Nil when the window saw no remote fetch, so that
 	// quiet windows cost nothing to store or compare.
 	Traffic []int64 `json:"traffic,omitempty"`
+
+	// PerClient splits Delta by traffic client, indexed like
+	// Timeline.Clients. Nil unless the run carried attribution (the
+	// single-tenant series is unchanged by the multi-tenant extension).
+	PerClient []Counters `json:"perClient,omitempty"`
 }
 
 // TrafficAt returns the window's remote-fetch count from requester src to
@@ -136,6 +161,10 @@ type Timeline struct {
 	Nodes     int        `json:"nodes"`
 	Intervals []Interval `json:"intervals"`
 	Events    []Event    `json:"events"`
+
+	// Clients names the traffic clients the intervals' PerClient slices
+	// index; nil for single-tenant runs.
+	Clients []string `json:"clients,omitempty"`
 }
 
 // Clone returns a deep copy: the interval slice, each interval's traffic
@@ -145,12 +174,18 @@ func (t *Timeline) Clone() *Timeline {
 		return nil
 	}
 	c := &Timeline{Window: t.Window, Nodes: t.Nodes}
+	if t.Clients != nil {
+		c.Clients = append([]string(nil), t.Clients...)
+	}
 	if t.Intervals != nil {
 		c.Intervals = make([]Interval, len(t.Intervals))
 		for i, iv := range t.Intervals {
 			c.Intervals[i] = iv
 			if iv.Traffic != nil {
 				c.Intervals[i].Traffic = append([]int64(nil), iv.Traffic...)
+			}
+			if iv.PerClient != nil {
+				c.Intervals[i].PerClient = append([]Counters(nil), iv.PerClient...)
 			}
 		}
 	}
@@ -189,6 +224,10 @@ type Probe struct {
 	next         int64
 	traffic      []int64
 	trafficDirty bool
+
+	// Per-client cursor (multi-tenant runs): cumulative per-client
+	// samples at the last flushed boundary. Nil unless EnableClients ran.
+	lastClients []Counters
 }
 
 // NewProbe builds a probe for a machine with the given node count. The
@@ -260,6 +299,33 @@ func (p *Probe) Flush(cur Counters, endRef int64) {
 	p.last = cur
 	p.lastRef = endRef
 	p.next = endRef + p.window
+}
+
+// EnableClients switches the probe to multi-tenant mode: the timeline
+// names the clients and every subsequent flush must go through
+// FlushClients so each interval carries its per-client split.
+func (p *Probe) EnableClients(names []string) {
+	p.tl.Clients = append([]string(nil), names...)
+	p.lastClients = make([]Counters, len(names))
+}
+
+// FlushClients is Flush for attributed runs: clients holds the machine's
+// cumulative per-client counter samples (indexed like the names passed to
+// EnableClients), and the appended interval's PerClient slice gets the
+// per-client window deltas. Like Flush, a flush at the current boundary
+// is a no-op.
+func (p *Probe) FlushClients(cur Counters, endRef int64, clients []Counters) {
+	n := len(p.tl.Intervals)
+	p.Flush(cur, endRef)
+	if len(p.tl.Intervals) == n {
+		return
+	}
+	iv := &p.tl.Intervals[n]
+	iv.PerClient = make([]Counters, len(clients))
+	for i := range clients {
+		iv.PerClient[i] = clients[i].Sub(p.lastClients[i])
+	}
+	copy(p.lastClients, clients)
 }
 
 // ProbeState is the probe's serializable cursor, carried in machine

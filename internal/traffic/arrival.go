@@ -1,0 +1,126 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+)
+
+// trafficSeed is the package's built-in RNG perturbation, XORed with the
+// spec seed, the machine config's seed, and the client-name hash. It
+// differs from the builder seeds the workload layers use, so a traffic
+// arrival stream never aliases a workload's generation stream.
+const trafficSeed = 0x7AFF1C
+
+// laneStride decorrelates the per-CPU lanes of one client (the golden
+// ratio in 64-bit fixed point, the usual sequence-splitting constant).
+const laneStride = uint64(0x9E3779B97F4A7C15)
+
+// fnv1a64 is the FNV-1a hash of the client name. Deriving the client seed
+// from the *name* — never the index — is what keeps a client's arrival
+// sequence stable when other clients are added or removed.
+func fnv1a64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// clientSeed derives a client's base RNG seed from the spec and config
+// seeds and the client's name.
+func clientSeed(specSeed, cfgSeed int64, name string) int64 {
+	return trafficSeed ^ specSeed ^ cfgSeed ^ int64(fnv1a64(name))
+}
+
+// laneRNG returns the arrival RNG for one (client, cpu) lane.
+func laneRNG(clientSeed int64, cpu int) *rand.Rand {
+	return rand.New(rand.NewSource(clientSeed ^ int64(uint64(cpu+1)*laneStride)))
+}
+
+// sampler returns the arrival process's inter-arrival sampler, normalized
+// to mean 1 (the compiler scales by mean_gap / effective rate). The
+// Arrival must have been validated.
+func sampler(a Arrival) func(*rand.Rand) float64 {
+	switch a.Process {
+	case "poisson":
+		return func(r *rand.Rand) float64 { return r.ExpFloat64() }
+	case "gamma":
+		// Gamma with shape k = 1/cv² and scale 1/k has mean 1 and the
+		// requested coefficient of variation: k < 1 clusters arrivals
+		// into bursts, k > 1 smooths them toward deterministic.
+		k := 1 / (a.CV * a.CV)
+		return func(r *rand.Rand) float64 { return gammaSample(r, k) / k }
+	case "weibull":
+		// Weibull with shape k, scaled so the mean Γ(1+1/k) normalizes
+		// to 1: shape < 1 gives the heavy-tailed gaps of idle periods.
+		k := a.Shape
+		norm := 1 / math.Gamma(1+1/k)
+		return func(r *rand.Rand) float64 {
+			return norm * math.Pow(-math.Log(openUnit(r)), 1/k)
+		}
+	}
+	panic("traffic: sampler on unvalidated arrival process " + a.Process)
+}
+
+// openUnit draws from (0, 1): the inverse-CDF transforms take a log.
+func openUnit(r *rand.Rand) float64 {
+	for {
+		if u := r.Float64(); u > 0 {
+			return u
+		}
+	}
+}
+
+// gammaSample draws from Gamma(k, 1) by Marsaglia-Tsang squeeze, with the
+// standard U^(1/k) boost for k < 1.
+func gammaSample(r *rand.Rand, k float64) float64 {
+	if k < 1 {
+		return gammaSample(r, k+1) * math.Pow(openUnit(r), 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := openUnit(r)
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// multiplier evaluates the load modulation at client progress u in [0, 1),
+// floored away from zero so a deep trough slows a client without ever
+// stalling it.
+func (l *LoadShape) multiplier(u float64) float64 {
+	if l == nil {
+		return 1
+	}
+	m := 1.0
+	if r := l.Ramp; r != nil {
+		over := r.Over
+		if over == 0 {
+			over = 1
+		}
+		f := u / over
+		if f > 1 {
+			f = 1
+		}
+		m *= r.From + (r.To-r.From)*f
+	}
+	if p := l.Period; p != nil {
+		m *= 1 + p.Amplitude*math.Sin(2*math.Pi*(p.Cycles*u+p.Phase))
+	}
+	if m < 1e-9 {
+		m = 1e-9
+	}
+	return m
+}

@@ -81,6 +81,11 @@ type Workload struct {
 	// a trace.Stream (which cannot return an error) would otherwise
 	// silently truncate into a shorter run.
 	Check func() error
+
+	// Attribution, if non-nil, maps every record back to the traffic
+	// client that issued it (compiled multi-tenant scenarios); the
+	// machine splits the run's counters per client when it is present.
+	Attribution *trace.Attribution
 }
 
 // ResolveHomes materializes the workload's home function into a dense
