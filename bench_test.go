@@ -512,7 +512,7 @@ func BenchmarkSnapshotFork(b *testing.B) {
 
 	b.Run("replay-one", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := harness.ReplayTrace(bytes.NewReader(data), sys); err != nil {
+			if _, err := harness.Replay(bytes.NewReader(data), sys); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -520,14 +520,14 @@ func BenchmarkSnapshotFork(b *testing.B) {
 	b.Run("fork-sweep-5", func(b *testing.B) {
 		var refs int64
 		for i := 0; i < b.N; i++ {
-			runs, err := harness.ThresholdForkRuns(data, sys, thresholds)
+			res, err := harness.Replay(bytes.NewReader(data), sys, harness.WithThresholds(thresholds...))
 			if err != nil {
 				b.Fatal(err)
 			}
-			if len(runs) != len(thresholds) {
-				b.Fatalf("%d runs for %d thresholds", len(runs), len(thresholds))
+			if len(res.ByThreshold) != len(thresholds) {
+				b.Fatalf("%d runs for %d thresholds", len(res.ByThreshold), len(thresholds))
 			}
-			refs = runs[64].Refs
+			refs = res.ByThreshold[64].Refs
 		}
 		b.ReportMetric(float64(len(thresholds)), "points")
 		b.ReportMetric(float64(refs), "refs/point")

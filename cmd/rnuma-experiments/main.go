@@ -140,12 +140,12 @@ func main() {
 		}
 		sys, err := config.SystemByName(*diffProto)
 		die(err)
-		a, _, err := harness.ReplayTraceFile(paths[0], sys)
+		a, err := harness.ReplayFile(paths[0], sys)
 		die(err)
-		b, _, err := harness.ReplayTraceFile(paths[1], sys)
+		b, err := harness.ReplayFile(paths[1], sys)
 		die(err)
 		fmt.Printf("diff %s vs %s (%s)\n\n", paths[0], paths[1], sys.Name)
-		report.DeltaTable(os.Stdout, paths[0], paths[1], stats.Diff(a, b), false)
+		report.DeltaTable(os.Stdout, paths[0], paths[1], stats.Diff(a.Run, b.Run), false)
 		return
 	}
 
@@ -283,31 +283,14 @@ func main() {
 	if *exp == "sweep" {
 		axis, err := harness.ParseAxis(*sweepAxis)
 		die(err)
-		if axis == harness.AxisNodes && *sweepVals == "" {
-			// The original node-count sweep keeps its renderer and its
-			// -sweep-nodes spelling.
-			var nodeCounts []int
-			for _, s := range splitList(*sweepNodes) {
-				n, err := strconv.Atoi(s)
-				if err != nil {
-					die(fmt.Errorf("bad -sweep-nodes entry %q", s))
-				}
-				nodeCounts = append(nodeCounts, n)
-			}
-			var (
-				points []harness.SweepPoint
-				name   string
-			)
-			if *sweepTrace != "" {
-				points, name, err = h.NodeSweepFile(*sweepTrace, nodeCounts)
-			} else {
-				points, name, err = h.NodeSweep(record(), nodeCounts)
-			}
-			die(err)
-			report.Sweep(os.Stdout, name, points)
-		} else {
-			sensitivity(axis, *sweepVals)
+		csv := *sweepVals
+		if axis == harness.AxisNodes && csv == "" {
+			// The original node-count sweep keeps its -sweep-nodes
+			// spelling; it now rides the generalized axis engine like
+			// every other sweep.
+			csv = *sweepNodes
 		}
+		sensitivity(axis, csv)
 	}
 	if *exp == "dilate" {
 		sensitivity(harness.AxisDilate, *dilateVals)
@@ -401,13 +384,14 @@ func main() {
 		} else {
 			data, name = record(), *sweepApp
 		}
-		runs, err := harness.ThresholdForkRunsProbe(data, config.Base(config.RNUMA), thresholds, tcfg)
+		res, err := harness.Replay(bytes.NewReader(data), config.Base(config.RNUMA),
+			harness.WithThresholds(thresholds...), harness.WithTelemetry(tcfg))
 		die(err)
 		for i, T := range thresholds {
 			if i > 0 && T == thresholds[i-1] {
 				continue
 			}
-			report.Timeline(os.Stdout, fmt.Sprintf("%s, R-NUMA T=%d", name, T), runs[T].Timeline)
+			report.Timeline(os.Stdout, fmt.Sprintf("%s, R-NUMA T=%d", name, T), res.ByThreshold[T].Timeline)
 			sep()
 		}
 	}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"rnuma/internal/tracefile"
+	"rnuma/internal/workloads"
+)
+
+// writeTrace records a small catalog capture to a temp file.
+func writeTrace(t *testing.T, dir string) string {
+	t.Helper()
+	app, ok := workloads.ByName("fft")
+	if !ok {
+		t.Fatal("fft missing from catalog")
+	}
+	cfg := workloads.DefaultConfig()
+	cfg.Scale = 0.05
+	var buf bytes.Buffer
+	if _, _, err := tracefile.WriteWorkload(&buf, app.Build(cfg), cfg); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fft.trace")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServeLifecycle drives the real daemon loop: flags, disk store,
+// trace preload, listen, serve one request, SIGTERM, clean exit 0.
+func TestServeLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	trace := writeTrace(t, dir)
+	var stderr bytes.Buffer
+	ready := make(chan net.Addr, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-scale", "0.05",
+			"-store-dir", filepath.Join(dir, "store"),
+			"-traces", trace,
+			"-v",
+		}, &stderr, ready)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case code := <-done:
+		t.Fatalf("daemon exited early with %d: %s", code, stderr.String())
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/api/v1/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+	resp, err = http.Get(fmt.Sprintf("http://%s/api/v1/artifacts", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "fft") {
+		t.Errorf("preloaded trace missing from artifact list: %s", body)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+	if !strings.Contains(stderr.String(), "preloaded") {
+		t.Errorf("missing preload log: %s", stderr.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "plain.txt")
+	if err := os.WriteFile(file, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	for _, tc := range []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"bad flag", []string{"-no-such-flag"}, 2},
+		{"store dir is a file", []string{"-store-dir", file}, 1},
+		{"missing trace", []string{"-traces", filepath.Join(dir, "nope.trace")}, 1},
+		{"invalid trace", []string{"-traces", file}, 1},
+		{"address in use", []string{"-addr", ln.Addr().String()}, 1},
+	} {
+		var stderr bytes.Buffer
+		if code := run(tc.args, &stderr, nil); code != tc.code {
+			t.Errorf("%s: exit %d, want %d (stderr: %s)", tc.name, code, tc.code, stderr.String())
+		}
+	}
+}

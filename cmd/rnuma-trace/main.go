@@ -768,15 +768,15 @@ func (c cli) cmdDiffStats(args []string) error {
 	if err != nil {
 		return err
 	}
-	runA, _, err := harness.ReplayTrace(a, sys)
+	resA, err := harness.Replay(a, sys)
 	if err != nil {
 		return fmt.Errorf("%s: %w", paths[0], err)
 	}
-	runB, _, err := harness.ReplayTrace(b, sys)
+	resB, err := harness.Replay(b, sys)
 	if err != nil {
 		return fmt.Errorf("%s: %w", paths[1], err)
 	}
-	d := stats.Diff(runA, runB)
+	d := stats.Diff(resA.Run, resB.Run)
 	fmt.Fprintf(c.stdout, "diffstats %s %s (%s)\n\n", paths[0], paths[1], sys.Name)
 	report.DeltaTable(c.stdout, paths[0], paths[1], d, *verbose)
 	if *tol > 0 {
@@ -1044,12 +1044,12 @@ func (c cli) cmdResume(args []string) error {
 	// Match replay's output: a file trace re-replays on the ideal
 	// machine for the normalization line (stdin can't be read twice).
 	if name != "stdin" && sys.BlockCacheBytes != config.InfiniteBlockCache {
-		base, _, err := harness.ReplayTraceFile(name, config.Ideal())
+		base, err := harness.ReplayFile(name, config.Ideal())
 		if err != nil {
 			return err
 		}
-		if base.ExecCycles > 0 {
-			fmt.Fprintf(c.stdout, "  normalized exec time:  %.3f (vs infinite block cache)\n", run.Normalized(base))
+		if base.Run.ExecCycles > 0 {
+			fmt.Fprintf(c.stdout, "  normalized exec time:  %.3f (vs infinite block cache)\n", run.Normalized(base.Run))
 		}
 	}
 	return nil
@@ -1093,13 +1093,14 @@ func (c cli) cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
-	run, hdr, err := harness.ReplayTrace(r, sys, machine.WithTelemetry(tcfg()))
+	res, err := harness.Replay(r, sys, harness.WithTelemetry(tcfg()))
 	if perr := stop(); err == nil {
 		err = perr
 	}
 	if err != nil {
 		return err
 	}
+	run, hdr := res.Run, res.Header
 	fmt.Fprintf(c.stdout, "trace: %s (workload %s, %d nodes x %d CPUs)\n", name, hdr.Name, hdr.Nodes, hdr.CPUs/hdr.Nodes)
 	report.RunSummary(c.stdout, sys.Name, run)
 	if run.Timeline != nil {
@@ -1113,12 +1114,12 @@ func (c cli) cmdReplay(args []string) error {
 	// A file (unlike stdin) can be replayed a second time for the
 	// ideal-machine normalization every figure uses.
 	if name != "stdin" && sys.BlockCacheBytes != config.InfiniteBlockCache {
-		base, _, err := harness.ReplayTraceFile(name, config.Ideal())
+		base, err := harness.ReplayFile(name, config.Ideal())
 		if err != nil {
 			return err
 		}
-		if base.ExecCycles > 0 {
-			fmt.Fprintf(c.stdout, "  normalized exec time:  %.3f (vs infinite block cache)\n", run.Normalized(base))
+		if base.Run.ExecCycles > 0 {
+			fmt.Fprintf(c.stdout, "  normalized exec time:  %.3f (vs infinite block cache)\n", run.Normalized(base.Run))
 		}
 	}
 	return nil
@@ -1142,7 +1143,7 @@ func (c cli) replayTraffic(path string, cfg workloads.Config,
 	if err != nil {
 		return err
 	}
-	run, err := harness.RunWorkload(sc.Workload(), sc.Cfg, sys, machine.WithTelemetry(tcfg()))
+	run, err := harness.RunWorkload(sc.Workload(), sc.Cfg, sys, harness.WithTelemetry(tcfg()))
 	if perr := stop(); err == nil {
 		err = perr
 	}

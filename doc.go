@@ -69,13 +69,22 @@
 //     snapshot at the last threshold-independent reference, producing
 //     runs bit-identical to independent replays at a fraction of the
 //     wall-clock
+//   - internal/serve — the long-running experiment service behind
+//     cmd/rnuma-serve: content-addressed artifact uploads (traces,
+//     specs, traffic scenarios), replay/sweep/diffstats/experiments
+//     jobs with streamed progress, and text or JSON reports; every job
+//     runs on its own harness over the server's one shared result
+//     store, so repeated and concurrent submissions re-simulate
+//     nothing
 //   - internal/model — the analytical worst-case model (Section 3.2)
 //
 // The harness declares each figure's (application, system) grid as a Plan
 // of Jobs, deduplicates shared configurations (every figure divides by the
 // same ideal baseline), and executes the plan across a worker pool bounded
 // by Harness.Workers (default GOMAXPROCS; the tools expose it as
-// -parallel). Results land in a singleflight memo cache, so concurrent
+// -parallel). Results land in a pluggable singleflight store
+// (Harness.Store — in-memory by default, persisted across processes by
+// NewDiskStore), so concurrent
 // requests for one configuration simulate exactly once and figure assembly
 // — always serial — produces output byte-identical to a serial run. Each
 // simulation owns a fresh Machine whose per-page hot state (homes, sharing

@@ -29,42 +29,40 @@ import (
 // trunk (threshold Tmax > T-1) nor a threshold-T machine has relocated
 // a page: their states are bit-identical up to the pause.
 
-// ThresholdForkRuns replays one recorded trace under R-NUMA at every
+// thresholdForkRuns replays one recorded trace under R-NUMA at every
 // requested relocation threshold, paying for the shared prefix once.
 // sys supplies everything but the threshold (protocol, cache sizes,
 // costs); the machine shape and geometry come from the trace header,
-// exactly as ReplayTrace resolves them. The result maps each threshold
-// to its completed run and is bit-identical to len(thresholds)
-// independent full replays (TestForkReplayIdentity pins this).
-func ThresholdForkRuns(data []byte, sys config.System, thresholds []int) (map[int]*stats.Run, error) {
-	return ThresholdForkRunsProbe(data, sys, thresholds, telemetry.Config{})
-}
-
-// ThresholdForkRunsProbe is ThresholdForkRuns with a telemetry probe
-// attached to the trunk and every fork, so each point's Run carries an
-// interval series and event log bit-identical to a full probed replay.
+// exactly as Replay resolves them. The result maps each threshold to
+// its completed run and is bit-identical to len(thresholds) independent
+// full replays (TestThresholdForkRunsIdentity pins this). It is the
+// WithThresholds arm of Replay — the public surface — and the engine
+// behind threshold-axis sweeps.
 //
-// Fork points generally fall mid-window (the trunk pauses at a counter
-// watermark, not a reference count — running it further to reach a window
-// boundary would be unsound, since a counter could cross the fork's
-// threshold in between). Exactness comes instead from the snapshot
-// carrying the probe's cursor: cumulative counters at the last boundary
-// and the partial traffic matrix, from which the restored fork closes its
-// next window exactly as an uninterrupted replay would.
-func ThresholdForkRunsProbe(data []byte, sys config.System, thresholds []int, tcfg telemetry.Config) (map[int]*stats.Run, error) {
+// When the probe config is enabled, the trunk and every fork carry it,
+// so each point's Run has an interval series and event log
+// bit-identical to a full probed replay. Fork points generally fall
+// mid-window (the trunk pauses at a counter watermark, not a reference
+// count — running it further to reach a window boundary would be
+// unsound, since a counter could cross the fork's threshold in
+// between). Exactness comes instead from the snapshot carrying the
+// probe's cursor: cumulative counters at the last boundary and the
+// partial traffic matrix, from which the restored fork closes its next
+// window exactly as an uninterrupted replay would.
+func thresholdForkRuns(data []byte, sys config.System, thresholds []int, tcfg telemetry.Config) (map[int]*stats.Run, tracefile.Header, error) {
 	if len(thresholds) == 0 {
-		return nil, fmt.Errorf("harness: threshold fork over no values")
+		return nil, tracefile.Header{}, fmt.Errorf("harness: threshold fork over no values")
 	}
 	ts := append([]int(nil), thresholds...)
 	sort.Ints(ts)
 	ts = ts[:uniqInts(ts)]
 	if ts[0] < 1 {
-		return nil, fmt.Errorf("harness: threshold %d must be positive", ts[0])
+		return nil, tracefile.Header{}, fmt.Errorf("harness: threshold %d must be positive", ts[0])
 	}
 
 	d, err := tracefile.NewReader(bytes.NewReader(data))
 	if err != nil {
-		return nil, fmt.Errorf("harness: %w", err)
+		return nil, tracefile.Header{}, fmt.Errorf("harness: %w", err)
 	}
 	hdr := d.Header()
 	tmax := ts[len(ts)-1]
@@ -72,10 +70,10 @@ func ThresholdForkRunsProbe(data []byte, sys config.System, thresholds []int, tc
 	sysMax.Threshold = tmax
 	trunk, _, err := NewTraceMachine(hdr, sysMax, machine.WithTelemetry(tcfg))
 	if err != nil {
-		return nil, err
+		return nil, hdr, err
 	}
 	if err := trunk.Start(d.Streams()); err != nil {
-		return nil, err
+		return nil, hdr, err
 	}
 
 	out := make(map[int]*stats.Run, len(ts))
@@ -84,7 +82,7 @@ func ThresholdForkRunsProbe(data []byte, sys config.System, thresholds []int, tc
 		if !trunkDone {
 			done, err := trunk.RunUntilCounter(uint32(T - 1))
 			if err != nil {
-				return nil, err
+				return nil, hdr, err
 			}
 			trunkDone = done
 		}
@@ -96,22 +94,22 @@ func ThresholdForkRunsProbe(data []byte, sys config.System, thresholds []int, tc
 		}
 		snap, err := trunk.Snapshot()
 		if err != nil {
-			return nil, err
+			return nil, hdr, err
 		}
 		fsys := sys
 		fsys.Threshold = T
 		run, err := forkRun(data, hdr, fsys, snap, tcfg)
 		if err != nil {
-			return nil, fmt.Errorf("harness: fork at T=%d: %w", T, err)
+			return nil, hdr, fmt.Errorf("harness: fork at T=%d: %w", T, err)
 		}
 		out[T] = run
 	}
 	runMax, err := trunk.Finish()
 	if err != nil {
-		return nil, err
+		return nil, hdr, err
 	}
 	if err := d.Err(); err != nil {
-		return nil, err
+		return nil, hdr, err
 	}
 	out[tmax] = runMax
 	for _, T := range ts[:len(ts)-1] {
@@ -119,7 +117,7 @@ func ThresholdForkRunsProbe(data []byte, sys config.System, thresholds []int, tc
 			out[T] = runMax.Clone()
 		}
 	}
-	return out, nil
+	return out, hdr, nil
 }
 
 // forkRun completes one sweep point from a trunk snapshot: a fresh
@@ -166,7 +164,7 @@ func uniqInts(ts []int) int {
 }
 
 // forkThresholdPoints pre-computes a threshold sweep's R-NUMA points
-// with ThresholdForkRuns and inserts them into the memo cache under the
+// with thresholdForkRuns and donates them to the store under the
 // very job keys the sweep assembly reads, so Prefetch and Run find them
 // already done and only the threshold-independent systems (ideal,
 // CC-NUMA, S-COMA — one replay each, shared across all points) still
@@ -188,7 +186,7 @@ func (h *Harness) forkThresholdPoints(data []byte, pts []sweepPoint) error {
 		thresholds = append(thresholds, p.rn.Threshold)
 	}
 	h.logf("forking  %-9s threshold sweep from one trunk at T=%d", pts[0].app, thresholds[len(thresholds)-1])
-	runs, err := ThresholdForkRunsProbe(data, pts[len(pts)-1].rn, thresholds, h.Telemetry)
+	runs, _, err := thresholdForkRuns(data, pts[len(pts)-1].rn, thresholds, h.Telemetry)
 	if err != nil {
 		return err
 	}
@@ -203,27 +201,20 @@ func (h *Harness) forkThresholdPoints(data []byte, pts []sweepPoint) error {
 	return nil
 }
 
-// cached reports whether a job already occupies a memo-cache slot.
+// cached reports whether a job's result is already in the store. An
+// in-flight claim by another harness reports false (Get never blocks),
+// so a concurrent identical sweep may redundantly recompute a trunk —
+// wasted work at worst, never a wrong result, because memoize inserts
+// only into unclaimed slots.
 func (h *Harness) cached(j Job) bool {
-	key := h.jobKey(j)
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	_, ok := h.cache[key]
+	_, ok, _ := h.store().Get(h.KeyFor(j))
 	return ok
 }
 
-// memoize inserts a pre-computed result into the memo cache, so later
+// memoize donates a pre-computed result to the store, so later
 // Run/Prefetch calls for the job read it instead of simulating. An
 // existing slot (completed or in flight) wins: the fork engine never
 // clobbers a result another path produced.
 func (h *Harness) memoize(j Job, run *stats.Run) {
-	key := h.jobKey(j)
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if _, ok := h.cache[key]; ok {
-		return
-	}
-	e := &memoEntry{done: make(chan struct{}), run: run}
-	close(e.done)
-	h.cache[key] = e
+	h.store().Add(h.KeyFor(j), run)
 }

@@ -25,10 +25,11 @@ func TestForkReplayIdentity(t *testing.T) {
 		data := recordCatalog(t, app, scale)
 		for _, p := range []config.Protocol{config.CCNUMA, config.SCOMA, config.RNUMA} {
 			sys := config.Base(p)
-			full, hdr, err := ReplayTrace(bytes.NewReader(data), sys)
+			res, err := Replay(bytes.NewReader(data), sys)
 			if err != nil {
 				t.Fatalf("%s/%v: full replay: %v", app, p, err)
 			}
+			full, hdr := res.Run, res.Header
 
 			d, err := tracefile.NewReader(bytes.NewReader(data))
 			if err != nil {
@@ -72,21 +73,26 @@ func TestThresholdForkRunsIdentity(t *testing.T) {
 	sys := config.Base(config.RNUMA)
 	thresholds := []int{4, 16, 64, 1 << 20}
 
-	runs, err := ThresholdForkRuns(data, sys, thresholds)
+	res, err := Replay(bytes.NewReader(data), sys, WithThresholds(thresholds...))
 	if err != nil {
 		t.Fatal(err)
 	}
+	runs := res.ByThreshold
 	if len(runs) != len(thresholds) {
 		t.Fatalf("got %d runs for %d thresholds", len(runs), len(thresholds))
+	}
+	if res.Run != runs[1<<20] {
+		t.Error("Result.Run is not the largest threshold's run")
 	}
 	var relocated bool
 	for _, T := range thresholds {
 		s := sys
 		s.Threshold = T
-		want, _, err := ReplayTrace(bytes.NewReader(data), s)
+		wantRes, err := Replay(bytes.NewReader(data), s)
 		if err != nil {
 			t.Fatalf("T=%d: %v", T, err)
 		}
+		want := wantRes.Run
 		if !reflect.DeepEqual(want, runs[T]) {
 			t.Errorf("T=%d: forked sweep run differs from independent replay:\n want %+v\n got  %+v", T, want, runs[T])
 		}
@@ -100,10 +106,10 @@ func TestThresholdForkRunsIdentity(t *testing.T) {
 		t.Error("no threshold relocated a page; pick lower thresholds")
 	}
 
-	if _, err := ThresholdForkRuns(data, sys, nil); err == nil {
+	if _, _, err := thresholdForkRuns(data, sys, nil, telemetry.Config{}); err == nil {
 		t.Error("empty threshold list accepted")
 	}
-	if _, err := ThresholdForkRuns(data, sys, []int{0, 16}); err == nil {
+	if _, err := Replay(bytes.NewReader(data), sys, WithThresholds(0, 16)); err == nil {
 		t.Error("threshold 0 accepted")
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"rnuma/internal/addr"
 	"rnuma/internal/config"
@@ -50,26 +51,47 @@ type Harness struct {
 	// lines while Prefetch executes a plan (CLIs pass os.Stderr under
 	// -progress).
 	Progress io.Writer
+	// Store memoizes simulation results (singleflight: exactly one run
+	// per JobKey, even under concurrent requests). New installs a fresh
+	// MemoryStore; replace it before first use to share results across
+	// harnesses (the server gives every request its own Harness — own
+	// Progress/Log — over one shared Store) or to persist them
+	// (DiskStore).
+	Store Store
 
-	mu      sync.Mutex // guards cache and sources
-	logMu   sync.Mutex // serializes progress lines
-	cache   map[string]*memoEntry
+	// srcMu guards the source registry only. It is deliberately separate
+	// from the store's internal locking so registering artifacts never
+	// contends with result lookups: a server can accept uploads while
+	// long simulations are in flight.
+	srcMu   sync.Mutex
+	logMu   sync.Mutex        // serializes progress lines
 	sources map[string]Source // registered spec/trace workloads, by name
-}
 
-// memoEntry is one singleflight cache slot: the first requester runs the
-// simulation and closes done; concurrent requesters wait on done and read
-// the shared result.
-type memoEntry struct {
-	done chan struct{}
-	run  *stats.Run
-	err  error
+	sims atomic.Int64 // simulations this harness executed itself
 }
 
 // New builds a harness.
 func New(scale float64) *Harness {
-	return &Harness{Scale: scale, cache: make(map[string]*memoEntry)}
+	return &Harness{Scale: scale, Store: NewMemoryStore()}
 }
+
+// store returns the harness's Store, installing a MemoryStore on first
+// use for zero-valued harnesses built without New.
+func (h *Harness) store() Store {
+	h.srcMu.Lock()
+	defer h.srcMu.Unlock()
+	if h.Store == nil {
+		h.Store = NewMemoryStore()
+	}
+	return h.Store
+}
+
+// Simulations reports how many simulations this harness has executed
+// itself. Results served by the store — computed earlier, by another
+// harness on the same store, or loaded from disk — are not counted,
+// which is exactly what makes it the server's per-job "new work"
+// accounting.
+func (h *Harness) Simulations() int64 { return h.sims.Load() }
 
 func (h *Harness) logf(format string, args ...any) {
 	if h.Log == nil {
@@ -98,22 +120,20 @@ func (h *Harness) Run(appName string, sys config.System) (*stats.Run, error) {
 	return h.runJob(NewJob(appName, sys))
 }
 
-// runJob executes a job through the singleflight cache: exactly one
-// simulation per key ever runs, even under concurrent requests.
+// runJob executes a job through the singleflight store: exactly one
+// simulation per key ever runs, even under concurrent requests (from
+// this harness or any other harness sharing the store).
 func (h *Harness) runJob(j Job) (*stats.Run, error) {
-	key := h.jobKey(j)
-	h.mu.Lock()
-	if e, ok := h.cache[key]; ok {
-		h.mu.Unlock()
-		<-e.done
-		return e.run, e.err
+	key := h.KeyFor(j)
+	st := h.store()
+	run, owner, err := st.StartOrWait(key)
+	if !owner {
+		return run, err
 	}
-	e := &memoEntry{done: make(chan struct{})}
-	h.cache[key] = e
-	h.mu.Unlock()
-	e.run, e.err = h.simulate(j)
-	close(e.done)
-	return e.run, e.err
+	run, err = h.simulate(j)
+	h.sims.Add(1)
+	st.Commit(key, run, err)
+	return run, err
 }
 
 // simulate builds the workload and machine for a job and runs it. Each

@@ -36,8 +36,8 @@ type Source interface {
 // that harness). Re-registering the same content is a no-op; a name
 // collision with different content is an error.
 func (h *Harness) Register(src Source) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.srcMu.Lock()
+	defer h.srcMu.Unlock()
 	if h.sources == nil {
 		h.sources = make(map[string]Source)
 	}
@@ -50,15 +50,15 @@ func (h *Harness) Register(src Source) error {
 
 // source looks up a registered source by application name.
 func (h *Harness) source(name string) Source {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.srcMu.Lock()
+	defer h.srcMu.Unlock()
 	return h.sources[name]
 }
 
 // Sources lists the registered source names in no particular order.
 func (h *Harness) Sources() []string {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.srcMu.Lock()
+	defer h.srcMu.Unlock()
 	out := make([]string, 0, len(h.sources))
 	for name := range h.sources {
 		out = append(out, name)
@@ -66,23 +66,10 @@ func (h *Harness) Sources() []string {
 	return out
 }
 
-// jobKey is the memo-cache identity of a job: Job.Key, with the
-// application-name component replaced by the source's content key when
-// the name resolves to a registered source (so memoization follows file
-// content, not file naming), and the harness seed appended when set (so
-// mutating Seed between runs cannot return a stale cached result).
+// jobKey is the canonical string form of KeyFor (kept for tests and
+// log lines; stores index by the same string via JobKey.String).
 func (h *Harness) jobKey(j Job) string {
-	k := j.Key()
-	if src := h.source(j.App); src != nil {
-		k = src.Key() + "|" + sysKey(j.Sys)
-		if j.Tag != "" {
-			k += "|" + j.Tag
-		}
-	}
-	if h.Seed != 0 {
-		k += fmt.Sprintf("|seed%d", h.Seed)
-	}
-	return k
+	return h.KeyFor(j).String()
 }
 
 // ---------------------------------------------------------------------

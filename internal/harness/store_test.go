@@ -1,0 +1,410 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"rnuma/internal/config"
+	"rnuma/internal/machine"
+	"rnuma/internal/stats"
+	"rnuma/internal/tracefile"
+	"rnuma/internal/workloads"
+)
+
+func testKey(app string) JobKey {
+	return JobKey{App: app, Sys: sysKey(config.Base(config.RNUMA))}
+}
+
+func testRun(exec int64) *stats.Run {
+	r := stats.NewRun()
+	r.ExecCycles = exec
+	r.Refs = exec * 2
+	r.RefetchByPage[stats.PageKey{Node: 1, Page: 7}] = 3
+	r.PerNodeReplacements[2] = 5
+	return r
+}
+
+// TestJobKeyString pins the legacy memo-key format the stores index by
+// (DiskStore records carry it verbatim, so it is an on-disk format too).
+func TestJobKeyString(t *testing.T) {
+	for _, tc := range []struct {
+		key  JobKey
+		want string
+	}{
+		{JobKey{App: "fft", Sys: "s"}, "fft|s"},
+		{JobKey{App: "fft", Sys: "s", Tag: "noreloc"}, "fft|s|noreloc"},
+		{JobKey{App: "fft", Sys: "s", Seed: 7}, "fft|s|seed7"},
+		{JobKey{App: "fft", Sys: "s", Tag: "t", Seed: 7}, "fft|s|t|seed7"},
+	} {
+		if got := tc.key.String(); got != tc.want {
+			t.Errorf("%+v.String() = %q, want %q", tc.key, got, tc.want)
+		}
+	}
+}
+
+// TestMemoryStoreSingleflight submits one key from many goroutines:
+// exactly one caller becomes the owner, everyone else blocks until the
+// commit and reads the same pointer-shared result.
+func TestMemoryStoreSingleflight(t *testing.T) {
+	s := NewMemoryStore()
+	key := testKey("fft")
+	want := testRun(100)
+
+	const n = 16
+	var owners int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	runs := make([]*stats.Run, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run, owner, err := s.StartOrWait(key)
+			if owner {
+				mu.Lock()
+				owners++
+				mu.Unlock()
+				s.Commit(key, want, nil)
+				run = want
+			}
+			if err != nil {
+				t.Errorf("StartOrWait: %v", err)
+			}
+			runs[i] = run
+		}(i)
+	}
+	wg.Wait()
+	if owners != 1 {
+		t.Fatalf("owners = %d, want exactly 1", owners)
+	}
+	for i, r := range runs {
+		if r != want {
+			t.Errorf("caller %d got %p, want the shared %p", i, r, want)
+		}
+	}
+	st := s.Stats()
+	if st.Started != 1 || st.Hits != n-1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want started=1 hits=%d entries=1", st, n-1)
+	}
+}
+
+// TestMemoryStoreErrorCached: a failed simulation is a result too — the
+// key is not retried.
+func TestMemoryStoreErrorCached(t *testing.T) {
+	s := NewMemoryStore()
+	key := testKey("bad")
+	boom := errors.New("boom")
+	if _, owner, _ := s.StartOrWait(key); !owner {
+		t.Fatal("first StartOrWait should own")
+	}
+	s.Commit(key, nil, boom)
+	run, owner, err := s.StartOrWait(key)
+	if owner || run != nil || !errors.Is(err, boom) {
+		t.Errorf("after failed commit: run=%v owner=%v err=%v, want cached error", run, owner, err)
+	}
+}
+
+// TestMemoryStoreAddAndGet: Add inserts only into unclaimed slots (the
+// fork engine's donation path must never clobber a result), and Get
+// peeks without claiming.
+func TestMemoryStoreAddAndGet(t *testing.T) {
+	s := NewMemoryStore()
+	key := testKey("fft")
+	if _, ok, _ := s.Get(key); ok {
+		t.Fatal("Get on empty store reported a hit")
+	}
+	r1 := testRun(1)
+	if !s.Add(key, r1) {
+		t.Fatal("Add into empty slot failed")
+	}
+	if s.Add(key, testRun(2)) {
+		t.Fatal("second Add clobbered a completed slot")
+	}
+	run, ok, err := s.Get(key)
+	if !ok || err != nil || run != r1 {
+		t.Errorf("Get = %p, %v, %v; want the added run", run, ok, err)
+	}
+	// An in-flight claim must also block Add.
+	key2 := testKey("other")
+	if _, owner, _ := s.StartOrWait(key2); !owner {
+		t.Fatal("claim failed")
+	}
+	if s.Add(key2, testRun(3)) {
+		t.Error("Add filled a claimed slot")
+	}
+	if _, ok, _ := s.Get(key2); ok {
+		t.Error("Get reported an in-flight entry as complete")
+	}
+}
+
+// TestDiskStoreRestart is the persistence round trip: a result committed
+// through one DiskStore is served — with identical contents — by a fresh
+// store on the same directory, without making the caller an owner.
+func TestDiskStoreRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("fft")
+	want := testRun(42)
+	if _, owner, _ := s1.StartOrWait(key); !owner {
+		t.Fatal("fresh store should make the caller owner")
+	}
+	s1.Commit(key, want, nil)
+
+	s2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, owner, err := s2.StartOrWait(key)
+	if owner {
+		t.Fatal("restarted store re-simulated a persisted key")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(run, want) {
+		t.Errorf("restored run differs:\n got %+v\nwant %+v", run, want)
+	}
+	if st := s2.Stats(); st.DiskHits != 1 {
+		t.Errorf("DiskHits = %d, want 1", st.DiskHits)
+	}
+	// Get on a third store also falls through to disk.
+	s3, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, ok, err := s3.Get(key)
+	if !ok || err != nil || !reflect.DeepEqual(run, want) {
+		t.Errorf("Get from disk = %v, %v, %v", run, ok, err)
+	}
+}
+
+// TestDiskStoreErrorsNotPersisted: failed simulations stay memory-only,
+// so a restart retries them.
+func TestDiskStoreErrorsNotPersisted(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("bad")
+	if _, owner, _ := s1.StartOrWait(key); !owner {
+		t.Fatal("claim failed")
+	}
+	s1.Commit(key, nil, errors.New("boom"))
+
+	s2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, owner, _ := s2.StartOrWait(key); !owner {
+		t.Error("restart did not retry a failed configuration")
+	}
+}
+
+// TestDiskStoreCorruptRecord: an unreadable record degrades to a miss
+// instead of an error or garbage.
+func TestDiskStoreCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("fft")
+	if _, owner, _ := s1.StartOrWait(key); !owner {
+		t.Fatal("claim failed")
+	}
+	s1.Commit(key, testRun(7), nil)
+	files, err := filepath.Glob(filepath.Join(dir, "*.run.gob"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("records on disk = %v, %v; want exactly one", files, err)
+	}
+	if err := os.WriteFile(files[0], []byte("not a gob record"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, owner, _ := s2.StartOrWait(key); !owner {
+		t.Error("corrupt record should degrade to a miss (owner=true)")
+	}
+}
+
+// TestSharedStoreAcrossHarnesses is the server's memoization model in
+// miniature: two harnesses over one store, and only the first executes
+// the simulation (Simulations counts a harness's own work).
+func TestSharedStoreAcrossHarnesses(t *testing.T) {
+	store := NewMemoryStore()
+	sys := config.Base(config.RNUMA)
+
+	h1 := New(0.05)
+	h1.Store = store
+	run1, err := h1.Run("fft", sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Simulations() == 0 {
+		t.Fatal("first harness reported no simulations")
+	}
+
+	h2 := New(0.05)
+	h2.Store = store
+	run2, err := h2.Run("fft", sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run2 != run1 {
+		t.Error("shared store did not pointer-share the result")
+	}
+	if got := h2.Simulations(); got != 0 {
+		t.Errorf("second harness executed %d simulations, want 0 (store hit)", got)
+	}
+}
+
+// TestReplayFileAndOptions covers the one-shot file path and the
+// machine-option plumbing of the consolidated Replay surface.
+func TestReplayFileAndOptions(t *testing.T) {
+	app, _ := workloads.ByName("fft")
+	cfg := workloads.DefaultConfig()
+	cfg.Scale = 0.05
+	var buf bytes.Buffer
+	if _, _, err := tracefile.WriteWorkload(&buf, app.Build(cfg), cfg); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fft.trace")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys := config.Base(config.RNUMA)
+
+	res, err := ReplayFile(path, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.ExecCycles == 0 || res.Header.Name != "fft" {
+		t.Errorf("replay: exec=%d header=%+v", res.Run.ExecCycles, res.Header)
+	}
+	if _, err := ReplayFile(filepath.Join(t.TempDir(), "nope.trace"), sys); err == nil {
+		t.Error("replaying a missing file succeeded")
+	}
+
+	// WithMachineOptions rides along on one-shot replays (the verifier
+	// must not change the run)...
+	verified, err := Replay(bytes.NewReader(buf.Bytes()), sys, WithMachineOptions(machine.WithVerify()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verified.Run.ExecCycles != res.Run.ExecCycles {
+		t.Errorf("verified replay diverged: %d vs %d", verified.Run.ExecCycles, res.Run.ExecCycles)
+	}
+	// ...but cannot combine with the fork engine.
+	if _, err := Replay(bytes.NewReader(buf.Bytes()), sys,
+		WithThresholds(8, 64), WithMachineOptions(machine.WithVerify())); err == nil {
+		t.Error("WithThresholds+WithMachineOptions did not error")
+	}
+
+	// RunWorkload is the consume-once path; thresholds are trace-only.
+	run, err := RunWorkload(app.Build(cfg), cfg, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.ExecCycles != res.Run.ExecCycles {
+		t.Errorf("RunWorkload diverged from trace replay: %d vs %d", run.ExecCycles, res.Run.ExecCycles)
+	}
+	if _, err := RunWorkload(app.Build(cfg), cfg, sys, WithThresholds(8)); err == nil {
+		t.Error("RunWorkload accepted WithThresholds")
+	}
+
+	// SweepFile mirrors Sweep over the on-disk encoding.
+	h := New(0.05)
+	vals, err := ParseSweepValues(AxisNodes, "4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, name, err := h.SweepFile(path, AxisNodes, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || name != "fft" {
+		t.Errorf("SweepFile: %d points, name %q", len(pts), name)
+	}
+	if _, _, err := h.SweepFile(filepath.Join(t.TempDir(), "nope.trace"), AxisNodes, vals); err == nil {
+		t.Error("sweeping a missing file succeeded")
+	}
+}
+
+// TestRenamedSource: a rename changes the registration name but not the
+// content key, so renamed registrations of one capture share results.
+func TestRenamedSource(t *testing.T) {
+	app, _ := workloads.ByName("fft")
+	cfg := workloads.DefaultConfig()
+	cfg.Scale = 0.05
+	var buf bytes.Buffer
+	if _, _, err := tracefile.WriteWorkload(&buf, app.Build(cfg), cfg); err != nil {
+		t.Fatal(err)
+	}
+	src, err := TraceSource(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := RenamedSource(src, "fft@cafe1234")
+	if renamed.Name() != "fft@cafe1234" {
+		t.Errorf("Name() = %q", renamed.Name())
+	}
+	if renamed.Key() != src.Key() {
+		t.Errorf("rename changed the content key: %q vs %q", renamed.Key(), src.Key())
+	}
+
+	h := New(0.05)
+	if err := h.Register(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Register(renamed); err != nil {
+		t.Fatal(err)
+	}
+	sys := config.Base(config.RNUMA)
+	r1, err := h.Run(src.Name(), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := h.Run(renamed.Name(), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("renamed registration did not share the stored result")
+	}
+}
+
+// TestDiskStoreAdd: the donation path persists like a commit.
+func TestDiskStoreAdd(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("fft")
+	want := testRun(9)
+	if !s1.Add(key, want) {
+		t.Fatal("Add into empty disk store failed")
+	}
+	if s1.Add(key, testRun(10)) {
+		t.Fatal("second Add clobbered the slot")
+	}
+	s2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, ok, err := s2.Get(key)
+	if !ok || err != nil || !reflect.DeepEqual(run, want) {
+		t.Errorf("donated run not persisted: %v, %v, %v", run, ok, err)
+	}
+}

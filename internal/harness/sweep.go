@@ -390,62 +390,10 @@ type renamedSource struct {
 
 func (r *renamedSource) Name() string { return r.name }
 
-// ---------------------------------------------------------------------
-// Node-count sweep: the original fixed-axis entry points, kept as thin
-// wrappers over the generalized engine.
-
-// SweepPoint is one machine size of a node-count sweep: the three base
-// protocols' execution times normalized to the ideal machine (infinite
-// block cache) of the same shape.
-type SweepPoint struct {
-	Nodes       int
-	CPUsPerNode int
-	CCNUMA      float64
-	SCOMA       float64
-	RNUMA       float64
-}
-
-// RNUMAOverBest reports R-NUMA's time relative to the better base
-// protocol at this machine size (the paper's bounded-worst-case ratio).
-func (p SweepPoint) RNUMAOverBest() float64 {
-	return AxisPoint{CCNUMA: p.CCNUMA, SCOMA: p.SCOMA, RNUMA: p.RNUMA}.RNUMAOverBest()
-}
-
-// NodeSweep retargets the in-memory trace encoding onto each node count
-// (round-robin re-homing, CPU count preserved) and replays every size
-// under CC-NUMA, S-COMA, and R-NUMA plus the ideal baseline. The trace's
-// CPU count must divide evenly across every requested node count. The
-// retargeted sources register under "<name>@<n>n", so repeated sweeps
-// and overlapping node lists share simulations through the memo cache.
-// Points come back sorted by node count.
-func (h *Harness) NodeSweep(data []byte, nodeCounts []int) ([]SweepPoint, string, error) {
-	values := make([]SweepValue, 0, len(nodeCounts))
-	for _, n := range nodeCounts {
-		values = append(values, IntValue(n))
-	}
-	pts, name, err := h.Sweep(data, AxisNodes, values)
-	if err != nil {
-		return nil, "", err
-	}
-	out := make([]SweepPoint, 0, len(pts))
-	for _, p := range pts {
-		out = append(out, SweepPoint{
-			Nodes: p.Nodes, CPUsPerNode: p.CPUsPerNode,
-			CCNUMA: p.CCNUMA, SCOMA: p.SCOMA, RNUMA: p.RNUMA,
-		})
-	}
-	return out, name, nil
-}
-
-// NodeSweepFile is NodeSweep over a trace file on disk.
-func (h *Harness) NodeSweepFile(path string, nodeCounts []int) ([]SweepPoint, string, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, "", fmt.Errorf("harness: %w", err)
-	}
-	pts, name, err := h.NodeSweep(data, nodeCounts)
-	if err != nil {
-		return nil, "", fmt.Errorf("%s: %w", path, err)
-	}
-	return pts, name, nil
+// RenamedSource wraps a source under a different application name. The
+// content key is unchanged, so identical content still shares
+// simulations through the store; the server uses it to disambiguate
+// uploads whose embedded names collide.
+func RenamedSource(src Source, name string) Source {
+	return &renamedSource{Source: src, name: name}
 }

@@ -74,9 +74,10 @@ func TestRetargetIdentityReplaysIdentically(t *testing.T) {
 	}
 }
 
-// TestNodeSweep drives a recorded catalog trace across node counts and
-// checks the points come back shaped and normalized sanely, with the
-// memo cache deduplicating a repeated sweep.
+// TestNodeSweep drives a recorded catalog trace across node counts
+// through the generalized axis engine and checks the points come back
+// shaped and normalized sanely, with the store deduplicating a repeated
+// sweep.
 func TestNodeSweep(t *testing.T) {
 	// The full three-point sweep is 12 simulations; the short suite
 	// keeps two points (the sweep mechanics — retarget, register,
@@ -89,9 +90,16 @@ func TestNodeSweep(t *testing.T) {
 	if testing.Short() {
 		counts, shapes = []int{16, 8}, shapes[1:]
 	}
+	nodeValues := func(counts []int) []SweepValue {
+		out := make([]SweepValue, 0, len(counts))
+		for _, n := range counts {
+			out = append(out, IntValue(n))
+		}
+		return out
+	}
 	data := recordCatalog(t, "fft", scale)
 	h := New(scale)
-	points, name, err := h.NodeSweep(data, counts)
+	points, name, err := h.Sweep(data, AxisNodes, nodeValues(counts))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,11 +128,11 @@ func TestNodeSweep(t *testing.T) {
 
 	// A second sweep over a subset must reuse the registered sources and
 	// cached runs (Register would error if the content key changed).
-	again, _, err := h.NodeSweep(data, []int{8})
+	again, _, err := h.Sweep(data, AxisNodes, nodeValues([]int{8}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var at8 SweepPoint
+	var at8 AxisPoint
 	for _, p := range points {
 		if p.Nodes == 8 {
 			at8 = p
@@ -135,10 +143,10 @@ func TestNodeSweep(t *testing.T) {
 	}
 
 	// Node counts that do not divide the CPU count are rejected.
-	if _, _, err := h.NodeSweep(data, []int{5}); err == nil {
+	if _, _, err := h.Sweep(data, AxisNodes, nodeValues([]int{5})); err == nil {
 		t.Error("5-node sweep of a 32-CPU trace accepted")
 	}
-	if _, _, err := h.NodeSweep(data, nil); err == nil {
+	if _, _, err := h.Sweep(data, AxisNodes, nil); err == nil {
 		t.Error("empty sweep accepted")
 	}
 }

@@ -59,18 +59,20 @@ func TestTimelineForkSweepMatchesFullReplay(t *testing.T) {
 	tcfg := telemetry.Config{Window: 3000} // deliberately unaligned with any fork point
 	thresholds := []int{4, 16, 1 << 20}
 
-	runs, err := ThresholdForkRunsProbe(data, sys, thresholds, tcfg)
+	res, err := Replay(bytes.NewReader(data), sys, WithThresholds(thresholds...), WithTelemetry(tcfg))
 	if err != nil {
 		t.Fatal(err)
 	}
+	runs := res.ByThreshold
 	var relocated bool
 	for _, T := range thresholds {
 		s := sys
 		s.Threshold = T
-		want, _, err := ReplayTrace(bytes.NewReader(data), s, machine.WithTelemetry(tcfg))
+		wantRes, err := Replay(bytes.NewReader(data), s, WithTelemetry(tcfg))
 		if err != nil {
 			t.Fatalf("T=%d: %v", T, err)
 		}
+		want := wantRes.Run
 		got := runs[T]
 		if !reflect.DeepEqual(want, got) {
 			t.Errorf("T=%d: forked run differs from independent probed replay", T)
@@ -100,10 +102,11 @@ func TestTimelineSnapshotResumeContinuity(t *testing.T) {
 	sys := config.Base(config.RNUMA)
 	tcfg := telemetry.Config{Window: 4096}
 
-	full, hdr, err := ReplayTrace(bytes.NewReader(data), sys, machine.WithTelemetry(tcfg))
+	fullRes, err := Replay(bytes.NewReader(data), sys, WithTelemetry(tcfg))
 	if err != nil {
 		t.Fatal(err)
 	}
+	full, hdr := fullRes.Run, fullRes.Header
 	pause := full.Refs/3 + 1 // off any 4096 boundary: the cursor is mid-window
 	if pause%tcfg.Window == 0 {
 		pause++
@@ -178,11 +181,11 @@ func TestForkSweepClonedPointsIndependent(t *testing.T) {
 	sys := config.Base(config.RNUMA)
 	tcfg := telemetry.Config{Window: 4096}
 
-	runs, err := ThresholdForkRunsProbe(data, sys, []int{1 << 19, 1 << 20}, tcfg)
+	res, err := Replay(bytes.NewReader(data), sys, WithThresholds(1<<19, 1<<20), WithTelemetry(tcfg))
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, b := runs[1<<19], runs[1<<20]
+	a, b := res.ByThreshold[1<<19], res.ByThreshold[1<<20]
 	if a == b {
 		t.Fatal("duplicate points share one *stats.Run")
 	}

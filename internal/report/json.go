@@ -1,0 +1,120 @@
+package report
+
+import (
+	"rnuma/internal/harness"
+	"rnuma/internal/stats"
+)
+
+// This file is the report package's machine-readable surface: the same
+// results the text renderers print, as JSON document types. The serve
+// daemon returns these from /jobs/{id}/report?format=json; the text
+// renderers remain the human format. stats.Run marshals wholesale
+// (PageKey is text-marshalable), so the docs embed runs directly.
+
+// RunDoc is one run's counters plus context (the JSON form of
+// RunSummary).
+type RunDoc struct {
+	Name   string     `json:"name"`
+	System string     `json:"system"`
+	Run    *stats.Run `json:"run"`
+	// Normalized is execution time relative to the ideal baseline; zero
+	// when no baseline was computed.
+	Normalized float64 `json:"normalized,omitempty"`
+}
+
+// NewRunDoc builds a RunDoc; baseline may be nil.
+func NewRunDoc(name, system string, r, baseline *stats.Run) RunDoc {
+	d := RunDoc{Name: name, System: system, Run: r}
+	if baseline != nil {
+		d.Normalized = r.Normalized(baseline)
+	}
+	return d
+}
+
+// PointDoc is one sweep point's result (the JSON form of a Sensitivity
+// table row).
+type PointDoc struct {
+	Label       string  `json:"label"`
+	Value       string  `json:"value"`
+	Nodes       int     `json:"nodes,omitempty"`
+	CPUsPerNode int     `json:"cpusPerNode,omitempty"`
+	CCNUMA      float64 `json:"ccnuma"`
+	SCOMA       float64 `json:"scoma"`
+	RNUMA       float64 `json:"rnuma"`
+	// RNUMAOverBest is R-NUMA's time over the better base protocol at
+	// this point (the paper's bounded-worst-case ratio).
+	RNUMAOverBest float64 `json:"rnumaOverBest"`
+}
+
+// SensitivityDoc is a one-axis sweep's results (the JSON form of
+// Sensitivity).
+type SensitivityDoc struct {
+	Workload string     `json:"workload"`
+	Axis     string     `json:"axis"`
+	Points   []PointDoc `json:"points"`
+	// WorstRNUMAOverBest is the headline bound: the worst R-NUMA-vs-best
+	// ratio across the axis.
+	WorstRNUMAOverBest float64 `json:"worstRnumaOverBest"`
+}
+
+// NewSensitivityDoc builds a SensitivityDoc from sweep points.
+func NewSensitivityDoc(workload string, axis harness.Axis, points []harness.AxisPoint) SensitivityDoc {
+	d := SensitivityDoc{Workload: workload, Axis: axis.String(), Points: make([]PointDoc, 0, len(points))}
+	for _, p := range points {
+		d.Points = append(d.Points, PointDoc{
+			Label:         p.Label,
+			Value:         p.Value.String(),
+			Nodes:         p.Nodes,
+			CPUsPerNode:   p.CPUsPerNode,
+			CCNUMA:        p.CCNUMA,
+			SCOMA:         p.SCOMA,
+			RNUMA:         p.RNUMA,
+			RNUMAOverBest: p.RNUMAOverBest(),
+		})
+		if v := p.RNUMAOverBest(); v > d.WorstRNUMAOverBest {
+			d.WorstRNUMAOverBest = v
+		}
+	}
+	return d
+}
+
+// DeltaDoc is a two-run comparison (the JSON form of DeltaTable).
+type DeltaDoc struct {
+	A         string `json:"a"`
+	B         string `json:"b"`
+	Identical bool   `json:"identical"`
+	Differing int    `json:"differing"`
+	// Counters lists only counters whose values differ; the full table
+	// is reconstructable from the two RunDocs.
+	Counters              []stats.CounterDelta `json:"counters,omitempty"`
+	RefetchDigestA        string               `json:"refetchDigestA"`
+	RefetchDigestB        string               `json:"refetchDigestB"`
+	RefetchPagesDiffering int                  `json:"refetchPagesDiffering,omitempty"`
+}
+
+// NewDeltaDoc builds a DeltaDoc from a stats.Diff result.
+func NewDeltaDoc(nameA, nameB string, d *stats.RunDelta) DeltaDoc {
+	doc := DeltaDoc{
+		A:                     nameA,
+		B:                     nameB,
+		Identical:             d.Identical(),
+		Differing:             d.Differing,
+		RefetchDigestA:        d.RefetchDigestA,
+		RefetchDigestB:        d.RefetchDigestB,
+		RefetchPagesDiffering: d.RefetchPagesDiffering,
+	}
+	for _, c := range d.Counters {
+		if c.Delta != 0 {
+			doc.Counters = append(doc.Counters, c)
+		}
+	}
+	return doc
+}
+
+// FigureDoc is one paper figure or table's rows. Rows is the harness's
+// own row type for the figure (Fig5Curve, Fig6Row, ... — all plainly
+// marshalable), so the JSON mirrors what the text renderer consumed.
+type FigureDoc struct {
+	Figure string `json:"figure"`
+	Rows   any    `json:"rows"`
+}

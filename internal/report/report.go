@@ -155,28 +155,6 @@ func Figure9(w io.Writer, rows []harness.Fig9Row) {
 	}
 }
 
-// Sweep renders a node-count sweep: one recorded workload retargeted
-// across machine sizes and replayed under the three base designs.
-func Sweep(w io.Writer, name string, points []harness.SweepPoint) {
-	fmt.Fprintf(w, "SWEEP — %s replayed across machine sizes (one capture, retargeted)\n", name)
-	fmt.Fprintln(w, "(normalized to the infinite-block-cache machine of the same shape; pages re-homed round-robin)")
-	fmt.Fprintln(w)
-	fmt.Fprintf(w, "%-16s %10s %10s %10s %10s\n", "machine", "CC-NUMA", "S-COMA", "R-NUMA", "R/best")
-	fmt.Fprintln(w, strings.Repeat("-", 60))
-	for _, p := range points {
-		fmt.Fprintf(w, "%3dn x %-2dcpu      %10.2f %10.2f %10.2f %10.2f\n",
-			p.Nodes, p.CPUsPerNode, p.CCNUMA, p.SCOMA, p.RNUMA, p.RNUMAOverBest())
-	}
-	fmt.Fprintln(w)
-	worst := 0.0
-	for _, p := range points {
-		if v := p.RNUMAOverBest(); v > worst {
-			worst = v
-		}
-	}
-	fmt.Fprintf(w, "worst R-NUMA-vs-best ratio across sizes: %.2f\n", worst)
-}
-
 // Sensitivity renders a generalized one-axis sensitivity sweep: one
 // recorded workload transformed along the axis and replayed under the
 // three base designs at every point.

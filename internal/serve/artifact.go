@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"net/http"
+
+	"rnuma/internal/spec"
+	"rnuma/internal/tracefile"
+	"rnuma/internal/traffic"
+)
+
+// Artifact kinds.
+const (
+	KindTrace   = "trace"   // a recorded tracefile encoding
+	KindSpec    = "spec"    // a declarative workload spec (JSON)
+	KindTraffic = "traffic" // a multi-tenant traffic scenario (JSON)
+)
+
+// maxUpload bounds one artifact upload (traces compress well; 256 MB is
+// far past any capture the harness produces).
+const maxUpload = 256 << 20
+
+// Artifact is one uploaded input, content-addressed: the ID is the
+// SHA-256 of the uploaded bytes, so re-uploading identical content
+// returns the existing artifact and two artifacts with equal IDs are
+// byte-identical. The harness's own source keys (trace canonical hash,
+// spec content hash) additionally make *simulations* follow content, so
+// even artifacts uploaded under different names share results when their
+// decoded streams agree.
+type Artifact struct {
+	ID   string `json:"id"`   // sha256(bytes), hex
+	Kind string `json:"kind"` // trace | spec | traffic
+	Name string `json:"name"` // the embedded workload/scenario name
+	Size int    `json:"size"` // uploaded bytes
+
+	// Nodes/CPUs are the recorded machine shape (traces only).
+	Nodes int `json:"nodes,omitempty"`
+	CPUs  int `json:"cpus,omitempty"`
+
+	data []byte
+	hdr  tracefile.Header // valid when Kind == KindTrace
+}
+
+// AddArtifact validates and registers one artifact; uploading identical
+// bytes again returns the existing entry. Kind "" sniffs: tracefile
+// encodings are tried first (they have a magic header), then traffic
+// (distinguished by its "clients" field), then spec.
+func (s *Server) AddArtifact(kind string, data []byte) (*Artifact, error) {
+	a := &Artifact{
+		ID:   fmt.Sprintf("%x", sha256.Sum256(data)),
+		Kind: kind,
+		Size: len(data),
+		data: data,
+	}
+	if a.Kind == "" {
+		a.Kind = sniffKind(data)
+	}
+	switch a.Kind {
+	case KindTrace:
+		d, err := tracefile.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("serve: bad trace: %w", err)
+		}
+		a.hdr = d.Header()
+		a.Name = a.hdr.Name
+		a.Nodes, a.CPUs = a.hdr.Nodes, a.hdr.CPUs
+	case KindSpec:
+		sp, err := spec.Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("serve: bad spec: %w", err)
+		}
+		a.Name = sp.Name
+	case KindTraffic:
+		tr, err := traffic.Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("serve: bad traffic scenario: %w", err)
+		}
+		a.Name = tr.Name
+	default:
+		return nil, fmt.Errorf("serve: unknown artifact kind %q (want trace, spec, or traffic)", kind)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.artifacts[a.ID]; ok {
+		return old, nil
+	}
+	s.artifacts[a.ID] = a
+	s.logf("artifact %s: %s %q (%d bytes)", a.ID[:12], a.Kind, a.Name, a.Size)
+	return a, nil
+}
+
+// sniffKind guesses an upload's kind: tracefiles are non-JSON binary
+// encodings, and of the two JSON kinds only traffic scenarios have a
+// top-level "clients" array.
+func sniffKind(data []byte) string {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 || trimmed[0] != '{' {
+		return KindTrace
+	}
+	if bytes.Contains(data, []byte(`"clients"`)) {
+		return KindTraffic
+	}
+	return KindSpec
+}
+
+// artifact resolves an ID, unique ID prefix, or unique name.
+func (s *Server) artifact(ref string) (*Artifact, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a, ok := s.artifacts[ref]; ok {
+		return a, nil
+	}
+	var found *Artifact
+	for id, a := range s.artifacts {
+		if (len(ref) >= 8 && len(ref) < len(id) && id[:len(ref)] == ref) || a.Name == ref {
+			if found != nil {
+				return nil, fmt.Errorf("serve: artifact ref %q is ambiguous", ref)
+			}
+			found = a
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("serve: no artifact %q", ref)
+	}
+	return found, nil
+}
+
+// handleUpload accepts one artifact as the raw request body; the kind
+// comes from ?kind= (omit to sniff). Responds 200 with the existing
+// entry when the content was already uploaded, 201 on first upload.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxUpload+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "serve: read body: %v", err)
+		return
+	}
+	if len(data) > maxUpload {
+		writeError(w, http.StatusRequestEntityTooLarge, "serve: artifact exceeds %d bytes", maxUpload)
+		return
+	}
+	if len(data) == 0 {
+		writeError(w, http.StatusBadRequest, "serve: empty artifact")
+		return
+	}
+	before := len(s.artifactIDs())
+	a, err := s.AddArtifact(r.URL.Query().Get("kind"), data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	code := http.StatusOK
+	if len(s.artifactIDs()) > before {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, a)
+}
+
+func (s *Server) artifactIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.artifacts))
+	for id := range s.artifacts {
+		out = append(out, id)
+	}
+	return out
+}

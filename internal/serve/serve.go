@@ -1,0 +1,187 @@
+// Package serve implements the experiment daemon behind cmd/rnuma-serve:
+// an HTTP/JSON surface over the harness. Clients upload artifacts
+// (recorded traces, workload specs, traffic scenarios — content-addressed,
+// so re-uploading identical bytes is a no-op), submit jobs (replay, axis
+// sweeps, run diffs, paper figures), poll or stream progress, and fetch
+// rendered reports as text or JSON.
+//
+// Every job runs on its own Harness — its own Progress and Log writers,
+// its own Simulations counter — over one shared harness.Store, so repeated
+// and overlapping submissions are free: two concurrent identical sweeps
+// run each point exactly once (singleflight), and with a DiskStore a
+// restarted daemon re-simulates nothing it already ran.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"rnuma/internal/harness"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Scale multiplies workload iteration counts (harness.Harness.Scale);
+	// 0 means 1.0.
+	Scale float64
+	// Seed perturbs workload RNGs (harness.Harness.Seed).
+	Seed int64
+	// Workers bounds each job's simulation fan-out (harness.Harness.Workers;
+	// 0 means GOMAXPROCS).
+	Workers int
+	// MaxJobs bounds how many jobs execute concurrently; further
+	// submissions queue. 0 means 2.
+	MaxJobs int
+	// Store is the shared result store. nil means a fresh in-memory store;
+	// pass a harness.DiskStore to persist results across restarts.
+	Store harness.Store
+	// Log, if non-nil, receives one line per server-level event (job
+	// submitted/finished, artifact uploaded).
+	Log io.Writer
+}
+
+// Server is the daemon's state: the shared store, the artifact registry,
+// and the job table.
+type Server struct {
+	opts  Options
+	store harness.Store
+	sem   chan struct{} // job-concurrency semaphore
+
+	mu        sync.Mutex
+	artifacts map[string]*Artifact // by content ID
+	jobs      map[string]*jobState // by job ID
+	jobSeq    int
+	logMu     sync.Mutex
+}
+
+// New builds a server.
+func New(opts Options) *Server {
+	if opts.Scale == 0 {
+		opts.Scale = 1.0
+	}
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = 2
+	}
+	st := opts.Store
+	if st == nil {
+		st = harness.NewMemoryStore()
+	}
+	return &Server{
+		opts:      opts,
+		store:     st,
+		sem:       make(chan struct{}, opts.MaxJobs),
+		artifacts: make(map[string]*Artifact),
+		jobs:      make(map[string]*jobState),
+	}
+}
+
+// Store returns the server's shared result store.
+func (s *Server) Store() harness.Store { return s.store }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Log == nil {
+		return
+	}
+	s.logMu.Lock()
+	fmt.Fprintf(s.opts.Log, format+"\n", args...)
+	s.logMu.Unlock()
+}
+
+// Handler returns the server's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /api/v1/store", s.handleStore)
+	mux.HandleFunc("POST /api/v1/artifacts", s.handleUpload)
+	mux.HandleFunc("GET /api/v1/artifacts", s.handleArtifacts)
+	mux.HandleFunc("GET /api/v1/artifacts/{id}", s.handleArtifact)
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/progress", s.handleProgress)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/report", s.handleReport)
+	return mux
+}
+
+// apiError is the JSON error body every failing endpoint returns.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleStore reports the shared store's observability snapshot plus the
+// server's own counters: total simulations actually executed versus jobs
+// served (the warm-vs-cold story in one place).
+func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	njobs := len(s.jobs)
+	var sims int64
+	for _, js := range s.jobs {
+		sims += js.simulations()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		Store       harness.StoreStats `json:"store"`
+		Jobs        int                `json:"jobs"`
+		Simulations int64              `json:"simulations"`
+	}{s.store.Stats(), njobs, sims})
+}
+
+func (s *Server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]*Artifact, 0, len(s.artifacts))
+	for _, a := range s.artifacts {
+		out = append(out, a)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	a, err := s.artifact(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, a)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]JobInfo, 0, len(s.jobs))
+	for _, js := range s.jobs {
+		out = append(out, js.info())
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	js, err := s.job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, js.info())
+}

@@ -20,6 +20,24 @@ type PageKey struct {
 	Page addr.PageNum
 }
 
+// MarshalText renders the key as "node/page", which is what lets a
+// map[PageKey]int64 — and therefore a whole Run — marshal to JSON
+// (encoding/json requires text-marshalable map keys).
+func (k PageKey) MarshalText() ([]byte, error) {
+	return []byte(fmt.Sprintf("%d/%d", k.Node, k.Page)), nil
+}
+
+// UnmarshalText parses the "node/page" form.
+func (k *PageKey) UnmarshalText(text []byte) error {
+	var node int32
+	var page uint32
+	if _, err := fmt.Sscanf(string(text), "%d/%d", &node, &page); err != nil {
+		return fmt.Errorf("stats: bad page key %q: %w", text, err)
+	}
+	k.Node, k.Page = addr.NodeID(node), addr.PageNum(page)
+	return nil
+}
+
 // Run accumulates every counter a single simulation produces.
 type Run struct {
 	// ExecCycles is the parallel execution time: the maximum completion
