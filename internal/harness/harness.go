@@ -130,9 +130,24 @@ func (h *Harness) runJob(j Job) (*stats.Run, error) {
 	if !owner {
 		return run, err
 	}
+	// The claim MUST resolve: a panic in simulate would otherwise leave
+	// every waiter on this key blocked forever. Commit the failure as the
+	// result, then let the panic continue to the caller.
+	committed := false
+	defer func() {
+		if committed {
+			return
+		}
+		r := recover()
+		st.Commit(key, nil, fmt.Errorf("harness: %s: simulation panicked: %v", key, r))
+		if r != nil {
+			panic(r)
+		}
+	}()
 	run, err = h.simulate(j)
 	h.sims.Add(1)
 	st.Commit(key, run, err)
+	committed = true
 	return run, err
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 
 	"rnuma/internal/stats"
@@ -22,14 +23,17 @@ import (
 // identity (the source *content* key for registered sources, so
 // memoization follows file content rather than file naming; the catalog
 // application name otherwise), the full system configuration string, an
-// optional ablation tag, and the harness seed. Two jobs with equal keys
+// optional ablation tag, plus the harness knobs that change what a
+// workload builder produces — seed and scale. Two jobs with equal keys
 // are guaranteed to produce identical runs, which is what makes results
-// cacheable across requests and across daemon restarts.
+// cacheable across requests, across daemon restarts, and across
+// processes sharing one store directory at different -scale settings.
 type JobKey struct {
-	App  string `json:"app"`
-	Sys  string `json:"sys"`
-	Tag  string `json:"tag,omitempty"`
-	Seed int64  `json:"seed,omitempty"`
+	App   string  `json:"app"`
+	Sys   string  `json:"sys"`
+	Tag   string  `json:"tag,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
 }
 
 // String renders the key in the legacy memo-cache format; it is the
@@ -42,20 +46,24 @@ func (k JobKey) String() string {
 	if k.Seed != 0 {
 		s += fmt.Sprintf("|seed%d", k.Seed)
 	}
+	if k.Scale != 0 {
+		s += "|x" + strconv.FormatFloat(k.Scale, 'g', -1, 64)
+	}
 	return s
 }
 
 // KeyFor resolves a job's store identity under this harness: the
 // application-name component is replaced by the source's content key
 // when the name resolves to a registered source, and the harness seed
-// rides along (so mutating Seed between runs cannot surface a stale
-// result).
+// and scale ride along (so mutating either between runs — or pointing
+// two daemons with different -scale at one store directory — cannot
+// surface a result computed under different workload parameters).
 func (h *Harness) KeyFor(j Job) JobKey {
 	app := j.App
 	if src := h.source(j.App); src != nil {
 		app = src.Key()
 	}
-	return JobKey{App: app, Sys: sysKey(j.Sys), Tag: j.Tag, Seed: h.Seed}
+	return JobKey{App: app, Sys: sysKey(j.Sys), Tag: j.Tag, Seed: h.Seed, Scale: h.Scale}
 }
 
 // Store is a singleflight result store: exactly one simulation per key
@@ -137,6 +145,7 @@ func (s *MemoryStore) StartOrWait(key JobKey) (*stats.Run, bool, error) {
 func (s *MemoryStore) Commit(key JobKey, run *stats.Run, err error) {
 	k := key.String()
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	e, ok := s.entries[k]
 	if !ok {
 		// Commit without a claim (not the harness's own usage, but legal
@@ -144,7 +153,9 @@ func (s *MemoryStore) Commit(key JobKey, run *stats.Run, err error) {
 		e = &memoEntry{done: make(chan struct{})}
 		s.entries[k] = e
 	}
-	s.mu.Unlock()
+	// The completed-check and close stay under s.mu so concurrent Commits
+	// for one key are idempotent (first result wins) instead of racing to
+	// a double close.
 	select {
 	case <-e.done: // already completed; first result wins
 	default:

@@ -40,6 +40,9 @@ func TestJobKeyString(t *testing.T) {
 		{JobKey{App: "fft", Sys: "s", Tag: "noreloc"}, "fft|s|noreloc"},
 		{JobKey{App: "fft", Sys: "s", Seed: 7}, "fft|s|seed7"},
 		{JobKey{App: "fft", Sys: "s", Tag: "t", Seed: 7}, "fft|s|t|seed7"},
+		{JobKey{App: "fft", Sys: "s", Scale: 0.05}, "fft|s|x0.05"},
+		{JobKey{App: "fft", Sys: "s", Scale: 1}, "fft|s|x1"},
+		{JobKey{App: "fft", Sys: "s", Tag: "t", Seed: 7, Scale: 0.25}, "fft|s|t|seed7|x0.25"},
 	} {
 		if got := tc.key.String(); got != tc.want {
 			t.Errorf("%+v.String() = %q, want %q", tc.key, got, tc.want)
@@ -90,6 +93,86 @@ func TestMemoryStoreSingleflight(t *testing.T) {
 	st := s.Stats()
 	if st.Started != 1 || st.Hits != n-1 || st.Entries != 1 {
 		t.Errorf("stats = %+v, want started=1 hits=%d entries=1", st, n-1)
+	}
+}
+
+// TestMemoryStoreCommitIdempotent: the doc permits Commit without a
+// claim, so two concurrent Commits for one key must resolve to one
+// result (first wins) instead of racing to a double close.
+func TestMemoryStoreCommitIdempotent(t *testing.T) {
+	s := NewMemoryStore()
+	key := testKey("fft")
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.Commit(key, testRun(int64(i+1)), nil)
+		}(i)
+	}
+	wg.Wait()
+	run, ok, err := s.Get(key)
+	if !ok || err != nil || run == nil {
+		t.Fatalf("Get after concurrent commits = %v, %v, %v", run, ok, err)
+	}
+}
+
+// TestScaleSeparatesKeys: Scale changes what a workload builder produces
+// (iteration counts), so harnesses at different scales sharing one store
+// must not share results.
+func TestScaleSeparatesKeys(t *testing.T) {
+	store := NewMemoryStore()
+	sys := config.Base(config.RNUMA)
+
+	h1 := New(0.05)
+	h1.Store = store
+	if _, err := h1.Run("fft", sys); err != nil {
+		t.Fatal(err)
+	}
+	h2 := New(0.1)
+	h2.Store = store
+	if _, err := h2.Run("fft", sys); err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.Simulations(); got != 1 {
+		t.Errorf("second harness at a different scale ran %d simulations, want 1 (no cross-scale hit)", got)
+	}
+	if k1, k2 := h1.KeyFor(NewJob("fft", sys)), h2.KeyFor(NewJob("fft", sys)); k1 == k2 {
+		t.Errorf("keys at scales 0.05 and 0.1 collide: %s", k1)
+	}
+}
+
+// panicSource is a Source whose Load panics, standing in for any bug
+// inside a simulation.
+type panicSource struct{}
+
+func (panicSource) Name() string { return "panic-src" }
+func (panicSource) Key() string  { return "panic-src:deadbeef" }
+func (panicSource) Load(workloads.Config) (*workloads.Workload, error) {
+	panic("boom in Load")
+}
+
+// TestRunJobPanicResolvesClaim: a panic inside a simulation must still
+// commit the store claim, so waiters on the same key get an error
+// instead of blocking forever, and the panic still reaches the caller.
+func TestRunJobPanicResolvesClaim(t *testing.T) {
+	h := New(0.05)
+	if err := h.Register(panicSource{}); err != nil {
+		t.Fatal(err)
+	}
+	sys := config.Base(config.RNUMA)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate out of Run")
+			}
+		}()
+		h.Run("panic-src", sys) //nolint:errcheck // must panic
+	}()
+	// The claim resolved: a retry is served the cached error, not a hang.
+	if _, err := h.Run("panic-src", sys); err == nil {
+		t.Error("second Run after a panicked owner returned no error")
 	}
 }
 

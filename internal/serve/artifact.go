@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -45,11 +46,13 @@ type Artifact struct {
 }
 
 // AddArtifact validates and registers one artifact; uploading identical
-// bytes again returns the existing entry. Kind "" sniffs: tracefile
-// encodings are tried first (they have a magic header), then traffic
-// (distinguished by its "clients" field), then spec.
-func (s *Server) AddArtifact(kind string, data []byte) (*Artifact, error) {
-	a := &Artifact{
+// bytes again returns the existing entry with created=false. Kind ""
+// sniffs: tracefile encodings are tried first (they have a magic
+// header), then traffic (distinguished by its top-level "clients" key),
+// then spec. The created flag is decided under the registry lock, so
+// concurrent uploads of the same bytes report exactly one creation.
+func (s *Server) AddArtifact(kind string, data []byte) (a *Artifact, created bool, err error) {
+	a = &Artifact{
 		ID:   fmt.Sprintf("%x", sha256.Sum256(data)),
 		Kind: kind,
 		Size: len(data),
@@ -62,7 +65,7 @@ func (s *Server) AddArtifact(kind string, data []byte) (*Artifact, error) {
 	case KindTrace:
 		d, err := tracefile.NewReader(bytes.NewReader(data))
 		if err != nil {
-			return nil, fmt.Errorf("serve: bad trace: %w", err)
+			return nil, false, fmt.Errorf("serve: bad trace: %w", err)
 		}
 		a.hdr = d.Header()
 		a.Name = a.hdr.Name
@@ -70,38 +73,43 @@ func (s *Server) AddArtifact(kind string, data []byte) (*Artifact, error) {
 	case KindSpec:
 		sp, err := spec.Parse(data)
 		if err != nil {
-			return nil, fmt.Errorf("serve: bad spec: %w", err)
+			return nil, false, fmt.Errorf("serve: bad spec: %w", err)
 		}
 		a.Name = sp.Name
 	case KindTraffic:
 		tr, err := traffic.Parse(data)
 		if err != nil {
-			return nil, fmt.Errorf("serve: bad traffic scenario: %w", err)
+			return nil, false, fmt.Errorf("serve: bad traffic scenario: %w", err)
 		}
 		a.Name = tr.Name
 	default:
-		return nil, fmt.Errorf("serve: unknown artifact kind %q (want trace, spec, or traffic)", kind)
+		return nil, false, fmt.Errorf("serve: unknown artifact kind %q (want trace, spec, or traffic)", kind)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if old, ok := s.artifacts[a.ID]; ok {
-		return old, nil
+		return old, false, nil
 	}
 	s.artifacts[a.ID] = a
 	s.logf("artifact %s: %s %q (%d bytes)", a.ID[:12], a.Kind, a.Name, a.Size)
-	return a, nil
+	return a, true, nil
 }
 
 // sniffKind guesses an upload's kind: tracefiles are non-JSON binary
 // encodings, and of the two JSON kinds only traffic scenarios have a
-// top-level "clients" array.
+// top-level "clients" key — checked by decoding the object, because a
+// substring test would mis-sniff any spec that merely mentions clients
+// in a name or value.
 func sniffKind(data []byte) string {
 	trimmed := bytes.TrimLeft(data, " \t\r\n")
 	if len(trimmed) == 0 || trimmed[0] != '{' {
 		return KindTrace
 	}
-	if bytes.Contains(data, []byte(`"clients"`)) {
-		return KindTraffic
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(trimmed, &top); err == nil {
+		if _, ok := top["clients"]; ok {
+			return KindTraffic
+		}
 	}
 	return KindSpec
 }
@@ -145,25 +153,14 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "serve: empty artifact")
 		return
 	}
-	before := len(s.artifactIDs())
-	a, err := s.AddArtifact(r.URL.Query().Get("kind"), data)
+	a, created, err := s.AddArtifact(r.URL.Query().Get("kind"), data)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	code := http.StatusOK
-	if len(s.artifactIDs()) > before {
+	if created {
 		code = http.StatusCreated
 	}
 	writeJSON(w, code, a)
-}
-
-func (s *Server) artifactIDs() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.artifacts))
-	for id := range s.artifacts {
-		out = append(out, id)
-	}
-	return out
 }

@@ -210,7 +210,23 @@ func (s *Server) run(js *jobState) {
 	js.started = time.Now()
 	js.mu.Unlock()
 
-	text, doc, sims, err := s.execute(js)
+	var (
+		text string
+		doc  any
+		sims int64
+		err  error
+	)
+	func() {
+		// A panicking job must fail like any other error: without the
+		// recover it would permanently consume this semaphore slot, leave
+		// the job "running" forever, and never finish the progress stream.
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("serve: job %s panicked: %v", js.id, r)
+			}
+		}()
+		text, doc, sims, err = s.execute(js)
+	}()
 
 	js.mu.Lock()
 	js.finished = time.Now()

@@ -131,16 +131,42 @@ type harnessStats struct {
 	DiskHits int64 `json:"diskHits"`
 }
 
+// TestSniffKind pins the artifact sniffer: binary → trace, JSON with a
+// top-level "clients" key → traffic, and any other JSON object → spec,
+// even when "clients" appears in a name or value.
+func TestSniffKind(t *testing.T) {
+	for _, tc := range []struct {
+		data string
+		want string
+	}{
+		{"\x00binary", KindTrace},
+		{"  {\"clients\": []}", KindTraffic},
+		{`{"name": "clients", "note": "drives many clients"}`, KindSpec},
+		{`{"name": "halo"}`, KindSpec},
+	} {
+		if got := sniffKind([]byte(tc.data)); got != tc.want {
+			t.Errorf("sniffKind(%q) = %s, want %s", tc.data, got, tc.want)
+		}
+	}
+}
+
 // TestArtifactResolution pins the ref rules: exact ID, unique >=8-char
 // prefix, unique name — and ambiguity as an error, never a guess.
 func TestArtifactResolution(t *testing.T) {
 	s := New(Options{Scale: testScale})
-	a1, err := s.AddArtifact(KindTrace, recordTrace(t, "fft"))
+	trace1 := recordTrace(t, "fft")
+	a1, created, err := s.AddArtifact(KindTrace, trace1)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !created {
+		t.Fatal("first upload not reported as created")
+	}
+	if _, created, err := s.AddArtifact(KindTrace, trace1); err != nil || created {
+		t.Errorf("duplicate upload: created=%v err=%v, want existing entry", created, err)
+	}
 	// A second capture of the same workload: same name, different bytes.
-	a2, err := s.AddArtifact(KindTrace, recordTraceScaled(t, "fft", 1.0))
+	a2, _, err := s.AddArtifact(KindTrace, recordTraceScaled(t, "fft", 1.0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +189,7 @@ func TestArtifactResolution(t *testing.T) {
 		t.Error("unknown ref resolved")
 	}
 
-	spec, err := s.AddArtifact("", mustRead(t, "../../examples/specs/halo.json"))
+	spec, _, err := s.AddArtifact("", mustRead(t, "../../examples/specs/halo.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
