@@ -534,6 +534,46 @@ func BenchmarkSnapshotFork(b *testing.B) {
 	})
 }
 
+// BenchmarkGridSweep measures the two-axis grid engine end to end on a
+// cold store: a 2x3 block x threshold grid over a recorded em3d capture
+// covers the geometry transforms, the trunk-and-fork threshold lines
+// (each grid line replays its shared prefix once), and cell assembly.
+// A fresh harness per iteration keeps the memo store from turning later
+// iterations into cache reads.
+func BenchmarkGridSweep(b *testing.B) {
+	cfg := workloads.DefaultConfig()
+	cfg.Scale = benchScale
+	app, _ := workloads.ByName("em3d")
+	var encoded bytes.Buffer
+	if _, _, err := tracefile.WriteWorkload(&encoded, app.Build(cfg), cfg); err != nil {
+		b.Fatal(err)
+	}
+	data := encoded.Bytes()
+	blocks := []harness.SweepValue{harness.IntValue(16), harness.IntValue(32)}
+	thresholds := []harness.SweepValue{harness.IntValue(16), harness.IntValue(64), harness.IntValue(256)}
+
+	var worst float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := benchHarness(benchScale)
+		g, err := h.SweepGrid(data, harness.AxisBlockSize, blocks, harness.AxisThreshold, thresholds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(g.Cells) != 3 || len(g.Cells[0]) != 2 {
+			b.Fatalf("grid is %dx%d, want 2x3", len(g.Cells[0]), len(g.Cells))
+		}
+		worst = harness.FindKnee(g.Row(0), 0).MaxRatio
+		for i := range g.Cells {
+			if k := harness.FindKnee(g.Row(i), 0); k.MaxRatio > worst {
+				worst = k.MaxRatio
+			}
+		}
+	}
+	b.ReportMetric(float64(len(blocks)*len(thresholds)), "cells")
+	b.ReportMetric(worst, "worst-rnuma-vs-best")
+}
+
 // BenchmarkTraceGeneration measures reference stream production.
 func BenchmarkTraceGeneration(b *testing.B) {
 	refs := make([]trace.Ref, 1024)

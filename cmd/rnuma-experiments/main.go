@@ -2,13 +2,15 @@
 //
 // Usage:
 //
-//	rnuma-experiments [-exp all|fig5|table4|fig6|fig7|fig8|fig9|model|lu|sweep|dilate|geometry|timeline|traffic]
+//	rnuma-experiments [-exp all|fig5|table4|fig6|fig7|fig8|fig9|model|lu|sweep|dilate|geometry|grid|timeline|traffic]
 //	                  [-apps barnes,lu,...] [-specs a.json,b.json]
 //	                  [-traces x.trace,...] [-scale 1.0] [-seed 0]
 //	                  [-parallel N] [-v] [-progress] [-window N]
 //	                  [-sweep-trace x.trace] [-sweep-app em3d] [-sweep-nodes 4,8,16]
 //	                  [-sweep-axis nodes|dilate|block|page|threshold] [-sweep-values ...]
 //	                  [-dilate-factors 1/2,1,2,4] [-geometry-axis block|page] [-geometry-values ...]
+//	                  [-grid-axes block,threshold] [-grid-values-a ...] [-grid-values-b ...]
+//	                  [-grid-bound 1.10] [-grid-json grid.json]
 //	                  [-diff a.trace,b.trace] [-diff-protocol rnuma]
 //
 // Each experiment prints the corresponding rows/series of the paper's
@@ -35,6 +37,14 @@
 //     every compute gap, doubling the relative cost of memory;
 //   - -exp geometry sweeps the block or page size (-geometry-axis,
 //     -geometry-values) through geometry retargeting;
+//   - -exp grid sweeps two axes at once (-grid-axes "x,y", values from
+//     -grid-values-a/-grid-values-b, defaulting per axis) and renders a
+//     heat map of the per-cell R-NUMA/best ratio, the exact numbers, and
+//     per-row/column knee conclusions (first point past -grid-bound,
+//     default 1.10); -grid-json also writes the machine-readable
+//     document. The first axis's transform applies before the second's;
+//     when one axis is the threshold, each grid line along it is
+//     pre-computed by the snapshot/fork engine at ~1 replay's cost;
 //   - -exp timeline runs a probed threshold fork sweep (-sweep-values,
 //     default 16,64) and renders each point's time-resolved telemetry:
 //     interval series, relocation bursts, and traffic matrix.
@@ -57,12 +67,19 @@
 // (-diff-protocol) and prints the per-counter stats delta table — the
 // report form of `rnuma-trace diffstats`, without the exit-status gate —
 // then exits without running any -exp experiment.
+//
+// Exit status: 0 on success, 1 on runtime errors (bad trace files,
+// simulation failures), 2 on usage errors — unknown flags, axes, or
+// unparseable -sweep-values/-grid-values-* entries (the offending token
+// is named on stderr).
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -80,30 +97,70 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// exitCode carries die/dieUsage's status through panic to run's recover,
+// so the deeply nested experiment blocks keep their straight-line error
+// handling while run stays testable (no os.Exit mid-flight).
+type exitCode int
+
+// run executes the CLI against injectable streams and returns the
+// process exit code: 0 success, 1 runtime error, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("rnuma-experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp         = flag.String("exp", "all", "experiment: all, fig5, table4, fig6, fig7, fig8, fig9, model, lu, sweep, dilate, geometry, timeline, traffic")
-		apps        = flag.String("apps", "", "comma-separated application subset (default: all ten)")
-		specs       = flag.String("specs", "", "comma-separated workload spec files to add as applications")
-		traces      = flag.String("traces", "", "comma-separated recorded trace files to add as applications")
-		scale       = flag.Float64("scale", 1.0, "workload scale (iteration multiplier)")
-		seed        = flag.Int64("seed", 0, "workload RNG seed (0 = built-in fixed seeds)")
-		parallel    = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		verbose     = flag.Bool("v", false, "log run progress")
-		sweepTrace  = flag.String("sweep-trace", "", "recorded trace to sweep (default: record -sweep-app at the 8x4 base shape)")
-		sweepApp    = flag.String("sweep-app", "em3d", "catalog application to record for the sweep when no -sweep-trace is given")
-		sweepNodes  = flag.String("sweep-nodes", "4,8,16", "comma-separated node counts for -exp sweep")
-		sweepAxis   = flag.String("sweep-axis", "nodes", "-exp sweep axis: nodes, dilate, block, page, threshold")
-		sweepVals   = flag.String("sweep-values", "", "comma-separated values for -sweep-axis (default per axis)")
-		dilateVals  = flag.String("dilate-factors", "1/2,1,2,4", "comma-separated gap scale factors for -exp dilate")
-		geomAxis    = flag.String("geometry-axis", "block", "-exp geometry axis: block or page")
-		geomVals    = flag.String("geometry-values", "", "comma-separated sizes in bytes (default 16,32,64,128 for block; 2048,4096,8192 for page)")
-		trafficSpec = flag.String("traffic", "", "traffic scenario file for -exp traffic")
-		diffPair    = flag.String("diff", "", "two traces \"a.trace,b.trace\" to replay and diff counter-by-counter")
-		diffProto   = flag.String("diff-protocol", "rnuma", "protocol for -diff: ccnuma, scoma, rnuma, ideal")
-		window      = flag.Int64("window", 0, "telemetry window in references (0 = off; -exp timeline defaults it)")
-		progress    = flag.Bool("progress", false, "report scheduler progress (jobs done, refs/s) to stderr")
+		exp         = fs.String("exp", "all", "experiment: all, fig5, table4, fig6, fig7, fig8, fig9, model, lu, sweep, dilate, geometry, grid, timeline, traffic")
+		apps        = fs.String("apps", "", "comma-separated application subset (default: all ten)")
+		specs       = fs.String("specs", "", "comma-separated workload spec files to add as applications")
+		traces      = fs.String("traces", "", "comma-separated recorded trace files to add as applications")
+		scale       = fs.Float64("scale", 1.0, "workload scale (iteration multiplier)")
+		seed        = fs.Int64("seed", 0, "workload RNG seed (0 = built-in fixed seeds)")
+		parallel    = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		verbose     = fs.Bool("v", false, "log run progress")
+		sweepTrace  = fs.String("sweep-trace", "", "recorded trace to sweep (default: record -sweep-app at the 8x4 base shape)")
+		sweepApp    = fs.String("sweep-app", "em3d", "catalog application to record for the sweep when no -sweep-trace is given")
+		sweepNodes  = fs.String("sweep-nodes", "4,8,16", "comma-separated node counts for -exp sweep")
+		sweepAxis   = fs.String("sweep-axis", "nodes", "-exp sweep axis: nodes, dilate, block, page, threshold")
+		sweepVals   = fs.String("sweep-values", "", "comma-separated values for -sweep-axis (default per axis)")
+		dilateVals  = fs.String("dilate-factors", "1/2,1,2,4", "comma-separated gap scale factors for -exp dilate")
+		geomAxis    = fs.String("geometry-axis", "block", "-exp geometry axis: block or page")
+		geomVals    = fs.String("geometry-values", "", "comma-separated sizes in bytes (default 16,32,64,128 for block; 2048,4096,8192 for page)")
+		gridAxes    = fs.String("grid-axes", "block,threshold", "-exp grid axes \"x,y\"; the x transform applies first")
+		gridValsA   = fs.String("grid-values-a", "", "comma-separated values for the first grid axis (default per axis)")
+		gridValsB   = fs.String("grid-values-b", "", "comma-separated values for the second grid axis (default per axis)")
+		gridBound   = fs.Float64("grid-bound", 0, "knee bound on R-NUMA/best for -exp grid (0 = default 1.10)")
+		gridJSON    = fs.String("grid-json", "", "also write -exp grid's JSON document to this file")
+		trafficSpec = fs.String("traffic", "", "traffic scenario file for -exp traffic")
+		diffPair    = fs.String("diff", "", "two traces \"a.trace,b.trace\" to replay and diff counter-by-counter")
+		diffProto   = fs.String("diff-protocol", "rnuma", "protocol for -diff: ccnuma, scoma, rnuma, ideal")
+		window      = fs.Int64("window", 0, "telemetry window in references (0 = off; -exp timeline defaults it)")
+		progress    = fs.Bool("progress", false, "report scheduler progress (jobs done, refs/s) to stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := r.(exitCode)
+			if !ok {
+				panic(r)
+			}
+			code = int(c)
+		}
+	}()
+	// die reports a runtime error (exit 1); dieUsage a usage error —
+	// unknown axes, unparseable value lists, malformed flag pairs —
+	// (exit 2). Both are no-ops on nil.
+	fail := func(err error, c exitCode) {
+		if err != nil {
+			fmt.Fprintf(stderr, "rnuma-experiments: %v\n", err)
+			panic(c)
+		}
+	}
+	die := func(err error) { fail(err, 1) }
+	dieUsage := func(err error) { fail(err, 2) }
 
 	list := harness.AllApps()
 	if *apps != "" {
@@ -113,21 +170,14 @@ func main() {
 	h.Seed = *seed
 	h.Workers = *parallel
 	if *verbose {
-		h.Log = os.Stderr
+		h.Log = stderr
 	}
 	if *progress {
-		h.Progress = os.Stderr
+		h.Progress = stderr
 	}
 	// -window attaches the sampling probe to every simulation the harness
 	// runs; figures are unaffected (they read counters, not timelines).
 	h.Telemetry = telemetry.Config{Window: *window}
-
-	die := func(err error) {
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rnuma-experiments: %v\n", err)
-			os.Exit(1)
-		}
-	}
 
 	// -diff is a standalone mode: replay the two captures under one
 	// configuration, print the per-counter delta table, and exit. Unlike
@@ -136,7 +186,7 @@ func main() {
 	if *diffPair != "" {
 		paths := splitList(*diffPair)
 		if len(paths) != 2 {
-			die(fmt.Errorf("-diff wants exactly two traces, got %q", *diffPair))
+			dieUsage(fmt.Errorf("-diff wants exactly two traces, got %q", *diffPair))
 		}
 		sys, err := config.SystemByName(*diffProto)
 		die(err)
@@ -144,9 +194,9 @@ func main() {
 		die(err)
 		b, err := harness.ReplayFile(paths[1], sys)
 		die(err)
-		fmt.Printf("diff %s vs %s (%s)\n\n", paths[0], paths[1], sys.Name)
-		report.DeltaTable(os.Stdout, paths[0], paths[1], stats.Diff(a.Run, b.Run), false)
-		return
+		fmt.Fprintf(stdout, "diff %s vs %s (%s)\n\n", paths[0], paths[1], sys.Name)
+		report.DeltaTable(stdout, paths[0], paths[1], stats.Diff(a.Run, b.Run), false)
+		return 0
 	}
 
 	// Spec and trace files join the application list: every selected
@@ -158,7 +208,7 @@ func main() {
 		die(h.Register(src))
 		for _, name := range list {
 			if name == src.Name() {
-				fmt.Fprintf(os.Stderr, "note: %q rows replay the registered source (it shadows the catalog generator)\n", src.Name())
+				fmt.Fprintf(stderr, "note: %q rows replay the registered source (it shadows the catalog generator)\n", src.Name())
 				return
 			}
 		}
@@ -174,7 +224,7 @@ func main() {
 		die(err)
 		addSource(src)
 	}
-	sep := func() { fmt.Println("\n" + strings.Repeat("=", 80) + "\n") }
+	sep := func() { fmt.Fprintln(stdout, "\n"+strings.Repeat("=", 80)+"\n") }
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 
@@ -191,50 +241,50 @@ func main() {
 		p := model.FromCosts(float64(costs.RemoteFetch),
 			float64(costs.PageOpBase()+costs.PageOpPerBlock*32),
 			float64(costs.PageOpBase()+costs.PageOpPerBlock*16), 64)
-		report.Model(os.Stdout, p)
+		report.Model(stdout, p)
 		sep()
 	}
 	if want("fig5") {
 		curves, err := h.Figure5(list)
 		die(err)
-		report.Figure5(os.Stdout, curves)
+		report.Figure5(stdout, curves)
 		sep()
 	}
 	if want("table4") {
 		rows, err := h.Table4(list)
 		die(err)
-		report.Table4(os.Stdout, rows)
+		report.Table4(stdout, rows)
 		sep()
 	}
 	if want("fig6") {
 		rows, err := h.Figure6(list)
 		die(err)
-		report.Figure6(os.Stdout, rows)
+		report.Figure6(stdout, rows)
 		sep()
 	}
 	if want("fig7") {
 		rows, err := h.Figure7(list)
 		die(err)
-		report.Figure7(os.Stdout, rows)
+		report.Figure7(stdout, rows)
 		sep()
 	}
 	if want("fig8") {
 		rows, err := h.Figure8(list)
 		die(err)
-		report.Figure8(os.Stdout, rows)
+		report.Figure8(stdout, rows)
 		sep()
 	}
 	if want("fig9") {
 		rows, err := h.Figure9(list)
 		die(err)
-		report.Figure9(os.Stdout, rows)
+		report.Figure9(stdout, rows)
 		sep()
 	}
 	if want("lu") {
 		share, err := h.LuImbalance()
 		die(err)
-		fmt.Printf("LU LOAD IMBALANCE (Section 5.5) — top-2 nodes' share of S-COMA page replacements: %.0f%%\n", share*100)
-		fmt.Println("(the paper attributes lu's relocation-overhead sensitivity to two overloaded nodes)")
+		fmt.Fprintf(stdout, "LU LOAD IMBALANCE (Section 5.5) — top-2 nodes' share of S-COMA page replacements: %.0f%%\n", share*100)
+		fmt.Fprintln(stdout, "(the paper attributes lu's relocation-overhead sensitivity to two overloaded nodes)")
 	}
 
 	// The sensitivity experiments replay one capture transformed along a
@@ -244,7 +294,7 @@ func main() {
 	record := func() []byte {
 		app, ok := workloads.ByName(*sweepApp)
 		if !ok {
-			die(fmt.Errorf("unknown -sweep-app %q", *sweepApp))
+			dieUsage(fmt.Errorf("unknown -sweep-app %q", *sweepApp))
 		}
 		cfg := workloads.DefaultConfig()
 		cfg.Scale, cfg.Seed = *scale, *seed
@@ -261,15 +311,22 @@ func main() {
 		harness.AxisPageSize:  "2048,4096,8192",
 		harness.AxisThreshold: "16,64,256,1024",
 	}
-	sensitivity := func(axis harness.Axis, csv string) {
+	// parseValues resolves one axis's value list (per-axis default when
+	// empty); unparseable entries are usage errors naming the token.
+	parseValues := func(axis harness.Axis, csv string) []harness.SweepValue {
 		if csv == "" {
 			csv = defaultValues[axis]
 		}
 		values, err := harness.ParseSweepValues(axis, csv)
-		die(err)
+		dieUsage(err)
+		return values
+	}
+	sensitivity := func(axis harness.Axis, csv string) {
+		values := parseValues(axis, csv)
 		var (
 			points []harness.AxisPoint
 			name   string
+			err    error
 		)
 		if *sweepTrace != "" {
 			points, name, err = h.SweepFile(*sweepTrace, axis, values)
@@ -277,12 +334,12 @@ func main() {
 			points, name, err = h.Sweep(record(), axis, values)
 		}
 		die(err)
-		report.Sensitivity(os.Stdout, name, axis, points)
+		report.Sensitivity(stdout, name, axis, points)
 	}
 
 	if *exp == "sweep" {
 		axis, err := harness.ParseAxis(*sweepAxis)
-		die(err)
+		dieUsage(err)
 		csv := *sweepVals
 		if axis == harness.AxisNodes && csv == "" {
 			// The original node-count sweep keeps its -sweep-nodes
@@ -297,11 +354,44 @@ func main() {
 	}
 	if *exp == "geometry" {
 		axis, err := harness.ParseAxis(*geomAxis)
-		die(err)
+		dieUsage(err)
 		if axis != harness.AxisBlockSize && axis != harness.AxisPageSize {
-			die(fmt.Errorf("-geometry-axis must be block or page, got %q", *geomAxis))
+			dieUsage(fmt.Errorf("-geometry-axis must be block or page, got %q", *geomAxis))
 		}
 		sensitivity(axis, *geomVals)
+	}
+
+	// -exp grid sweeps two axes at once and renders the heat map, exact
+	// table, and knee conclusions; -grid-json additionally writes the
+	// machine-readable document for downstream gating.
+	if *exp == "grid" {
+		names := splitList(*gridAxes)
+		if len(names) != 2 {
+			dieUsage(fmt.Errorf("-grid-axes wants exactly two axes \"x,y\", got %q", *gridAxes))
+		}
+		axisX, err := harness.ParseAxis(names[0])
+		dieUsage(err)
+		axisY, err := harness.ParseAxis(names[1])
+		dieUsage(err)
+		if axisX == axisY {
+			dieUsage(fmt.Errorf("-grid-axes must name two different axes, got %q", *gridAxes))
+		}
+		xs := parseValues(axisX, *gridValsA)
+		ys := parseValues(axisY, *gridValsB)
+		var g *harness.Grid
+		if *sweepTrace != "" {
+			g, err = h.SweepGridFile(*sweepTrace, axisX, xs, axisY, ys)
+		} else {
+			g, err = h.SweepGrid(record(), axisX, xs, axisY, ys)
+		}
+		die(err)
+		report.Grid(stdout, g, *gridBound)
+		if *gridJSON != "" {
+			doc := report.NewGridDoc(g, *gridBound)
+			b, err := json.MarshalIndent(doc, "", "  ")
+			die(err)
+			die(os.WriteFile(*gridJSON, append(b, '\n'), 0o644))
+		}
 	}
 
 	// -exp traffic replays a compiled multi-tenant scenario under every
@@ -310,7 +400,7 @@ func main() {
 	// compile time, exactly like a recorded trace.
 	if *exp == "traffic" {
 		if *trafficSpec == "" {
-			die(fmt.Errorf("-exp traffic needs -traffic <scenario.json>"))
+			dieUsage(fmt.Errorf("-exp traffic needs -traffic <scenario.json>"))
 		}
 		data, err := os.ReadFile(*trafficSpec)
 		die(err)
@@ -327,10 +417,10 @@ func main() {
 			append(append([]config.System{}, systems...), config.Ideal())...))
 		ideal, err := h.Ideal(src.Name())
 		die(err)
-		fmt.Printf("TRAFFIC — scenario %s: %d tenants (%s), %d refs, %d pages\n\n",
+		fmt.Fprintf(stdout, "TRAFFIC — scenario %s: %d tenants (%s), %d refs, %d pages\n\n",
 			sc.Name, len(sc.Clients), strings.Join(sc.Clients, ", "), sc.Records(), sc.SharedPages)
-		fmt.Printf("%-28s %10s %10s %10s %10s\n", "system", "norm-exec", "remote", "refetch", "reloc")
-		fmt.Println(strings.Repeat("-", 72))
+		fmt.Fprintf(stdout, "%-28s %10s %10s %10s %10s\n", "system", "norm-exec", "remote", "refetch", "reloc")
+		fmt.Fprintln(stdout, strings.Repeat("-", 72))
 		runs := make([]*stats.Run, len(systems))
 		for i, sys := range systems {
 			run, err := h.Run(src.Name(), sys)
@@ -340,11 +430,11 @@ func main() {
 			if ideal.ExecCycles > 0 {
 				norm = run.Normalized(ideal)
 			}
-			fmt.Printf("%-28s %10.3f %10d %10d %10d\n", sys.Name, norm, run.RemoteFetches, run.Refetches, run.Relocations)
+			fmt.Fprintf(stdout, "%-28s %10.3f %10d %10d %10d\n", sys.Name, norm, run.RemoteFetches, run.Refetches, run.Relocations)
 		}
 		for i, sys := range systems {
-			fmt.Printf("\n%s:\n", sys.Name)
-			report.ClientTable(os.Stdout, runs[i])
+			fmt.Fprintf(stdout, "\n%s:\n", sys.Name)
+			report.ClientTable(stdout, runs[i])
 		}
 		sep()
 	}
@@ -364,7 +454,7 @@ func main() {
 		for _, s := range splitList(csv) {
 			T, err := strconv.Atoi(s)
 			if err != nil || T < 1 {
-				die(fmt.Errorf("bad -sweep-values threshold %q for -exp timeline", s))
+				dieUsage(fmt.Errorf("bad -sweep-values threshold %q for -exp timeline", s))
 			}
 			thresholds = append(thresholds, T)
 		}
@@ -391,10 +481,11 @@ func main() {
 			if i > 0 && T == thresholds[i-1] {
 				continue
 			}
-			report.Timeline(os.Stdout, fmt.Sprintf("%s, R-NUMA T=%d", name, T), res.ByThreshold[T].Timeline)
+			report.Timeline(stdout, fmt.Sprintf("%s, R-NUMA T=%d", name, T), res.ByThreshold[T].Timeline)
 			sep()
 		}
 	}
+	return 0
 }
 
 // splitList splits a comma-separated flag, dropping empty entries.

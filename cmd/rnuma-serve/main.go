@@ -1,7 +1,8 @@
 // Command rnuma-serve is the long-running experiment daemon: an
 // HTTP/JSON service over the harness (internal/serve). Upload traces,
-// specs, and traffic scenarios; submit replay/sweep/diffstats/experiments
-// jobs; poll or stream progress; fetch reports as text or JSON.
+// specs, and traffic scenarios; submit replay, sweep, grid (two-axis
+// heat map + knee summary), diffstats, and experiments jobs; poll or
+// stream progress; fetch reports as text or JSON.
 //
 // All jobs share one result store, so repeated and overlapping
 // submissions re-simulate nothing; with -store-dir the store persists

@@ -68,11 +68,16 @@
 //     once on a trunk machine and fork each point from a mid-run
 //     snapshot at the last threshold-independent reference, producing
 //     runs bit-identical to independent replays at a fraction of the
-//     wall-clock
+//     wall-clock; SweepGrid crosses any two axes into a cell grid whose
+//     rows and columns are bit-identical to the one-axis sweeps, and
+//     FindKnee locates where on a grid line the R-NUMA-over-best ratio
+//     first exceeds a bound
 //   - internal/serve — the long-running experiment service behind
 //     cmd/rnuma-serve: content-addressed artifact uploads (traces,
-//     specs, traffic scenarios), replay/sweep/diffstats/experiments
-//     jobs with streamed progress, and text or JSON reports; every job
+//     specs, traffic scenarios), replay/sweep/grid/diffstats/
+//     experiments jobs with streamed progress, and text or JSON
+//     reports; malformed axis/value requests answer 422 naming the
+//     offending token; every job
 //     runs on its own harness over the server's one shared result
 //     store, so repeated and concurrent submissions re-simulate
 //     nothing

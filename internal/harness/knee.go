@@ -1,0 +1,62 @@
+package harness
+
+import "fmt"
+
+// DefaultKneeBound is the robustness bound knee detection uses when the
+// caller does not supply one: R-NUMA within 10% of the better base
+// protocol, the constant the paper's worst-case argument targets.
+const DefaultKneeBound = 1.10
+
+// Knee summarizes where a sweep line stops tracking the better base
+// protocol: the first point whose R-NUMA/best ratio exceeds the bound,
+// plus the line's saturation plateau (its worst ratio). A line whose
+// ratio dips back under the bound after the knee still knees at the
+// first crossing — the question is where tracking *first* breaks, not
+// whether it recovers.
+type Knee struct {
+	// Bound is the R-NUMA/best ratio the line is held to.
+	Bound float64
+	// Index/Label/Value/Ratio identify the first point exceeding Bound;
+	// Index is -1 when the whole line stays within the bound.
+	Index int
+	Label string
+	Value SweepValue
+	Ratio float64
+	// MaxIndex/MaxLabel/MaxRatio identify the line's worst point (the
+	// saturation plateau); MaxIndex is -1 only for an empty line.
+	MaxIndex int
+	MaxLabel string
+	MaxRatio float64
+}
+
+// FindKnee scans a sweep line in order for the first point whose
+// RNUMAOverBest exceeds bound, and tracks the worst point overall.
+// bound <= 0 selects DefaultKneeBound. The points are scanned as given
+// (Sweep, Grid.Row, and Grid.Col all return them sorted by value).
+func FindKnee(points []AxisPoint, bound float64) Knee {
+	if bound <= 0 {
+		bound = DefaultKneeBound
+	}
+	k := Knee{Bound: bound, Index: -1, MaxIndex: -1}
+	for i, p := range points {
+		r := p.RNUMAOverBest()
+		if k.Index < 0 && r > bound {
+			k.Index, k.Label, k.Value, k.Ratio = i, p.Label, p.Value, r
+		}
+		if k.MaxIndex < 0 || r > k.MaxRatio {
+			k.MaxIndex, k.MaxLabel, k.MaxRatio = i, p.Label, r
+		}
+	}
+	return k
+}
+
+// String renders the conclusion the way reports print it.
+func (k Knee) String() string {
+	if k.MaxIndex < 0 {
+		return "no points"
+	}
+	if k.Index < 0 {
+		return fmt.Sprintf("within %.2fx everywhere (max %.2fx at %s)", k.Bound, k.MaxRatio, k.MaxLabel)
+	}
+	return fmt.Sprintf("exceeds %.2fx at %s (%.2fx), worst %.2fx at %s", k.Bound, k.Label, k.Ratio, k.MaxRatio, k.MaxLabel)
+}

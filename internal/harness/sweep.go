@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"fmt"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -132,6 +131,12 @@ func ParseSweepValues(axis Axis, csv string) ([]SweepValue, error) {
 			num, den, err := tracefile.ParseRatio(s)
 			if err != nil {
 				return nil, err
+			}
+			// ParseRatio only checks the syntax; reject non-positive
+			// factors here so the bad token is named at parse time rather
+			// than failing deep inside the dilate transform.
+			if num <= 0 || den <= 0 {
+				return nil, fmt.Errorf("harness: bad %s sweep value %q (factor must be positive)", axis, s)
 			}
 			out = append(out, SweepValue{Num: num, Den: den})
 			continue
@@ -277,18 +282,11 @@ func (h *Harness) Sweep(data []byte, axis Axis, values []SweepValue) ([]AxisPoin
 	}
 	hdr := d.Header()
 
-	vals := make([]SweepValue, 0, len(values))
-	for _, v := range values {
-		vals = append(vals, v.reduced())
-	}
-	sort.Slice(vals, func(i, j int) bool { return vals[i].Float() < vals[j].Float() })
+	vals := normalizeSweepValues(values)
 
 	plan := NewPlan()
 	pts := make([]sweepPoint, 0, len(vals))
-	for i, v := range vals {
-		if i > 0 && vals[i-1] == v {
-			continue // duplicate value
-		}
+	for _, v := range vals {
 		enc, label, err := variantFor(data, hdr, axis, v)
 		if err != nil {
 			return nil, "", err

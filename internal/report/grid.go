@@ -1,0 +1,120 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rnuma/internal/harness"
+)
+
+// This file renders two-axis grid sweeps: a glyph heat map of the
+// per-cell R-NUMA/best ratio for shape-at-a-glance reading, the exact
+// numbers underneath, and the knee conclusions (harness.FindKnee) per
+// row and column so the report states where R-NUMA stops tracking the
+// better base protocol instead of leaving the table to the reader.
+
+// gridRamp is the fixed glyph ramp for heat-map cells: each entry is
+// the glyph for ratios at or below its bound, and ratios beyond the
+// last bound render as '@'. Fixed (not data-scaled) so two heat maps
+// are comparable at a glance and CI diffs are stable.
+var gridRamp = []struct {
+	bound float64
+	glyph byte
+}{
+	{1.01, '.'},
+	{1.05, ':'},
+	{1.10, '-'},
+	{1.25, '+'},
+	{1.50, '*'},
+	{2.00, '#'},
+}
+
+// gridGlyph maps one cell's R-NUMA/best ratio onto the ramp.
+func gridGlyph(ratio float64) byte {
+	for _, r := range gridRamp {
+		if ratio <= r.bound {
+			return r.glyph
+		}
+	}
+	return '@'
+}
+
+// Grid renders a two-axis grid sweep: heat map, exact table, and knee
+// summaries. bound is the knee bound (<= 0 selects the harness
+// default).
+func Grid(w io.Writer, g *harness.Grid, bound float64) {
+	if bound <= 0 {
+		bound = harness.DefaultKneeBound
+	}
+	fmt.Fprintf(w, "GRID — %s: %s (x) x %s (y), %dx%d cells\n", g.Workload, g.AxisX, g.AxisY, len(g.XValues), len(g.YValues))
+	fmt.Fprintf(w, "(per-cell R-NUMA over the better base protocol; the %s transform applies before %s)\n", g.AxisX, g.AxisY)
+	fmt.Fprintln(w)
+
+	yw := 0
+	for _, l := range g.YLabels {
+		yw = max(yw, len(l))
+	}
+
+	fmt.Fprint(w, "heat map (R-NUMA/best):")
+	for _, r := range gridRamp {
+		fmt.Fprintf(w, "  %c <=%.2f", r.glyph, r.bound)
+	}
+	fmt.Fprintln(w, "  @ beyond")
+	for i := range g.Cells {
+		fmt.Fprintf(w, "  %*s  ", yw, g.YLabels[i])
+		for j := range g.Cells[i] {
+			if j > 0 {
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprintf(w, "%c", gridGlyph(g.Cells[i][j].RNUMAOverBest()))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  %*s  columns (x): %s\n", yw, "", strings.Join(g.XLabels, ", "))
+	fmt.Fprintln(w)
+
+	// Exact numbers: one row per Y value, one column per X value.
+	cw := make([]int, len(g.XLabels))
+	for j, l := range g.XLabels {
+		cw[j] = max(6, len(l))
+	}
+	fmt.Fprintf(w, "R-NUMA/best per cell:\n")
+	fmt.Fprintf(w, "  %*s", yw, "")
+	for j, l := range g.XLabels {
+		fmt.Fprintf(w, "  %*s", cw[j], l)
+	}
+	fmt.Fprintln(w)
+	for i := range g.Cells {
+		fmt.Fprintf(w, "  %*s", yw, g.YLabels[i])
+		for j := range g.Cells[i] {
+			fmt.Fprintf(w, "  %*.2f", cw[j], g.Cells[i][j].RNUMAOverBest())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "knees (R-NUMA/best bound %.2f):\n", bound)
+	for i := range g.Cells {
+		k := harness.FindKnee(g.Row(i), bound)
+		fmt.Fprintf(w, "  row %*s (%s axis): %s\n", yw, g.YLabels[i], g.AxisX, k)
+	}
+	xw := 0
+	for _, l := range g.XLabels {
+		xw = max(xw, len(l))
+	}
+	for j := range g.XLabels {
+		k := harness.FindKnee(g.Col(j), bound)
+		fmt.Fprintf(w, "  col %*s (%s axis): %s\n", xw, g.XLabels[j], g.AxisY, k)
+	}
+
+	worst, wi, wj := 0.0, 0, 0
+	for i := range g.Cells {
+		for j := range g.Cells[i] {
+			if r := g.Cells[i][j].RNUMAOverBest(); r > worst {
+				worst, wi, wj = r, i, j
+			}
+		}
+	}
+	fmt.Fprintf(w, "worst cell: %.2fx at (%s, %s)\n", worst, g.XLabels[wj], g.YLabels[wi])
+}

@@ -78,6 +78,118 @@ func NewSensitivityDoc(workload string, axis harness.Axis, points []harness.Axis
 	return d
 }
 
+// GridCellDoc is one grid cell's result (the JSON form of a heat-map
+// cell plus its exact numbers).
+type GridCellDoc struct {
+	Nodes         int     `json:"nodes,omitempty"`
+	CPUsPerNode   int     `json:"cpusPerNode,omitempty"`
+	CCNUMA        float64 `json:"ccnuma"`
+	SCOMA         float64 `json:"scoma"`
+	RNUMA         float64 `json:"rnuma"`
+	RNUMAOverBest float64 `json:"rnumaOverBest"`
+}
+
+// KneeDoc is one grid line's knee conclusion (the JSON form of a
+// harness.Knee): where the line first exceeds the bound, and its worst
+// point.
+type KneeDoc struct {
+	// Line names the grid line: "row <ylabel>" or "col <xlabel>".
+	Line  string  `json:"line"`
+	Bound float64 `json:"bound"`
+	// Index is the first point exceeding Bound, -1 when the line stays
+	// within it; Label/Value/Ratio describe that point when Index >= 0.
+	Index int     `json:"index"`
+	Label string  `json:"label,omitempty"`
+	Value string  `json:"value,omitempty"`
+	Ratio float64 `json:"ratio,omitempty"`
+	// MaxLabel/MaxRatio are the line's worst point (saturation plateau).
+	MaxLabel string  `json:"maxLabel"`
+	MaxRatio float64 `json:"maxRatio"`
+	// Summary is the rendered one-line conclusion.
+	Summary string `json:"summary"`
+}
+
+// newKneeDoc converts a harness.Knee for one named line.
+func newKneeDoc(line string, k harness.Knee) KneeDoc {
+	d := KneeDoc{
+		Line:     line,
+		Bound:    k.Bound,
+		Index:    k.Index,
+		MaxLabel: k.MaxLabel,
+		MaxRatio: k.MaxRatio,
+		Summary:  k.String(),
+	}
+	if k.Index >= 0 {
+		d.Label, d.Value, d.Ratio = k.Label, k.Value.String(), k.Ratio
+	}
+	return d
+}
+
+// GridDoc is a two-axis grid sweep's results (the JSON form of Grid):
+// Cells[i][j] is the cell at (XValues[j], YValues[i]).
+type GridDoc struct {
+	Workload string          `json:"workload"`
+	AxisX    string          `json:"axisX"`
+	AxisY    string          `json:"axisY"`
+	XValues  []string        `json:"xValues"`
+	XLabels  []string        `json:"xLabels"`
+	YValues  []string        `json:"yValues"`
+	YLabels  []string        `json:"yLabels"`
+	Cells    [][]GridCellDoc `json:"cells"`
+	// Bound is the knee bound the Knees entries were computed against.
+	Bound float64   `json:"bound"`
+	Knees []KneeDoc `json:"knees"`
+	// WorstRNUMAOverBest is the headline bound: the worst R-NUMA-vs-best
+	// ratio across every cell.
+	WorstRNUMAOverBest float64 `json:"worstRnumaOverBest"`
+}
+
+// NewGridDoc builds a GridDoc from a grid sweep; bound <= 0 selects the
+// harness default knee bound.
+func NewGridDoc(g *harness.Grid, bound float64) GridDoc {
+	if bound <= 0 {
+		bound = harness.DefaultKneeBound
+	}
+	d := GridDoc{
+		Workload: g.Workload,
+		AxisX:    g.AxisX.String(),
+		AxisY:    g.AxisY.String(),
+		XLabels:  g.XLabels,
+		YLabels:  g.YLabels,
+		Bound:    bound,
+		Cells:    make([][]GridCellDoc, len(g.Cells)),
+	}
+	for _, v := range g.XValues {
+		d.XValues = append(d.XValues, v.String())
+	}
+	for _, v := range g.YValues {
+		d.YValues = append(d.YValues, v.String())
+	}
+	for i := range g.Cells {
+		d.Cells[i] = make([]GridCellDoc, len(g.Cells[i]))
+		for j, c := range g.Cells[i] {
+			d.Cells[i][j] = GridCellDoc{
+				Nodes:         c.Nodes,
+				CPUsPerNode:   c.CPUsPerNode,
+				CCNUMA:        c.CCNUMA,
+				SCOMA:         c.SCOMA,
+				RNUMA:         c.RNUMA,
+				RNUMAOverBest: c.RNUMAOverBest(),
+			}
+			if r := c.RNUMAOverBest(); r > d.WorstRNUMAOverBest {
+				d.WorstRNUMAOverBest = r
+			}
+		}
+	}
+	for i := range g.Cells {
+		d.Knees = append(d.Knees, newKneeDoc("row "+g.YLabels[i], harness.FindKnee(g.Row(i), bound)))
+	}
+	for j := range g.XLabels {
+		d.Knees = append(d.Knees, newKneeDoc("col "+g.XLabels[j], harness.FindKnee(g.Col(j), bound)))
+	}
+	return d
+}
+
 // DeltaDoc is a two-run comparison (the JSON form of DeltaTable).
 type DeltaDoc struct {
 	A         string `json:"a"`

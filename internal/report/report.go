@@ -172,11 +172,17 @@ func Sensitivity(w io.Writer, name string, axis harness.Axis, points []harness.A
 		fmt.Fprintln(w, "(capture replayed unchanged; R-NUMA relocation threshold varied per point)")
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "%-16s %10s %10s %10s %10s\n", axis, "CC-NUMA", "S-COMA", "R-NUMA", "R/best")
-	fmt.Fprintln(w, strings.Repeat("-", 60))
+	// The label column sizes to the data: composed grid-variant labels
+	// ("b=64B, T=256") and geometry points overflow a fixed pad.
+	lw := max(16, len(axis.String()))
 	for _, p := range points {
-		fmt.Fprintf(w, "%-16s %10.2f %10.2f %10.2f %10.2f\n",
-			p.Label, p.CCNUMA, p.SCOMA, p.RNUMA, p.RNUMAOverBest())
+		lw = max(lw, len(p.Label))
+	}
+	fmt.Fprintf(w, "%-*s %10s %10s %10s %10s\n", lw, axis, "CC-NUMA", "S-COMA", "R-NUMA", "R/best")
+	fmt.Fprintln(w, strings.Repeat("-", lw+44))
+	for _, p := range points {
+		fmt.Fprintf(w, "%-*s %10.2f %10.2f %10.2f %10.2f\n",
+			lw, p.Label, p.CCNUMA, p.SCOMA, p.RNUMA, p.RNUMAOverBest())
 	}
 	fmt.Fprintln(w)
 	worst := 0.0

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -12,7 +13,7 @@ import (
 // JobRequest is one job submission. Type selects the experiment; the
 // remaining fields apply per type (see the field comments).
 type JobRequest struct {
-	// Type is "replay", "sweep", "diffstats", or "experiments".
+	// Type is "replay", "sweep", "grid", "diffstats", or "experiments".
 	Type string `json:"type"`
 
 	// Artifact references the input (ID, unique ID prefix, or unique
@@ -29,8 +30,15 @@ type JobRequest struct {
 
 	// Axis and Values define a sweep: axis nodes|dilate|block|page|threshold
 	// and a comma-separated value list ("4,8,16"; rationals on dilate).
+	// Grid jobs use them as the X axis (its transform applies first).
 	Axis   string `json:"axis,omitempty"`
 	Values string `json:"values,omitempty"`
+
+	// AxisB and ValuesB are a grid job's Y axis; KneeBound overrides the
+	// knee detector's R-NUMA/best bound when > 0 (default 1.10).
+	AxisB     string  `json:"axisB,omitempty"`
+	ValuesB   string  `json:"valuesB,omitempty"`
+	KneeBound float64 `json:"kneeBound,omitempty"`
 
 	// ArtifactB and SystemB are diffstats' second run (SystemB defaults
 	// to System).
@@ -172,8 +180,18 @@ func (s *Server) Submit(req JobRequest) (*jobState, error) {
 	return js, nil
 }
 
+// valueError marks a request whose axis/values fields are present but
+// unparseable: the submission is well-formed JSON with the right fields,
+// just semantically invalid values, so the API answers 422 (naming the
+// offending token) rather than a generic 400.
+type valueError struct{ err error }
+
+func (e *valueError) Error() string { return e.err.Error() }
+func (e *valueError) Unwrap() error { return e.err }
+
 // validate rejects malformed requests before they occupy a job slot;
-// artifact references must already resolve at submission time.
+// artifact references must already resolve at submission time, and
+// sweep/grid axis values must already parse (422 when they don't).
 func (s *Server) validate(req JobRequest) error {
 	switch req.Type {
 	case "replay":
@@ -186,6 +204,29 @@ func (s *Server) validate(req JobRequest) error {
 		if req.Axis == "" || req.Values == "" {
 			return fmt.Errorf("serve: sweep needs axis and values")
 		}
+		_, _, err := parseAxisValues(req.Axis, req.Values)
+		return err
+	case "grid":
+		if _, err := s.artifact(req.Artifact); err != nil {
+			return err
+		}
+		if req.Axis == "" || req.Values == "" || req.AxisB == "" || req.ValuesB == "" {
+			return fmt.Errorf("serve: grid needs axis, values, axisB, and valuesB")
+		}
+		axisX, _, err := parseAxisValues(req.Axis, req.Values)
+		if err != nil {
+			return err
+		}
+		axisY, _, err := parseAxisValues(req.AxisB, req.ValuesB)
+		if err != nil {
+			return err
+		}
+		if axisX == axisY {
+			return &valueError{fmt.Errorf("serve: grid axes must differ (both %s)", axisX)}
+		}
+		if req.KneeBound < 0 {
+			return &valueError{fmt.Errorf("serve: bad kneeBound %v (must be >= 0)", req.KneeBound)}
+		}
 		return nil
 	case "diffstats":
 		if _, err := s.artifact(req.Artifact); err != nil {
@@ -196,7 +237,7 @@ func (s *Server) validate(req JobRequest) error {
 	case "experiments":
 		return nil
 	default:
-		return fmt.Errorf("serve: unknown job type %q (want replay, sweep, diffstats, or experiments)", req.Type)
+		return fmt.Errorf("serve: unknown job type %q (want replay, sweep, grid, diffstats, or experiments)", req.Type)
 	}
 }
 
@@ -266,7 +307,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	js, err := s.Submit(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		code := http.StatusBadRequest
+		var ve *valueError
+		if errors.As(err, &ve) {
+			code = http.StatusUnprocessableEntity
+		}
+		writeError(w, code, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, js.info())

@@ -35,6 +35,8 @@ func (s *Server) execute(js *jobState) (text string, doc any, sims int64, err er
 		doc, err = s.runReplay(h, &buf, js.req)
 	case "sweep":
 		doc, err = s.runSweep(h, &buf, js.req)
+	case "grid":
+		doc, err = s.runGrid(h, &buf, js.req)
 	case "diffstats":
 		doc, err = s.runDiffstats(h, &buf, js.req)
 	case "experiments":
@@ -175,6 +177,24 @@ func (s *Server) runReplay(h *harness.Harness, w io.Writer, req JobRequest) (any
 	return doc, nil
 }
 
+// parseAxisValues resolves an axis name and its comma-separated value
+// list, marking failures as value errors (HTTP 422 at submission) that
+// name the offending token.
+func parseAxisValues(axisName, values string) (harness.Axis, []harness.SweepValue, error) {
+	axis, err := harness.ParseAxis(axisName)
+	if err != nil {
+		return 0, nil, &valueError{err}
+	}
+	vals, err := harness.ParseSweepValues(axis, values)
+	if err != nil {
+		return 0, nil, &valueError{err}
+	}
+	if len(vals) == 0 {
+		return 0, nil, &valueError{fmt.Errorf("serve: %s values %q name no points", axis, values)}
+	}
+	return axis, vals, nil
+}
+
 func (s *Server) runSweep(h *harness.Harness, w io.Writer, req JobRequest) (any, error) {
 	a, err := s.artifact(req.Artifact)
 	if err != nil {
@@ -183,11 +203,7 @@ func (s *Server) runSweep(h *harness.Harness, w io.Writer, req JobRequest) (any,
 	if a.Kind != KindTrace {
 		return nil, fmt.Errorf("serve: sweep needs a trace artifact, %s is a %s", a.ID[:12], a.Kind)
 	}
-	axis, err := harness.ParseAxis(req.Axis)
-	if err != nil {
-		return nil, err
-	}
-	vals, err := harness.ParseSweepValues(axis, req.Values)
+	axis, vals, err := parseAxisValues(req.Axis, req.Values)
 	if err != nil {
 		return nil, err
 	}
@@ -197,6 +213,30 @@ func (s *Server) runSweep(h *harness.Harness, w io.Writer, req JobRequest) (any,
 	}
 	report.Sensitivity(w, name, axis, pts)
 	return report.NewSensitivityDoc(name, axis, pts), nil
+}
+
+func (s *Server) runGrid(h *harness.Harness, w io.Writer, req JobRequest) (any, error) {
+	a, err := s.artifact(req.Artifact)
+	if err != nil {
+		return nil, err
+	}
+	if a.Kind != KindTrace {
+		return nil, fmt.Errorf("serve: grid needs a trace artifact, %s is a %s", a.ID[:12], a.Kind)
+	}
+	axisX, xs, err := parseAxisValues(req.Axis, req.Values)
+	if err != nil {
+		return nil, err
+	}
+	axisY, ys, err := parseAxisValues(req.AxisB, req.ValuesB)
+	if err != nil {
+		return nil, err
+	}
+	g, err := h.SweepGrid(a.data, axisX, xs, axisY, ys)
+	if err != nil {
+		return nil, err
+	}
+	report.Grid(w, g, req.KneeBound)
+	return report.NewGridDoc(g, req.KneeBound), nil
 }
 
 func (s *Server) runDiffstats(h *harness.Harness, w io.Writer, req JobRequest) (any, error) {
