@@ -159,9 +159,11 @@ func (h *Harness) SweepGrid(data []byte, axisX Axis, valuesX []SweepValue, axisY
 	for i := range g.Cells {
 		g.Cells[i] = make([]GridCell, len(xs))
 		for j := range g.Cells[i] {
-			p := pts[j][i] // outer = X, inner = Y
+			var p sweepPoint
 			if swap {
 				p = pts[i][j] // outer = Y, inner = X
+			} else {
+				p = pts[j][i] // outer = X, inner = Y
 			}
 			cell, err := h.gridCell(p)
 			if err != nil {

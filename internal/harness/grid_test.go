@@ -92,6 +92,34 @@ func TestSweepGridMatchesOneAxisSweeps(t *testing.T) {
 			}
 		}
 	}
+
+	// A non-square grid with the threshold on the X axis exercises the
+	// internal axis swap where len(xs) != len(ys).
+	threshold3 := []SweepValue{IntValue(16), IntValue(64), IntValue(256)}
+	wide, err := h.SweepGrid(data, AxisThreshold, threshold3, AxisBlockSize, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wide.Cells) != len(blocks) || len(wide.Cells[0]) != len(threshold3) {
+		t.Fatalf("non-square grid is %dx%d cells, want %dx%d",
+			len(wide.Cells[0]), len(wide.Cells), len(threshold3), len(blocks))
+	}
+	tall, err := h.SweepGrid(data, AxisBlockSize, blocks, AxisThreshold, threshold3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wide.XLabels, tall.YLabels) || !reflect.DeepEqual(wide.YLabels, tall.XLabels) {
+		t.Errorf("non-square labels do not transpose: %v/%v vs %v/%v",
+			wide.XLabels, wide.YLabels, tall.XLabels, tall.YLabels)
+	}
+	for i := range tall.Cells {
+		for j := range tall.Cells[i] {
+			if wide.Cells[j][i] != tall.Cells[i][j] {
+				t.Errorf("non-square cell (%d,%d) does not transpose: %+v vs %+v",
+					i, j, tall.Cells[i][j], wide.Cells[j][i])
+			}
+		}
+	}
 }
 
 // TestSweepGridForkMatchesDirectReplay checks the trunk-and-fork path a
